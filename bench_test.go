@@ -1,0 +1,282 @@
+// Benchmarks regenerating every table and figure of the CRAID paper's
+// evaluation, one per artifact, at a reduced volume budget (see
+// internal/experiments for the scaling rules; cmd/craidbench prints the
+// same data paper-style, and accepts larger budgets).
+//
+// These are throughput benchmarks of whole experiments: the interesting
+// output is the custom metrics (latencies, ratios) each bench reports,
+// which are the paper's reported quantities.
+package main
+
+import (
+	"testing"
+
+	"craid/internal/disk"
+	"craid/internal/experiments"
+	"craid/internal/metrics"
+)
+
+// benchBudgetGB keeps every benchmark's replay volume small enough for
+// routine runs; craidbench -budget raises it for sharper curves.
+const benchBudgetGB = 0.2
+
+func scaleFor(trace string) float64 { return experiments.ScaleFor(trace, benchBudgetGB) }
+
+func BenchmarkTable1_TraceSummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchBudgetGB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Trace == "wdev" {
+					b.ReportMetric(100*r.Summary.Top20Share, "wdev_top20_%")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFigure1_FrequencyCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1("cello99", scaleFor("cello99"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Fraction of blocks read at most 50 times (paper: 76-98%).
+			b.ReportMetric(100*res.ReadCDF[5], "blocks_le50reads_%")
+		}
+	}
+}
+
+func BenchmarkFigure1_WorkingSetOverlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1("wdev", scaleFor("wdev"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(100*metrics.Mean(res.OverlapAll), "mean_overlap_%")
+			b.ReportMetric(100*metrics.Mean(res.OverlapTop), "top20_overlap_%")
+		}
+	}
+}
+
+func benchPolicyTable(b *testing.B, hit bool) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Tables2and3(benchBudgetGB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Trace != "wdev" {
+					continue
+				}
+				if hit {
+					b.ReportMetric(100*r.HitRatio, r.Policy+"_hit_%")
+				} else {
+					b.ReportMetric(100*r.ReplacementRatio, r.Policy+"_repl_%")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable2_HitRatio(b *testing.B)         { benchPolicyTable(b, true) }
+func BenchmarkTable3_ReplacementRatio(b *testing.B) { benchPolicyTable(b, false) }
+
+// benchSweep runs the Fig. 4/6 sweep for one representative trace with
+// a trimmed size grid (craidbench regenerates the full grids).
+func benchSweep(b *testing.B, trace string) experiments.SweepResult {
+	b.Helper()
+	sizes := experiments.PCSizes(trace)
+	sweep, err := experiments.ResponseTimeSweep(trace, scaleFor(trace),
+		[]float64{sizes[0], sizes[2], sizes[4]})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sweep
+}
+
+func reportPoint(b *testing.B, sweep experiments.SweepResult, strat experiments.Strategy, read bool) {
+	for _, p := range sweep.Points {
+		if p.Strategy == strat {
+			v := p.ReadMean
+			if !read {
+				v = p.WriteMean
+			}
+			b.ReportMetric(v.Milliseconds(), string(strat)+"_ms")
+			return
+		}
+	}
+}
+
+func BenchmarkFigure4_ReadResponseTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweep := benchSweep(b, "wdev")
+		if i == 0 {
+			for _, s := range experiments.Strategies() {
+				reportPoint(b, sweep, s, true)
+			}
+		}
+	}
+}
+
+func BenchmarkFigure6_WriteResponseTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sweep := benchSweep(b, "webusers")
+		if i == 0 {
+			for _, s := range experiments.Strategies() {
+				reportPoint(b, sweep, s, false)
+			}
+		}
+	}
+}
+
+func BenchmarkTable4_BestWorstRatios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t4 := experiments.Table4(benchSweep(b, "wdev"))
+		if i == 0 {
+			b.ReportMetric(100*t4.BestReadHit, "best_read_hit_%")
+			b.ReportMetric(100*t4.BestWriteHit, "best_write_hit_%")
+			b.ReportMetric(100*t4.WorstReadEvict, "worst_read_evict_%")
+		}
+	}
+}
+
+func BenchmarkFigure5_SequentialityCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Figure5("webusers", scaleFor("webusers"), 0.016)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range series {
+				b.ReportMetric(s.Mean, string(s.Strategy)+"_seq")
+			}
+		}
+	}
+}
+
+func BenchmarkTable5_QueueStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5(scaleFor("wdev"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.ConcMean, string(r.Strategy)+"_cdev")
+				b.ReportMetric(float64(r.QueueMax), string(r.Strategy)+"_ioqmax")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure7_WorkloadDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sizes := experiments.PCSizes("wdev")
+		series, err := experiments.Figure7("wdev", scaleFor("wdev"),
+			[]float64{sizes[0], sizes[len(sizes)-1]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range series {
+				if s.PCPct == sizes[0] || !s.Strategy.IsCRAID() {
+					b.ReportMetric(s.MeanCV, string(s.Strategy)+"_cv")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable6_CvBestWorst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sizes := experiments.PCSizes("wdev")
+		series, err := experiments.Figure7("wdev", scaleFor("wdev"),
+			[]float64{sizes[0], sizes[len(sizes)-1]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range experiments.Table6(series) {
+				b.ReportMetric(row.BestCV, string(row.Strategy)+"_bestcv")
+			}
+		}
+	}
+}
+
+func BenchmarkAblation_MigrationCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.MigrationAblation(0.0128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(100*r.TotalFrac, r.Strategy+"_moved_%")
+			}
+		}
+	}
+}
+
+// BenchmarkCRAIDSubmit measures the controller's per-request CPU
+// overhead (redirector + monitor paths) on instant devices — the cost
+// that would run inside a real RAID controller.
+func BenchmarkCRAIDSubmit(b *testing.B) {
+	var requests int64
+	for i := 0; i < b.N; i++ {
+		// LRU keeps the measurement to redirector/mapping cost: WLRU's
+		// clean-victim scan is O(k·w) and dominates when nearly every
+		// entry is dirty (webusers is write-heavy), which is a policy
+		// property, not controller overhead.
+		res, err := experiments.Run(experiments.RunConfig{
+			Trace: "webusers", Scale: 1, Duration: 6 * 3600 * 1e9,
+			Strategy: experiments.CRAID5, Policy: "LRU",
+			Instant: true, PCBlocks: 50_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		requests += res.Requests
+	}
+	b.ReportMetric(float64(requests)/float64(b.N), "requests/op")
+	_ = disk.BlockSize
+}
+
+// BenchmarkAblation_PCLevel measures CRAID with RAID-0/5/6 cache
+// partitions: the §6 parity-cost trade-off.
+func BenchmarkAblation_PCLevel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationPCLevel("wdev", scaleFor("wdev"), 0.008)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(r.WriteMean.Milliseconds(), "PC-"+r.Level.String()+"_write_ms")
+			}
+		}
+	}
+}
+
+// BenchmarkAblation_Rebalance compares the paper's invalidate-on-expand
+// against the ExpandRetain extension during a live 38→50 upgrade.
+func BenchmarkAblation_Rebalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationRebalance("wdev", scaleFor("wdev"), 0.008)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(100*r.PostHitRatio, r.Mode+"_posthit_%")
+				b.ReportMetric(float64(r.Upgrade.DirtyWriteback+r.Upgrade.Migrated), r.Mode+"_moved")
+			}
+		}
+	}
+}

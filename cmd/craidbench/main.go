@@ -1,0 +1,423 @@
+// Command craidbench regenerates the CRAID paper's tables and figures
+// from the simulator and prints them in paper-like form.
+//
+// Usage:
+//
+//	craidbench                  # everything at the default budget
+//	craidbench -table 2         # one table (1-6, or "migration")
+//	craidbench -figure 4        # one figure (1, 4, 5, 6, 7)
+//	craidbench -budget 2.0      # GB of replayed traffic per trace
+//	craidbench -trace wdev      # restrict figures to one trace
+//
+// The -budget flag scales each workload so roughly that many gigabytes
+// of traffic replay per simulation (volumes and disk capacities shrink
+// together, preserving the paper's ratios). Larger budgets sharpen the
+// curves at proportional CPU cost; the defaults complete in minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"craid/internal/experiments"
+	"craid/internal/workload"
+)
+
+func main() {
+	table := flag.String("table", "", "regenerate one table: 1-6 or 'migration'")
+	figure := flag.String("figure", "", "regenerate one figure: 1, 4, 5, 6 or 7")
+	budget := flag.Float64("budget", 0.5, "replayed GB per trace per simulation")
+	traceName := flag.String("trace", "", "restrict figures to one trace")
+	flag.Parse()
+
+	r := runner{budget: *budget, trace: *traceName}
+	if *table == "" && *figure == "" {
+		r.all()
+		return
+	}
+	if *table != "" {
+		r.table(*table)
+	}
+	if *figure != "" {
+		r.figure(*figure)
+	}
+	if r.failed {
+		os.Exit(1)
+	}
+}
+
+type runner struct {
+	budget float64
+	trace  string
+	failed bool
+}
+
+func (r *runner) check(err error) bool {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "craidbench:", err)
+		r.failed = true
+		return false
+	}
+	return true
+}
+
+func (r *runner) traces() []string {
+	if r.trace != "" {
+		return []string{r.trace}
+	}
+	return workload.PresetNames()
+}
+
+func (r *runner) all() {
+	for _, t := range []string{"1", "2", "3", "4", "5", "6", "migration", "pclevel", "rebalance"} {
+		r.table(t)
+	}
+	for _, f := range []string{"1", "4", "5", "6", "7"} {
+		r.figure(f)
+	}
+}
+
+func (r *runner) scaleFor(trace string) float64 {
+	return experiments.ScaleFor(trace, r.budget)
+}
+
+func (r *runner) table(which string) {
+	switch which {
+	case "1":
+		r.table1()
+	case "2", "3":
+		r.tables23(which)
+	case "4":
+		r.table4()
+	case "5":
+		r.table5()
+	case "6":
+		r.table6()
+	case "migration":
+		r.migration()
+	case "pclevel":
+		r.pcLevel()
+	case "rebalance":
+		r.rebalance()
+	default:
+		r.check(fmt.Errorf("unknown table %q", which))
+	}
+}
+
+func (r *runner) figure(which string) {
+	switch which {
+	case "1":
+		r.figure1()
+	case "4", "6":
+		r.figures46(which)
+	case "5":
+		r.figure5()
+	case "7":
+		r.figure7()
+	default:
+		r.check(fmt.Errorf("unknown figure %q", which))
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func (r *runner) table1() {
+	header("Table 1: summary statistics of the seven workloads (scaled)")
+	fmt.Printf("%-12s %9s %9s %9s %9s %6s %9s %8s\n",
+		"trace", "readGB", "uniqR_GB", "writeGB", "uniqW_GB", "R/W", "totalGB", "top20%")
+	rows, err := experiments.Table1(r.budget)
+	if !r.check(err) {
+		return
+	}
+	for _, name := range r.traces() {
+		for _, row := range rows {
+			if row.Trace != name {
+				continue
+			}
+			s := row.Summary
+			fmt.Printf("%-12s %9.2f %9.2f %9.2f %9.2f %6.2f %9.2f %7.2f%%\n",
+				row.Trace, s.ReadGB, s.UniqueReadGB, s.WriteGB, s.UniqueWriteGB,
+				s.RWRatio, s.TotalGB, 100*s.Top20Share)
+		}
+	}
+}
+
+func (r *runner) tables23(which string) {
+	if which == "2" {
+		header("Table 2: hit ratio (%) per cache-management algorithm")
+	} else {
+		header("Table 3: replacement ratio (%) per cache-management algorithm")
+	}
+	fmt.Printf("%-12s", "trace")
+	for _, p := range experiments.PolicyNamesPaper() {
+		fmt.Printf(" %8s", p)
+	}
+	fmt.Println()
+	rows, err := experiments.Tables2and3(r.budget)
+	if !r.check(err) {
+		return
+	}
+	for _, name := range r.traces() {
+		vals := map[string]float64{}
+		for _, row := range rows {
+			if row.Trace != name {
+				continue
+			}
+			if which == "2" {
+				vals[row.Policy] = row.HitRatio
+			} else {
+				vals[row.Policy] = row.ReplacementRatio
+			}
+		}
+		fmt.Printf("%-12s", name)
+		for _, p := range experiments.PolicyNamesPaper() {
+			fmt.Printf(" %7.2f%%", 100*vals[p])
+		}
+		fmt.Println()
+	}
+}
+
+func (r *runner) sweep(name string) (experiments.SweepResult, error) {
+	return experiments.ResponseTimeSweep(name, r.scaleFor(name), nil)
+}
+
+func (r *runner) figures46(which string) {
+	if which == "4" {
+		header("Figure 4: mean read response time (ms) vs cache size (% per disk)")
+	} else {
+		header("Figure 6: mean write response time (ms) vs cache size (% per disk)")
+	}
+	for _, name := range r.traces() {
+		sweep, err := r.sweep(name)
+		if !r.check(err) {
+			return
+		}
+		fmt.Printf("\n[%s]\n%-13s", name, "strategy")
+		for _, pct := range experiments.PCSizes(name) {
+			fmt.Printf(" %8.3f", pct)
+		}
+		fmt.Println()
+		for _, strat := range experiments.Strategies() {
+			fmt.Printf("%-13s", strat)
+			for _, pct := range experiments.PCSizes(name) {
+				pt, ok := findPoint(sweep, strat, pct)
+				if !ok {
+					fmt.Printf(" %8s", "-")
+					continue
+				}
+				v := pt.ReadMean
+				if which == "6" {
+					v = pt.WriteMean
+				}
+				fmt.Printf(" %8.3f", v.Milliseconds())
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func findPoint(sweep experiments.SweepResult, strat experiments.Strategy, pct float64) (experiments.SweepPoint, bool) {
+	var flat experiments.SweepPoint
+	found := false
+	for _, p := range sweep.Points {
+		if p.Strategy != strat {
+			continue
+		}
+		if p.PCPct == pct {
+			return p, true
+		}
+		flat, found = p, true // baselines: single point at any pct
+	}
+	if found && !strings.HasPrefix(string(strat), "CRAID") {
+		return flat, true
+	}
+	return experiments.SweepPoint{}, false
+}
+
+func (r *runner) table4() {
+	header("Table 4: best hit ratio and worst eviction ratio (all simulations)")
+	fmt.Printf("%-12s %10s %10s %12s %12s\n",
+		"trace", "bestHit_R", "bestHit_W", "worstEvict_R", "worstEvict_W")
+	for _, name := range r.traces() {
+		sweep, err := r.sweep(name)
+		if !r.check(err) {
+			return
+		}
+		t4 := experiments.Table4(sweep)
+		fmt.Printf("%-12s %9.2f%% %9.2f%% %11.2f%% %11.2f%%\n",
+			name, 100*t4.BestReadHit, 100*t4.BestWriteHit,
+			100*t4.WorstReadEvict, 100*t4.WorstWriteEvict)
+	}
+}
+
+func (r *runner) figure1() {
+	header("Figure 1: block frequency CDFs and daily working-set overlap")
+	for _, name := range r.traces() {
+		res, err := experiments.Figure1(name, r.scaleFor(name))
+		if !r.check(err) {
+			return
+		}
+		fmt.Printf("\n[%s] freq:   ", name)
+		for _, f := range res.Freqs {
+			fmt.Printf(" %6d", f)
+		}
+		fmt.Printf("\n  read CDF:    ")
+		for _, v := range res.ReadCDF {
+			fmt.Printf(" %6.3f", v)
+		}
+		fmt.Printf("\n  write CDF:   ")
+		for _, v := range res.WriteCDF {
+			fmt.Printf(" %6.3f", v)
+		}
+		fmt.Printf("\n  overlap all: ")
+		for _, v := range res.OverlapAll {
+			fmt.Printf(" %5.1f%%", 100*v)
+		}
+		fmt.Printf("\n  overlap top20:")
+		for _, v := range res.OverlapTop {
+			fmt.Printf(" %5.1f%%", 100*v)
+		}
+		fmt.Println()
+	}
+}
+
+func (r *runner) figure5() {
+	header("Figure 5: sequential access distribution (per-second quantiles)")
+	traces := r.traces()
+	if r.trace == "" {
+		traces = []string{"cello99", "webusers"} // the paper's panels
+	}
+	for _, name := range traces {
+		pct := experiments.PCSizes(name)[2]
+		series, err := experiments.Figure5(name, r.scaleFor(name), pct)
+		if !r.check(err) {
+			return
+		}
+		fmt.Printf("\n[%s] P_C = %.3f%%; quantiles 0%%..100%% of per-second seq fraction\n", name, pct)
+		for _, s := range series {
+			fmt.Printf("%-13s mean=%.3f  ", s.Strategy, s.Mean)
+			for _, q := range s.Quantiles {
+				fmt.Printf(" %5.2f", q)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func (r *runner) table5() {
+	header("Table 5: ioqueue size and concurrent devices, wdev, P_C = 0.002%")
+	rows, err := experiments.Table5(r.scaleFor("wdev"))
+	if !r.check(err) {
+		return
+	}
+	fmt.Printf("%-13s %10s %8s %8s %10s %8s %8s\n",
+		"strategy", "IoqMean", "Ioq99", "IoqMax", "CdevMean", "Cdev99", "CdevMax")
+	for _, row := range rows {
+		fmt.Printf("%-13s %10.2f %8d %8d %10.2f %8d %8d\n",
+			row.Strategy, row.QueueMean, row.QueueP99, row.QueueMax,
+			row.ConcMean, row.ConcP99, row.ConcMax)
+	}
+}
+
+func (r *runner) figure7() {
+	header("Figure 7: workload distribution — CDF of per-second cv")
+	traces := r.traces()
+	if r.trace == "" {
+		traces = []string{"deasna", "wdev"} // the paper's panels
+	}
+	for _, name := range traces {
+		series, err := experiments.Figure7(name, r.scaleFor(name), bestWorstSizes(name))
+		if !r.check(err) {
+			return
+		}
+		fmt.Printf("\n[%s] cv grid:", name)
+		for _, g := range experiments.CVGrid {
+			fmt.Printf(" %5.2f", g)
+		}
+		fmt.Println()
+		for _, s := range series {
+			label := string(s.Strategy)
+			if s.PCPct > 0 {
+				label = fmt.Sprintf("%s@%.3f%%", s.Strategy, s.PCPct)
+			}
+			fmt.Printf("%-20s meanCV=%.3f ", label, s.MeanCV)
+			for _, v := range s.CDF {
+				fmt.Printf(" %5.2f", v)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func (r *runner) table6() {
+	header("Table 6: influence of P_C size on workload distribution")
+	fmt.Printf("%-13s %10s %10s %10s %10s\n", "strategy", "bestPC%", "bestCV", "worstPC%", "worstCV")
+	for _, name := range r.traces() {
+		series, err := experiments.Figure7(name, r.scaleFor(name), bestWorstSizes(name))
+		if !r.check(err) {
+			return
+		}
+		fmt.Printf("[%s]\n", name)
+		for _, row := range experiments.Table6(series) {
+			fmt.Printf("%-13s %10.3f %10.3f %10.3f %10.3f\n",
+				row.Strategy, row.BestPct, row.BestCV, row.WorstPct, row.WorstCV)
+		}
+	}
+}
+
+// bestWorstSizes picks the extremes of the paper sweep (Table 6 shows
+// best/worst, which land on the smallest/largest P_C).
+func bestWorstSizes(trace string) []float64 {
+	sizes := experiments.PCSizes(trace)
+	return []float64{sizes[0], sizes[len(sizes)-1]}
+}
+
+func (r *runner) migration() {
+	header("Migration ablation: upgrade cost over the 10→50 schedule")
+	rows, err := experiments.MigrationAblation(0.0128)
+	if !r.check(err) {
+		return
+	}
+	fmt.Printf("%-11s %11s %9s  %s\n", "strategy", "total moved", "final cv", "per-step fraction moved")
+	for _, row := range rows {
+		fmt.Printf("%-11s %10.2f%% %9.4f ", row.Strategy, 100*row.TotalFrac, row.FinalCV)
+		for _, f := range row.StepsFrac {
+			fmt.Printf(" %6.3f", f)
+		}
+		fmt.Println()
+	}
+}
+
+func (r *runner) pcLevel() {
+	header("Ablation: cache-partition redundancy level (wdev)")
+	rows, err := experiments.AblationPCLevel("wdev", r.scaleFor("wdev"), 0.008)
+	if !r.check(err) {
+		return
+	}
+	fmt.Printf("%-8s %10s %10s %8s %8s\n", "P_C", "read(ms)", "write(ms)", "hitR", "hitW")
+	for _, row := range rows {
+		fmt.Printf("%-8s %10.3f %10.3f %7.1f%% %7.1f%%\n",
+			row.Level, row.ReadMean.Milliseconds(), row.WriteMean.Milliseconds(),
+			100*row.HitRead, 100*row.HitWrite)
+	}
+}
+
+func (r *runner) rebalance() {
+	header("Ablation: expansion strategy, 38→50 disks mid-trace (wdev)")
+	rows, err := experiments.AblationRebalance("wdev", r.scaleFor("wdev"), 0.008)
+	if !r.check(err) {
+		return
+	}
+	fmt.Printf("%-11s %9s %9s %9s %10s %10s %8s %9s\n",
+		"mode", "writeback", "migrated", "dropped", "preRd(ms)", "postRd(ms)", "postHit", "newDiskIO")
+	for _, row := range rows {
+		fmt.Printf("%-11s %9d %9d %9d %10.3f %10.3f %7.1f%% %9d\n",
+			row.Mode, row.Upgrade.DirtyWriteback, row.Upgrade.Migrated, row.Upgrade.Invalidated,
+			row.PreReadMean.Milliseconds(), row.PostReadMean.Milliseconds(),
+			100*row.PostHitRatio, row.NewDiskReads+row.NewDiskWrites)
+	}
+}

@@ -1,0 +1,52 @@
+// Fileserver: replay a proj-like file-server workload (the paper's
+// largest trace: read-dominated, terabyte-scale) against CRAID-5,
+// RAID-5 and RAID-5+, comparing response times and hit behaviour.
+//
+// Run with: go run ./examples/fileserver
+package main
+
+import (
+	"fmt"
+
+	"craid/internal/experiments"
+)
+
+func main() {
+	const budgetGB = 1.0 // replayed traffic per simulation
+	scale := experiments.ScaleFor("proj", budgetGB)
+	fmt.Printf("proj file-server workload at scale %.5f (~%.1f GB replayed)\n\n", scale, budgetGB)
+
+	fmt.Printf("%-10s %12s %12s %10s %10s\n",
+		"strategy", "read(ms)", "write(ms)", "hitR", "hitW")
+	for _, strat := range []experiments.Strategy{
+		experiments.RAID5, experiments.RAID5Plus, experiments.CRAID5, experiments.CRAID5Plus,
+	} {
+		res, err := experiments.Run(experiments.RunConfig{
+			Trace:    "proj",
+			Scale:    scale,
+			Strategy: strat,
+			PCPct:    0.064, // mid-sweep cache size for proj
+			Bursty:   true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		hitR, hitW := "-", "-"
+		if res.CRAID != nil {
+			hitR = fmt.Sprintf("%.1f%%", 100*res.CRAID.HitRatio(0))
+			hitW = fmt.Sprintf("%.1f%%", 100*res.CRAID.HitRatio(1))
+		}
+		fmt.Printf("%-10s %12.3f %12.3f %10s %10s\n",
+			strat, res.ReadMean.Milliseconds(), res.WriteMean.Milliseconds(), hitR, hitW)
+	}
+
+	fmt.Println("\nWhat to look for (paper §5.2, Fig. 4f/6g):")
+	fmt.Println(" - RAID-5+ no faster than the ideally-restriped RAID-5;")
+	fmt.Println(" - CRAID-5 ≈ CRAID-5+: the cache partition absorbs the I/O, so")
+	fmt.Println("   the un-restriped archive behind it does not matter;")
+	fmt.Println(" - proj is CRAID's hardest trace (the paper's too): the most")
+	fmt.Println("   diverse working set, so hit ratios sit well below the other")
+	fmt.Println("   workloads and CRAID's advantage shrinks — or inverts at")
+	fmt.Println("   aggressive scale-down, where P_C is only ~2% of the dataset.")
+	fmt.Println("   Compare examples/webserver for a workload CRAID wins.")
+}

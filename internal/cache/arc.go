@@ -1,0 +1,189 @@
+package cache
+
+// ARC is the Adaptive Replacement Cache of Megiddo and Modha (FAST ’03):
+// it balances recency (T1) against frequency (T2) online by tracking
+// ghost hits on recently evicted entries (B1, B2) and adapting the
+// target size p of T1.
+type ARC struct {
+	capacity int
+	p        int // target size of T1
+
+	t1, t2, b1, b2 lruList
+	where          map[Key]*arcEntry
+}
+
+type arcEntry struct {
+	entry
+	list *lruList // which of t1/t2/b1/b2 holds it
+}
+
+// NewARC returns an ARC policy with the given capacity.
+func NewARC(capacity int) *ARC {
+	if capacity < 1 {
+		panic("cache: capacity must be positive")
+	}
+	a := &ARC{capacity: capacity, where: make(map[Key]*arcEntry, 2*capacity)}
+	a.t1.init()
+	a.t2.init()
+	a.b1.init()
+	a.b2.init()
+	return a
+}
+
+// Name implements Policy.
+func (a *ARC) Name() string { return "ARC" }
+
+// Capacity implements Policy.
+func (a *ARC) Capacity() int { return a.capacity }
+
+// Len implements Policy.
+func (a *ARC) Len() int { return a.t1.size + a.t2.size }
+
+// P exposes the adaptive target size of T1 (for tests and diagnostics).
+func (a *ARC) P() int { return a.p }
+
+// Contains implements Policy: only T1 ∪ T2 are resident; ghosts are not.
+func (a *ARC) Contains(k Key) bool {
+	e, ok := a.where[k]
+	return ok && (e.list == &a.t1 || e.list == &a.t2)
+}
+
+// Access implements Policy (case I of the ARC algorithm).
+func (a *ARC) Access(k Key, _ int64) {
+	e, ok := a.where[k]
+	if !ok || (e.list != &a.t1 && e.list != &a.t2) {
+		return
+	}
+	e.list.remove(&e.entry)
+	e.list = &a.t2
+	a.t2.pushFront(&e.entry)
+}
+
+// Insert implements Policy (cases II–IV).
+func (a *ARC) Insert(k Key, size int64) (Key, bool) {
+	if e, ok := a.where[k]; ok {
+		switch e.list {
+		case &a.t1, &a.t2:
+			a.Access(k, size)
+			return 0, false
+		case &a.b1: // case II: ghost hit in B1 → grow p
+			delta := 1
+			if a.b1.size > 0 && a.b2.size/a.b1.size > 1 {
+				delta = a.b2.size / a.b1.size
+			}
+			a.p = min(a.capacity, a.p+delta)
+			victim, evicted := a.replace(false)
+			e.list.remove(&e.entry)
+			e.list = &a.t2
+			a.t2.pushFront(&e.entry)
+			return victim, evicted
+		default: // case III: ghost hit in B2 → shrink p
+			delta := 1
+			if a.b2.size > 0 && a.b1.size/a.b2.size > 1 {
+				delta = a.b1.size / a.b2.size
+			}
+			a.p = max(0, a.p-delta)
+			victim, evicted := a.replace(true)
+			e.list.remove(&e.entry)
+			e.list = &a.t2
+			a.t2.pushFront(&e.entry)
+			return victim, evicted
+		}
+	}
+
+	// Case IV: completely new key.
+	var victim Key
+	evicted := false
+	if a.t1.size+a.b1.size == a.capacity {
+		if a.t1.size < a.capacity {
+			a.dropLRU(&a.b1)
+			victim, evicted = a.replace(false)
+		} else {
+			// B1 is empty and T1 is full: evict the T1 LRU outright
+			// (it does not become a ghost).
+			lru := a.t1.back()
+			a.t1.remove(lru)
+			delete(a.where, lru.key)
+			victim, evicted = lru.key, true
+		}
+	} else if a.t1.size+a.b1.size < a.capacity {
+		total := a.t1.size + a.t2.size + a.b1.size + a.b2.size
+		if total >= a.capacity {
+			if total == 2*a.capacity {
+				a.dropLRU(&a.b2)
+			}
+			victim, evicted = a.replace(false)
+		}
+	}
+	e := &arcEntry{entry: entry{key: k}, list: &a.t1}
+	a.where[k] = e
+	a.t1.pushFront(&e.entry)
+	return victim, evicted
+}
+
+// replace implements REPLACE(x, p): demote from T1 or T2 into the
+// corresponding ghost list and report the evicted key. inB2 is whether
+// the triggering key was a B2 ghost.
+func (a *ARC) replace(inB2 bool) (Key, bool) {
+	if a.t1.size >= 1 && ((inB2 && a.t1.size == a.p) || a.t1.size > a.p) {
+		lru := a.t1.back()
+		a.t1.remove(lru)
+		e := a.where[lru.key]
+		e.list = &a.b1
+		a.b1.pushFront(lru)
+		return lru.key, true
+	}
+	if a.t2.size >= 1 {
+		lru := a.t2.back()
+		a.t2.remove(lru)
+		e := a.where[lru.key]
+		e.list = &a.b2
+		a.b2.pushFront(lru)
+		return lru.key, true
+	}
+	return 0, false
+}
+
+// dropLRU discards the LRU ghost of list l entirely.
+func (a *ARC) dropLRU(l *lruList) {
+	lru := l.back()
+	if lru == nil {
+		return
+	}
+	l.remove(lru)
+	delete(a.where, lru.key)
+}
+
+// Remove implements Policy. Removing a resident entry also forgets any
+// ghost state for it.
+func (a *ARC) Remove(k Key) bool {
+	e, ok := a.where[k]
+	if !ok {
+		return false
+	}
+	resident := e.list == &a.t1 || e.list == &a.t2
+	e.list.remove(&e.entry)
+	delete(a.where, k)
+	return resident
+}
+
+// Clear implements Policy.
+func (a *ARC) Clear() {
+	a.where = make(map[Key]*arcEntry, 2*a.capacity)
+	a.t1.init()
+	a.t2.init()
+	a.b1.init()
+	a.b2.init()
+	a.p = 0
+}
+
+// Keys implements Policy.
+func (a *ARC) Keys() []Key {
+	out := make([]Key, 0, a.Len())
+	for k, e := range a.where {
+		if e.list == &a.t1 || e.list == &a.t2 {
+			out = append(out, k)
+		}
+	}
+	return out
+}

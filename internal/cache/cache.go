@@ -1,0 +1,124 @@
+// Package cache implements the replacement policies CRAID's I/O
+// monitor can use to manage the cache partition: LRU, LFUDA, GDSF, ARC
+// and WLRU(w) (paper §4.1). All policies store opaque int64 keys (block
+// numbers), run in O(1) or O(log n) per operation, and are deliberately
+// lightweight — the paper chooses them because they are cheap enough to
+// live inside a RAID controller.
+package cache
+
+import "fmt"
+
+// Key identifies a cached entry (a block address in CRAID's use).
+type Key = int64
+
+// Policy is a fixed-capacity replacement policy. It tracks only keys
+// and replacement metadata; the data itself lives elsewhere.
+type Policy interface {
+	// Name returns the policy's canonical name, e.g. "ARC" or "WLRU0.5".
+	Name() string
+	// Capacity returns the maximum number of entries.
+	Capacity() int
+	// Len returns the current number of entries.
+	Len() int
+	// Contains reports whether k is resident (ghost entries excluded).
+	Contains(k Key) bool
+	// Access records a hit on k. size is the originating request size
+	// in blocks (only GDSF uses it). Access on a non-resident key is a
+	// no-op.
+	Access(k Key, size int64)
+	// Insert adds non-resident k, evicting a victim if at capacity.
+	// Inserting a resident key is equivalent to Access.
+	Insert(k Key, size int64) (victim Key, evicted bool)
+	// Remove deletes k if resident, reporting whether it was.
+	Remove(k Key) bool
+	// Clear drops all entries (and any adaptive state that only makes
+	// sense for the current residency, e.g. ARC ghosts).
+	Clear()
+	// Keys returns resident keys in no particular order.
+	Keys() []Key
+}
+
+// DirtyFunc reports whether a key's cached copy is dirty. WLRU consults
+// it to prefer clean victims (a dirty eviction costs CRAID four extra
+// parity I/Os).
+type DirtyFunc func(Key) bool
+
+// Config carries optional policy parameters.
+type Config struct {
+	// WLRUWindow is the w parameter of WLRU: the fraction of capacity
+	// scanned for a clean victim before falling back to plain LRU.
+	WLRUWindow float64
+	// Dirty is consulted by WLRU; nil means "never dirty".
+	Dirty DirtyFunc
+}
+
+// New constructs a policy by canonical name: "LRU", "LFUDA", "GDSF",
+// "ARC" or "WLRU" (window from cfg, default 0.5).
+func New(name string, capacity int, cfg Config) (Policy, error) {
+	switch name {
+	case "LRU":
+		return NewLRU(capacity), nil
+	case "LFUDA":
+		return NewLFUDA(capacity), nil
+	case "GDSF":
+		return NewGDSF(capacity), nil
+	case "ARC":
+		return NewARC(capacity), nil
+	case "WLRU":
+		w := cfg.WLRUWindow
+		if w == 0 {
+			w = 0.5
+		}
+		return NewWLRU(capacity, w, cfg.Dirty), nil
+	}
+	return nil, fmt.Errorf("cache: unknown policy %q", name)
+}
+
+// Names returns the canonical policy names in the paper's order.
+func Names() []string { return []string{"LRU", "LFUDA", "GDSF", "ARC", "WLRU"} }
+
+// entry is a node of the intrusive LRU list shared by LRU and WLRU.
+type entry struct {
+	key        Key
+	prev, next *entry
+}
+
+// lruList is a doubly-linked list with sentinel; front = MRU.
+type lruList struct {
+	head, tail entry // sentinels
+	size       int
+}
+
+func (l *lruList) init() {
+	l.head.next = &l.tail
+	l.tail.prev = &l.head
+	l.size = 0
+}
+
+func (l *lruList) pushFront(e *entry) {
+	e.prev = &l.head
+	e.next = l.head.next
+	e.prev.next = e
+	e.next.prev = e
+	l.size++
+}
+
+func (l *lruList) remove(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+	l.size--
+}
+
+func (l *lruList) moveFront(e *entry) {
+	l.remove(e)
+	l.pushFront(e)
+}
+
+// back returns the LRU entry, or nil when empty.
+func (l *lruList) back() *entry {
+	if l.size == 0 {
+		return nil
+	}
+	return l.tail.prev
+}

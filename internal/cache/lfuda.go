@@ -1,0 +1,161 @@
+package cache
+
+import "container/heap"
+
+// agingEntry is a node of the priority heap shared by LFUDA and GDSF.
+type agingEntry struct {
+	key   Key
+	freq  int64
+	size  int64
+	prio  float64 // the policy's K_i
+	seq   uint64  // tie-break: older entries lose first
+	index int     // heap index
+}
+
+type agingHeap []*agingEntry
+
+func (h agingHeap) Len() int { return len(h) }
+func (h agingHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h agingHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *agingHeap) Push(x interface{}) {
+	e := x.(*agingEntry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *agingHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// agingPolicy implements the GreedyDual family: each entry carries a
+// priority K_i; the minimum-K entry is evicted and its K becomes the
+// running age factor L added to all future priorities (Arlitt et al.).
+//
+//	LFUDA: K_i = C_i·F_i + L         (C_i = 1)
+//	GDSF:  K_i = C_i·F_i/S_i + L
+type agingPolicy struct {
+	name     string
+	capacity int
+	items    map[Key]*agingEntry
+	heap     agingHeap
+	age      float64 // L
+	seq      uint64
+	useSize  bool
+}
+
+func newAgingPolicy(name string, capacity int, useSize bool) *agingPolicy {
+	if capacity < 1 {
+		panic("cache: capacity must be positive")
+	}
+	return &agingPolicy{
+		name:     name,
+		capacity: capacity,
+		items:    make(map[Key]*agingEntry, capacity),
+		useSize:  useSize,
+	}
+}
+
+// NewLFUDA returns a Least Frequently Used with Dynamic Aging policy.
+func NewLFUDA(capacity int) Policy { return newAgingPolicy("LFUDA", capacity, false) }
+
+// NewGDSF returns a Greedy-Dual-Size with Frequency policy.
+func NewGDSF(capacity int) Policy { return newAgingPolicy("GDSF", capacity, true) }
+
+// Name implements Policy.
+func (p *agingPolicy) Name() string { return p.name }
+
+// Capacity implements Policy.
+func (p *agingPolicy) Capacity() int { return p.capacity }
+
+// Len implements Policy.
+func (p *agingPolicy) Len() int { return len(p.items) }
+
+// Contains implements Policy.
+func (p *agingPolicy) Contains(k Key) bool { _, ok := p.items[k]; return ok }
+
+func (p *agingPolicy) priority(freq, size int64) float64 {
+	const cost = 1.0 // C_i: uniform retrieval cost for block storage
+	if p.useSize && size > 0 {
+		return cost*float64(freq)/float64(size) + p.age
+	}
+	return cost*float64(freq) + p.age
+}
+
+// Access implements Policy.
+func (p *agingPolicy) Access(k Key, size int64) {
+	e, ok := p.items[k]
+	if !ok {
+		return
+	}
+	e.freq++
+	if size > 0 {
+		e.size = size
+	}
+	e.prio = p.priority(e.freq, e.size)
+	heap.Fix(&p.heap, e.index)
+}
+
+// Insert implements Policy.
+func (p *agingPolicy) Insert(k Key, size int64) (Key, bool) {
+	if _, ok := p.items[k]; ok {
+		p.Access(k, size)
+		return 0, false
+	}
+	var victim Key
+	evicted := false
+	if len(p.items) >= p.capacity {
+		min := heap.Pop(&p.heap).(*agingEntry)
+		delete(p.items, min.key)
+		p.age = min.prio // dynamic aging: L becomes the evicted key's K
+		victim, evicted = min.key, true
+	}
+	if size <= 0 {
+		size = 1
+	}
+	p.seq++
+	e := &agingEntry{key: k, freq: 1, size: size, seq: p.seq}
+	e.prio = p.priority(e.freq, e.size)
+	p.items[k] = e
+	heap.Push(&p.heap, e)
+	return victim, evicted
+}
+
+// Remove implements Policy.
+func (p *agingPolicy) Remove(k Key) bool {
+	e, ok := p.items[k]
+	if !ok {
+		return false
+	}
+	heap.Remove(&p.heap, e.index)
+	delete(p.items, k)
+	return true
+}
+
+// Clear implements Policy.
+func (p *agingPolicy) Clear() {
+	p.items = make(map[Key]*agingEntry, p.capacity)
+	p.heap = p.heap[:0]
+	p.age = 0
+}
+
+// Keys implements Policy.
+func (p *agingPolicy) Keys() []Key {
+	out := make([]Key, 0, len(p.items))
+	for k := range p.items {
+		out = append(out, k)
+	}
+	return out
+}

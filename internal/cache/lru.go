@@ -1,0 +1,198 @@
+package cache
+
+import "strconv"
+
+// LRU evicts the least recently used entry.
+type LRU struct {
+	capacity int
+	items    map[Key]*entry
+	list     lruList
+}
+
+// NewLRU returns an LRU policy holding at most capacity entries.
+func NewLRU(capacity int) *LRU {
+	if capacity < 1 {
+		panic("cache: capacity must be positive")
+	}
+	l := &LRU{capacity: capacity, items: make(map[Key]*entry, capacity)}
+	l.list.init()
+	return l
+}
+
+// Name implements Policy.
+func (l *LRU) Name() string { return "LRU" }
+
+// Capacity implements Policy.
+func (l *LRU) Capacity() int { return l.capacity }
+
+// Len implements Policy.
+func (l *LRU) Len() int { return len(l.items) }
+
+// Contains implements Policy.
+func (l *LRU) Contains(k Key) bool { _, ok := l.items[k]; return ok }
+
+// Access implements Policy.
+func (l *LRU) Access(k Key, _ int64) {
+	if e, ok := l.items[k]; ok {
+		l.list.moveFront(e)
+	}
+}
+
+// Insert implements Policy.
+func (l *LRU) Insert(k Key, size int64) (Key, bool) {
+	if _, ok := l.items[k]; ok {
+		l.Access(k, size)
+		return 0, false
+	}
+	var victim Key
+	evicted := false
+	if len(l.items) >= l.capacity {
+		lru := l.list.back()
+		l.list.remove(lru)
+		delete(l.items, lru.key)
+		victim, evicted = lru.key, true
+	}
+	e := &entry{key: k}
+	l.items[k] = e
+	l.list.pushFront(e)
+	return victim, evicted
+}
+
+// Remove implements Policy.
+func (l *LRU) Remove(k Key) bool {
+	e, ok := l.items[k]
+	if !ok {
+		return false
+	}
+	l.list.remove(e)
+	delete(l.items, k)
+	return true
+}
+
+// Clear implements Policy.
+func (l *LRU) Clear() {
+	l.items = make(map[Key]*entry, l.capacity)
+	l.list.init()
+}
+
+// Keys implements Policy.
+func (l *LRU) Keys() []Key {
+	out := make([]Key, 0, len(l.items))
+	for k := range l.items {
+		out = append(out, k)
+	}
+	return out
+}
+
+// WLRU is the paper's Weighted LRU: LRU that prefers evicting a clean
+// entry, scanning at most w·capacity candidates from the LRU end before
+// falling back to the plain LRU victim (§4.1). Evicting clean entries
+// saves CRAID the four parity I/Os a dirty write-back costs.
+type WLRU struct {
+	capacity int
+	window   float64
+	dirty    DirtyFunc
+	items    map[Key]*entry
+	list     lruList
+}
+
+// NewWLRU returns a WLRU policy with scan window w (fraction of
+// capacity, typically 0.5). dirty may be nil, meaning no entry is ever
+// dirty (WLRU then degenerates to LRU).
+func NewWLRU(capacity int, w float64, dirty DirtyFunc) *WLRU {
+	if capacity < 1 {
+		panic("cache: capacity must be positive")
+	}
+	if w < 0 || w > 1 {
+		panic("cache: WLRU window must be in [0,1]")
+	}
+	l := &WLRU{capacity: capacity, window: w, dirty: dirty,
+		items: make(map[Key]*entry, capacity)}
+	l.list.init()
+	return l
+}
+
+// Name implements Policy; it includes the window, e.g. "WLRU0.5".
+func (l *WLRU) Name() string {
+	return "WLRU" + strconv.FormatFloat(l.window, 'g', -1, 64)
+}
+
+// Capacity implements Policy.
+func (l *WLRU) Capacity() int { return l.capacity }
+
+// Len implements Policy.
+func (l *WLRU) Len() int { return len(l.items) }
+
+// Contains implements Policy.
+func (l *WLRU) Contains(k Key) bool { _, ok := l.items[k]; return ok }
+
+// Access implements Policy.
+func (l *WLRU) Access(k Key, _ int64) {
+	if e, ok := l.items[k]; ok {
+		l.list.moveFront(e)
+	}
+}
+
+// Insert implements Policy.
+func (l *WLRU) Insert(k Key, size int64) (Key, bool) {
+	if _, ok := l.items[k]; ok {
+		l.Access(k, size)
+		return 0, false
+	}
+	var victim Key
+	evicted := false
+	if len(l.items) >= l.capacity {
+		v := l.pickVictim()
+		l.list.remove(v)
+		delete(l.items, v.key)
+		victim, evicted = v.key, true
+	}
+	e := &entry{key: k}
+	l.items[k] = e
+	l.list.pushFront(e)
+	return victim, evicted
+}
+
+// pickVictim scans up to window·capacity entries from the LRU end for
+// the first clean one; if none is found the plain LRU entry loses.
+func (l *WLRU) pickVictim() *entry {
+	lru := l.list.back()
+	if l.dirty == nil {
+		return lru
+	}
+	limit := int(l.window * float64(l.capacity))
+	e := lru
+	for i := 0; i < limit && e != &l.list.head; i++ {
+		if !l.dirty(e.key) {
+			return e
+		}
+		e = e.prev
+	}
+	return lru
+}
+
+// Remove implements Policy.
+func (l *WLRU) Remove(k Key) bool {
+	e, ok := l.items[k]
+	if !ok {
+		return false
+	}
+	l.list.remove(e)
+	delete(l.items, k)
+	return true
+}
+
+// Clear implements Policy.
+func (l *WLRU) Clear() {
+	l.items = make(map[Key]*entry, l.capacity)
+	l.list.init()
+}
+
+// Keys implements Policy.
+func (l *WLRU) Keys() []Key {
+	out := make([]Key, 0, len(l.items))
+	for k := range l.items {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+// Package core implements the CRAID architecture (paper §3–§4) and the
+// baseline RAID controllers it is evaluated against.
+//
+// The pieces map one-to-one onto the paper's design:
+//
+//   - Array: the physical device set plus instrumentation (per-disk
+//     load for workload-distribution analysis, sequentiality tracking,
+//     queue/concurrency sampling).
+//   - RAIDController: a plain volume over one raid.Layout (RAID-5 or
+//     RAID-5+), doing read-modify-write parity updates on writes. These
+//     are the paper's RAID-5 / RAID-5+ baselines in their ideal state.
+//   - CRAID: the contribution — an I/O monitor identifying the working
+//     set, a mapping cache (internal/mapcache), an I/O redirector, a
+//     cache partition P_C striped RAID-5 across all disks (or dedicated
+//     SSDs for the CRAID-5ssd variants), and an archive partition P_A
+//     behind it. Online expansion invalidates P_C (writing dirty blocks
+//     back) and regrows it over the enlarged disk set, leaving P_A
+//     untouched.
+package core
+
+import (
+	"fmt"
+
+	"craid/internal/disk"
+	"craid/internal/metrics"
+	"craid/internal/raid"
+	"craid/internal/sim"
+)
+
+// Array is a set of devices driven by one simulation engine, with
+// array-level instrumentation shared by all controllers.
+type Array struct {
+	Eng     *sim.Engine
+	devices []disk.Device
+
+	// Optional instrumentation; nil disables.
+	Load *metrics.LoadTracker // per-disk per-second load (cv analysis)
+	Seq  *metrics.SeqTracker  // physical sequentiality (Fig. 5)
+
+	queueHist *metrics.LatencyHist // sample unit: queue depth, abusing ns=depth
+	concHist  *metrics.LatencyHist // concurrent busy devices per submit
+}
+
+// queuer is implemented by device models that expose queue state.
+type queuer interface {
+	QueueDepth() int
+	Busy() bool
+}
+
+// NewArray returns an array over devices.
+func NewArray(eng *sim.Engine, devices []disk.Device) *Array {
+	return &Array{
+		Eng:       eng,
+		devices:   devices,
+		queueHist: metrics.NewLatencyHist(),
+		concHist:  metrics.NewLatencyHist(),
+	}
+}
+
+// Devices returns the device count.
+func (a *Array) Devices() int { return len(a.devices) }
+
+// Device returns device i.
+func (a *Array) Device(i int) disk.Device { return a.devices[i] }
+
+// AddDevices appends newly installed devices (array expansion) and
+// widens the load tracker.
+func (a *Array) AddDevices(devs []disk.Device) {
+	a.devices = append(a.devices, devs...)
+	if a.Load != nil {
+		a.Load.Resize(len(a.devices))
+	}
+}
+
+// QueueStats returns mean, 99th-percentile and max sampled I/O queue
+// depth across all submits (Table 5's "Ioq" columns).
+func (a *Array) QueueStats() (mean float64, p99, max int64) {
+	return float64(a.queueHist.Mean()), int64(a.queueHist.Percentile(0.99)), int64(a.queueHist.Max())
+}
+
+// ConcurrencyStats returns mean, 99th-percentile and max concurrently
+// busy devices sampled at submit time (Table 5's "Cdev" columns).
+func (a *Array) ConcurrencyStats() (mean float64, p99, max int64) {
+	return float64(a.concHist.Mean()), int64(a.concHist.Percentile(0.99)), int64(a.concHist.Max())
+}
+
+// Submit issues a request on device dev, recording instrumentation.
+func (a *Array) Submit(dev int, op disk.Op, block, count int64, done func(sim.Time)) {
+	a.submit(dev, op, block, count, true, done)
+}
+
+// submit is Submit with control over sequentiality accounting: parity
+// read-modify-write legs carry trackSeq=false so the Fig. 5 metric
+// reflects the *data* access pattern per disk, as the paper measures,
+// rather than being drowned by interleaved parity traffic. Load and
+// queue accounting always include everything.
+func (a *Array) submit(dev int, op disk.Op, block, count int64, trackSeq bool, done func(sim.Time)) {
+	if dev < 0 || dev >= len(a.devices) {
+		panic(fmt.Sprintf("core: device index %d out of range (%d devices)", dev, len(a.devices)))
+	}
+	now := a.Eng.Now()
+	if a.Load != nil {
+		a.Load.Add(now, dev, count*disk.BlockSize)
+	}
+	if a.Seq != nil && trackSeq {
+		a.Seq.Add(now, dev, block, count)
+	}
+	if q, ok := a.devices[dev].(queuer); ok {
+		a.queueHist.Add(sim.Time(q.QueueDepth()))
+		busy := 0
+		for _, d := range a.devices {
+			if qd, ok := d.(queuer); ok && qd.Busy() {
+				busy++
+			}
+		}
+		a.concHist.Add(sim.Time(busy))
+	}
+	a.devices[dev].Submit(&disk.Request{Op: op, Block: block, Count: count, Done: done})
+}
+
+// join collects the completions of a dynamic set of I/O branches and
+// fires its callback once after all branches finish (with the latest
+// completion time). Branches may be added until seal is called.
+type join struct {
+	pending int
+	sealed  bool
+	fired   bool
+	last    sim.Time
+	fn      func(sim.Time)
+}
+
+// newJoin returns a join calling fn on completion; fn may be nil
+// (detached background work).
+func newJoin(fn func(sim.Time)) *join { return &join{fn: fn} }
+
+// branch registers one more outstanding I/O and returns its completion
+// callback.
+func (j *join) branch() func(sim.Time) {
+	if j.sealed {
+		panic("core: branch after seal")
+	}
+	j.pending++
+	return j.complete
+}
+
+func (j *join) complete(at sim.Time) {
+	if at > j.last {
+		j.last = at
+	}
+	j.pending--
+	j.maybeFire()
+}
+
+// seal declares that no more branches will be added. A join with zero
+// branches fires immediately.
+func (j *join) seal(now sim.Time) {
+	if j.sealed {
+		return
+	}
+	j.sealed = true
+	if j.last < now {
+		j.last = now
+	}
+	j.maybeFire()
+}
+
+func (j *join) maybeFire() {
+	if j.sealed && j.pending == 0 && !j.fired {
+		j.fired = true
+		if j.fn != nil {
+			j.fn(j.last)
+		}
+	}
+}
+
+// span is a raid.Layout bound to concrete array devices and a
+// partition base offset: the unit controllers issue logical I/O
+// against.
+type span struct {
+	arr    *Array
+	layout raid.Layout
+	disks  []int // layout disk index → array device index
+	base   int64 // partition start block on each device
+}
+
+func newSpan(arr *Array, layout raid.Layout, disks []int, base int64) *span {
+	if len(disks) != layout.Disks() {
+		panic(fmt.Sprintf("core: span over %d devices, layout wants %d", len(disks), layout.Disks()))
+	}
+	return &span{arr: arr, layout: layout, disks: disks, base: base}
+}
+
+// read issues reads covering [block, block+count) and attaches them to j.
+func (s *span) read(j *join, block, count int64) {
+	s.layout.ForEachExtent(block, count, func(e raid.Extent) {
+		s.arr.Submit(s.disks[e.Data.Disk], disk.OpRead, s.base+e.Data.Block, e.Count, j.branch())
+	})
+}
+
+// write issues a small-write against the span. Layouts with parity pay
+// the full read-modify-write cycle per extent: read old data and old
+// parity, then write new data and new parity — the paper's 4 I/Os;
+// dual-parity (RAID-6) layouts extend both phases to the Q parity (6
+// I/Os, the §6 cost the paper predicts). Layouts without parity write
+// directly. j sees only the final writes.
+func (s *span) write(j *join, block, count int64) {
+	var dual raid.DualParity
+	if d, ok := s.layout.(raid.DualParity); ok {
+		dual = d
+	}
+	s.layout.ForEachExtent(block, count, func(e raid.Extent) {
+		if e.Parity.Disk < 0 {
+			s.arr.Submit(s.disks[e.Data.Disk], disk.OpWrite, s.base+e.Data.Block, e.Count, j.branch())
+			return
+		}
+		type loc struct {
+			dev int
+			blk int64
+		}
+		locs := []loc{
+			{s.disks[e.Data.Disk], s.base + e.Data.Block},
+			{s.disks[e.Parity.Disk], s.base + e.Parity.Block},
+		}
+		if dual != nil {
+			if q, ok := dual.QParityOf(e.Logical); ok {
+				locs = append(locs, loc{s.disks[q.Disk], s.base + q.Block})
+			}
+		}
+		n := e.Count
+		writes := j.branch() // completes when all final writes do
+		phase1 := newJoin(func(sim.Time) {
+			inner := newJoin(writes)
+			for i, l := range locs {
+				s.arr.submit(l.dev, disk.OpWrite, l.blk, n, i == 0, inner.branch())
+			}
+			inner.seal(s.arr.Eng.Now())
+		})
+		// The pre-reads (including the old-data read, which retraces
+		// the data position) are RMW mechanics, not access pattern.
+		for _, l := range locs {
+			s.arr.submit(l.dev, disk.OpRead, l.blk, n, false, phase1.branch())
+		}
+		phase1.seal(s.arr.Eng.Now())
+	})
+}

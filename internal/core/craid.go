@@ -1,0 +1,723 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"craid/internal/cache"
+	"craid/internal/disk"
+	"craid/internal/mapcache"
+	"craid/internal/raid"
+	"craid/internal/sim"
+	"craid/internal/trace"
+)
+
+// PCLevel selects the redundancy of the cache partition.
+type PCLevel uint8
+
+// Cache-partition redundancy levels. The paper evaluates RAID-5 (its
+// default, used here too) and RAID-0 variants; RAID-6 realizes the §6
+// extension with its doubled parity-update cost.
+const (
+	PCRaid5 PCLevel = iota
+	PCRaid0
+	PCRaid6
+)
+
+// String returns "RAID-0", "RAID-5" or "RAID-6".
+func (l PCLevel) String() string {
+	switch l {
+	case PCRaid0:
+		return "RAID-0"
+	case PCRaid6:
+		return "RAID-6"
+	default:
+		return "RAID-5"
+	}
+}
+
+// Config parameterizes a CRAID instance.
+type Config struct {
+	// Policy is the I/O monitor's replacement policy name (see
+	// internal/cache). Default "WLRU" with window 0.5 — the paper's
+	// choice after §5.1.
+	Policy     string
+	WLRUWindow float64
+	// CachePerDisk is the cache-partition size per cache disk, in
+	// blocks.
+	CachePerDisk int64
+	// ParityGroup is the parity-group size for the cache partition's
+	// RAID-5 (default 10, as in the paper's testbed).
+	ParityGroup int
+	// StripeUnit is the stripe unit in blocks (default 32 = 128 KiB).
+	StripeUnit int64
+	// Level is the cache partition's redundancy (default RAID-5).
+	Level PCLevel
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = "WLRU"
+	}
+	if c.WLRUWindow == 0 {
+		c.WLRUWindow = 0.5
+	}
+	if c.ParityGroup == 0 {
+		c.ParityGroup = 10
+	}
+	if c.StripeUnit == 0 {
+		c.StripeUnit = 32
+	}
+	if c.CachePerDisk < c.StripeUnit {
+		c.CachePerDisk = c.StripeUnit // at least one stripe row
+	}
+	return c
+}
+
+// Stats are CRAID's monitor-level counters. Block granularity: a
+// request for n blocks contributes n to the access counters.
+type Stats struct {
+	ReadBlocks  int64 // blocks accessed by reads
+	WriteBlocks int64
+	ReadHits    int64 // blocks found in P_C
+	WriteHits   int64
+
+	Evictions      int64 // total policy evictions
+	DirtyEvictions int64 // evictions requiring write-back to P_A
+	ReadEvictions  int64 // evictions triggered while serving reads
+	WriteEvictions int64
+
+	CopyIns    int64 // blocks copied P_A → P_C on read misses
+	Writebacks int64 // dirty blocks written P_C → P_A
+	Expansions int64
+}
+
+// HitRatio returns the block hit ratio for op.
+func (s *Stats) HitRatio(op disk.Op) float64 {
+	if op == disk.OpRead {
+		return ratio(s.ReadHits, s.ReadBlocks)
+	}
+	return ratio(s.WriteHits, s.WriteBlocks)
+}
+
+// EvictionRatio returns evictions per accessed block for op.
+func (s *Stats) EvictionRatio(op disk.Op) float64 {
+	if op == disk.OpRead {
+		return ratio(s.ReadEvictions, s.ReadBlocks)
+	}
+	return ratio(s.WriteEvictions, s.WriteBlocks)
+}
+
+// ReplacementRatio returns evictions per accessed block over both ops
+// (the paper's Table 3 metric).
+func (s *Stats) ReplacementRatio() float64 {
+	return ratio(s.Evictions, s.ReadBlocks+s.WriteBlocks)
+}
+
+// OverallHitRatio returns the hit ratio over both ops (Table 2).
+func (s *Stats) OverallHitRatio() float64 {
+	return ratio(s.ReadHits+s.WriteHits, s.ReadBlocks+s.WriteBlocks)
+}
+
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// ExpandStats reports what one online expansion did.
+type ExpandStats struct {
+	DirtyWriteback int64 // blocks written back to P_A
+	Invalidated    int64 // total mappings dropped (incl. dirty)
+	Migrated       int64 // cached blocks physically moved (ExpandRetain)
+}
+
+// CRAID is the self-optimizing array: I/O monitor + mapping cache +
+// I/O redirector over a cache partition P_C and an archive partition
+// P_A (paper §3, Fig. 2).
+type CRAID struct {
+	latencies
+	arr *Array
+	cfg Config
+
+	sharedPC   bool  // P_C spread over all devices (vs dedicated SSDs)
+	cacheDisks []int // devices hosting P_C
+	cacheBase  int64
+	pc         *span
+	pcData     int64
+
+	pa *span // archive partition
+
+	table  *mapcache.Table
+	policy cache.Policy
+
+	free freeRuns
+	next int64 // bump allocator over P_C data blocks
+
+	stats Stats
+}
+
+// NewCRAID assembles a CRAID volume.
+//
+//   - cacheDisks/cacheBase place the cache partition (paper: the outer,
+//     fastest region of every disk — base 0 — or dedicated SSDs);
+//   - archiveLayout/archiveDisks/archiveBase place the archive.
+//   - sharedPC declares that P_C spreads over all array devices, so an
+//     Expand regrows it across new devices (the CRAID-5/CRAID-5+
+//     variants); dedicated-cache variants keep P_C fixed.
+func NewCRAID(arr *Array, cfg Config, sharedPC bool, cacheDisks []int, cacheBase int64,
+	archiveLayout raid.Layout, archiveDisks []int, archiveBase int64) *CRAID {
+	cfg = cfg.withDefaults()
+	c := &CRAID{
+		latencies:  newLatencies(),
+		arr:        arr,
+		cfg:        cfg,
+		sharedPC:   sharedPC,
+		cacheDisks: cacheDisks,
+		cacheBase:  cacheBase,
+		table:      mapcache.New(),
+		pa:         newSpan(arr, archiveLayout, archiveDisks, archiveBase),
+	}
+	c.buildPC()
+	return c
+}
+
+// buildPC (re)creates the cache partition layout, allocator and policy
+// over the current cacheDisks.
+func (c *CRAID) buildPC() {
+	group := c.cfg.ParityGroup
+	var layout raid.Layout
+	switch c.cfg.Level {
+	case PCRaid0:
+		layout = raid.NewRAID0(len(c.cacheDisks), c.cfg.CachePerDisk, c.cfg.StripeUnit)
+	case PCRaid6:
+		layout = raid.NewRAID6(len(c.cacheDisks), group, c.cfg.CachePerDisk, c.cfg.StripeUnit)
+	default:
+		layout = raid.NewRAID5(len(c.cacheDisks), group, c.cfg.CachePerDisk, c.cfg.StripeUnit)
+	}
+	c.pc = newSpan(c.arr, layout, c.cacheDisks, c.cacheBase)
+	c.pcData = layout.DataBlocks()
+	policy, err := cache.New(c.cfg.Policy, int(c.pcData), cache.Config{
+		WLRUWindow: c.cfg.WLRUWindow,
+		Dirty: func(k cache.Key) bool {
+			m, ok := c.table.Lookup(k)
+			return ok && m.Dirty
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	c.policy = policy
+	c.free = freeRuns{}
+	c.next = 0
+}
+
+// Stats returns the monitor counters.
+func (c *CRAID) Stats() *Stats { return &c.stats }
+
+// MappingBytes reports the mapping cache's memory footprint (paper
+// §4.2 accounting).
+func (c *CRAID) MappingBytes() int64 { return c.table.Bytes() }
+
+// CacheDataBlocks returns P_C's data capacity in blocks.
+func (c *CRAID) CacheDataBlocks() int64 { return c.pcData }
+
+// DataBlocks implements Volume: the archive capacity (P_C holds copies,
+// not extra capacity).
+func (c *CRAID) DataBlocks() int64 { return c.pa.layout.DataBlocks() }
+
+// Submit implements Volume, realizing the paper's Fig. 2 control flow.
+func (c *CRAID) Submit(rec trace.Record, done func(sim.Time)) {
+	now := c.arr.Eng.Now()
+	j := newJoin(c.record(rec.Op, now, done))
+	if rec.Op == disk.OpRead {
+		c.readPath(rec, j)
+	} else {
+		c.writePath(rec, j)
+	}
+	j.seal(now)
+}
+
+// readPath serves reads: hits redirect to P_C; misses are served from
+// P_A and copied into P_C in the background.
+func (c *CRAID) readPath(rec trace.Record, j *join) {
+	c.stats.ReadBlocks += rec.Count
+	b, end := rec.Block, rec.End()
+	for b < end {
+		if m, ok := c.table.Lookup(b); ok {
+			// Coalesce a run of hits with contiguous cache addresses.
+			n := int64(1)
+			c.policy.Access(b, rec.Count)
+			for b+n < end {
+				m2, ok2 := c.table.Lookup(b + n)
+				if !ok2 || m2.Cache != m.Cache+n {
+					break
+				}
+				c.policy.Access(b+n, rec.Count)
+				n++
+			}
+			c.stats.ReadHits += n
+			c.trackSeq(c.arr.Eng.Now(), 0, m.Cache, n)
+			c.pc.read(j, m.Cache, n)
+			b += n
+		} else {
+			// Coalesce a run of misses.
+			n := int64(1)
+			for b+n < end {
+				if _, ok2 := c.table.Lookup(b + n); ok2 {
+					break
+				}
+				n++
+			}
+			// Serve the client from P_A; once the data is in memory,
+			// copy it into P_C in the background (B.1/B.2 in Fig. 2).
+			start, cnt := b, n
+			c.trackSeq(c.arr.Eng.Now(), 1, start, cnt)
+			jb := j.branch()
+			sub := newJoin(func(at sim.Time) {
+				jb(at)
+				c.copyIn(start, cnt, disk.OpRead)
+			})
+			c.pa.read(sub, start, cnt)
+			sub.seal(c.arr.Eng.Now())
+			b += n
+		}
+	}
+}
+
+// writePath serves writes: always into P_C (allocate on miss), marking
+// blocks dirty. Parity in P_C is maintained with read-modify-write.
+func (c *CRAID) writePath(rec trace.Record, j *join) {
+	c.stats.WriteBlocks += rec.Count
+	b, end := rec.Block, rec.End()
+	for b < end {
+		if m, ok := c.table.Lookup(b); ok {
+			n := int64(1)
+			c.policy.Access(b, rec.Count)
+			c.table.SetDirty(b, true)
+			for b+n < end {
+				m2, ok2 := c.table.Lookup(b + n)
+				if !ok2 || m2.Cache != m.Cache+n {
+					break
+				}
+				c.policy.Access(b+n, rec.Count)
+				c.table.SetDirty(b+n, true)
+				n++
+			}
+			c.stats.WriteHits += n
+			c.trackSeq(c.arr.Eng.Now(), 0, m.Cache, n)
+			c.pc.write(j, m.Cache, n)
+			b += n
+		} else {
+			n := int64(1)
+			for b+n < end {
+				if _, ok2 := c.table.Lookup(b + n); ok2 {
+					break
+				}
+				n++
+			}
+			c.insertRuns(j, b, n, true, disk.OpWrite, rec.Count)
+			b += n
+		}
+	}
+}
+
+// copyIn inserts [b, b+n) into P_C as clean copies (background; the
+// client was already served from P_A).
+func (c *CRAID) copyIn(b, n int64, byOp disk.Op) {
+	c.stats.CopyIns += n
+	detached := newJoin(nil)
+	c.insertRuns(detached, b, n, false, byOp, n)
+	detached.seal(c.arr.Eng.Now())
+}
+
+// insertRuns allocates cache slots for the logical run [b, b+n),
+// updates the mapping cache and policy (evicting as needed), and issues
+// the P_C writes attached to j. Each uncached sub-run is evicted-for
+// first and then allocated as a whole, so related blocks land in
+// contiguous slots — the "long sequential chains" of §4.1.
+func (c *CRAID) insertRuns(j *join, b, n int64, dirty bool, byOp disk.Op, reqSize int64) {
+	for i := int64(0); i < n; {
+		blk := b + i
+		if m, ok := c.table.Lookup(blk); ok {
+			// Already cached: a concurrent request inserted the block
+			// between our miss and this (possibly deferred) insert.
+			c.policy.Access(blk, reqSize)
+			if dirty {
+				c.table.SetDirty(blk, true)
+				c.pc.write(j, m.Cache, 1)
+			}
+			i++
+			continue
+		}
+		// Maximal uncached sub-run starting here.
+		run := int64(1)
+		for i+run < n {
+			if _, ok := c.table.Lookup(b + i + run); ok {
+				break
+			}
+			run++
+		}
+		// Make room first: these insertions may evict, freeing slots
+		// the allocation below can then claim as contiguous runs. A
+		// victim may be a block of this very batch (possible under
+		// priority policies like GDSF, where a large new entry can rank
+		// last immediately): such newborns are simply dropped — they
+		// have no mapping and no cached data yet.
+		pending := make(map[int64]bool, run)
+		for k := int64(0); k < run; k++ {
+			pending[b+i+k] = true
+		}
+		for k := int64(0); k < run; k++ {
+			blk := b + i + k
+			if !pending[blk] {
+				continue // evicted as a newborn by a later sibling
+			}
+			if victim, evicted := c.policy.Insert(blk, reqSize); evicted {
+				if pending[victim] {
+					// The insert displaced a sibling newborn: still a
+					// replacement for the ratio accounting, but there
+					// is nothing cached to clean up.
+					delete(pending, victim)
+					c.stats.Evictions++
+					if byOp == disk.OpRead {
+						c.stats.ReadEvictions++
+					} else {
+						c.stats.WriteEvictions++
+					}
+					continue
+				}
+				c.evict(victim, byOp)
+			}
+		}
+		// Allocate fragments and bind mappings for surviving blocks,
+		// keeping sub-runs of consecutive survivors together.
+		for k := int64(0); k < run; {
+			if !pending[b+i+k] {
+				k++
+				continue
+			}
+			m := int64(1)
+			for k+m < run && pending[b+i+k+m] {
+				m++
+			}
+			for off := int64(0); off < m; {
+				start, got := c.allocRun(m - off)
+				for x := int64(0); x < got; x++ {
+					c.table.Insert(mapcache.Mapping{
+						Orig:  b + i + k + off + x,
+						Cache: start + x,
+						Dirty: dirty,
+					})
+				}
+				if dirty {
+					// Client-visible write stream at its redirected
+					// address.
+					c.trackSeq(c.arr.Eng.Now(), 0, start, got)
+				}
+				c.pc.write(j, start, got)
+				off += got
+			}
+			k += m
+		}
+		i += run
+	}
+}
+
+// evict removes a victim chosen by the policy: dirty copies are written
+// back to P_A (1 read from P_C, then the 2-read/2-write parity update
+// in P_A — the paper's "4 additional I/Os"); clean copies are dropped
+// for free.
+func (c *CRAID) evict(victim cache.Key, byOp disk.Op) {
+	m, ok := c.table.Lookup(victim)
+	if !ok {
+		// The policy and table are updated in lockstep; a policy entry
+		// without a mapping is a programming error.
+		panic(fmt.Sprintf("core: policy evicted unmapped block %d", victim))
+	}
+	c.stats.Evictions++
+	if byOp == disk.OpRead {
+		c.stats.ReadEvictions++
+	} else {
+		c.stats.WriteEvictions++
+	}
+	c.table.Remove(victim)
+	if m.Dirty {
+		c.stats.DirtyEvictions++
+		c.stats.Writebacks++
+		slot := m.Cache
+		orig := victim
+		// Read the current copy from P_C, then update P_A.
+		sub := newJoin(func(sim.Time) {
+			detached := newJoin(nil)
+			c.pa.write(detached, orig, 1)
+			detached.seal(c.arr.Eng.Now())
+		})
+		c.pc.read(sub, slot, 1)
+		sub.seal(c.arr.Eng.Now())
+	}
+	// The slot is reusable immediately: the simulator models timing,
+	// not data, and the in-flight write-back read was issued first so
+	// it is ordered ahead of any reuse on the same disk queue.
+	c.freeSlot(m.Cache)
+}
+
+// Expand performs the online upgrade (paper §4.1): dirty blocks are
+// written back, the whole of P_C is invalidated, and — for shared-cache
+// variants — P_C regrows across the enlarged device set, so new disks
+// receive I/O from the moment they are added. P_A is left untouched:
+// that is the point of CRAID.
+func (c *CRAID) Expand(newDevs []disk.Device) ExpandStats {
+	st := ExpandStats{Invalidated: int64(c.table.Len())}
+	for _, m := range c.table.DirtyMappings() {
+		st.DirtyWriteback++
+		c.stats.Writebacks++
+		slot, orig := m.Cache, m.Orig
+		sub := newJoin(func(sim.Time) {
+			detached := newJoin(nil)
+			c.pa.write(detached, orig, 1)
+			detached.seal(c.arr.Eng.Now())
+		})
+		c.pc.read(sub, slot, 1)
+		sub.seal(c.arr.Eng.Now())
+	}
+	c.table.Clear()
+	c.stats.Expansions++
+	if len(newDevs) > 0 {
+		base := c.arr.Devices()
+		c.arr.AddDevices(newDevs)
+		if c.sharedPC {
+			for i := range newDevs {
+				c.cacheDisks = append(c.cacheDisks, base+i)
+			}
+		}
+	}
+	c.buildPC() // resets policy, allocator and (shared) geometry
+	return st
+}
+
+// ExpandRetain is the paper's §6 "smarter rebalancing" extension: grow
+// the array without invalidating P_C. Live cached blocks are migrated
+// onto the new cache-partition geometry (read from the old placement,
+// parity-written to the new one), keeping the mapping cache and the
+// monitor's history intact — hits continue through the upgrade and
+// dirty blocks need no write-back. The trade-off against the paper's
+// conservative invalidation: every live block moves now, instead of the
+// hot subset re-copying on demand later.
+func (c *CRAID) ExpandRetain(newDevs []disk.Device) ExpandStats {
+	var st ExpandStats
+	if len(newDevs) > 0 {
+		base := c.arr.Devices()
+		c.arr.AddDevices(newDevs)
+		if c.sharedPC {
+			for i := range newDevs {
+				c.cacheDisks = append(c.cacheDisks, base+i)
+			}
+		}
+	}
+	c.stats.Expansions++
+	if !c.sharedPC {
+		return st // dedicated cache: geometry unchanged, nothing moves
+	}
+
+	// Collect live slots before the geometry changes.
+	slots := make([]int64, 0, c.table.Len())
+	c.table.Walk(func(m mapcache.Mapping) bool {
+		slots = append(slots, m.Cache)
+		return true
+	})
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+
+	oldPC := c.pc
+	oldNext, oldFree := c.next, c.free
+	c.buildPC()
+	// Keep the allocator state: old slot numbers remain reserved (the
+	// new P_C is strictly larger for a growth expansion).
+	if c.pcData < oldNext {
+		panic("core: ExpandRetain shrank the cache partition")
+	}
+	c.next, c.free = oldNext, oldFree
+	// Rebuild the policy at the new capacity, preserving residency
+	// (recency order within the retained set is not preserved — the
+	// policy relearns it, which costs nothing extra).
+	c.table.Walk(func(m mapcache.Mapping) bool {
+		c.policy.Insert(m.Orig, 1)
+		return true
+	})
+
+	// Physically migrate live blocks, coalescing consecutive slots.
+	for i := 0; i < len(slots); {
+		j := i + 1
+		for j < len(slots) && slots[j] == slots[j-1]+1 {
+			j++
+		}
+		start, n := slots[i], int64(j-i)
+		st.Migrated += n
+		sub := newJoin(func(sim.Time) {
+			detached := newJoin(nil)
+			c.pc.write(detached, start, n)
+			detached.seal(c.arr.Eng.Now())
+		})
+		oldPC.read(sub, start, n)
+		sub.seal(c.arr.Eng.Now())
+		i = j
+	}
+	return st
+}
+
+// SetMappingLog enables persistent logging of dirty translations to w
+// (paper §4.2's failure resilience). Call before any I/O.
+func (c *CRAID) SetMappingLog(w io.Writer) { c.table.SetLog(w) }
+
+// Recover replays a dirty-translation log after a crash: dirty cached
+// copies are reinstated (they are the only ones differing from the
+// archive), clean entries start cold, exactly as §4.2 prescribes. It
+// must be called on a fresh controller before any I/O; it returns the
+// number of recovered mappings.
+func (c *CRAID) Recover(r io.Reader) (int, error) {
+	if c.table.Len() != 0 || c.next != 0 {
+		return 0, fmt.Errorf("core: Recover on a non-fresh controller")
+	}
+	ms, err := mapcache.Recover(r)
+	if err != nil {
+		return 0, err
+	}
+	used := make(map[int64]bool, len(ms))
+	var maxSlot int64 = -1
+	for _, m := range ms {
+		if m.Cache >= c.pcData {
+			// The log predates a geometry change; such copies are
+			// unrecoverable from P_C and must be treated as lost.
+			return 0, fmt.Errorf("core: logged slot %d beyond cache capacity %d", m.Cache, c.pcData)
+		}
+		c.table.Insert(m)
+		c.policy.Insert(m.Orig, 1)
+		used[m.Cache] = true
+		if m.Cache > maxSlot {
+			maxSlot = m.Cache
+		}
+	}
+	// Reserve the recovered slots: bump the allocator past the highest
+	// and return the gaps to the free list.
+	c.next = maxSlot + 1
+	for s := int64(0); s < c.next; s++ {
+		if !used[s] {
+			c.freeSlot(s)
+		}
+	}
+	return len(ms), nil
+}
+
+// allocRun reserves up to n consecutive P_C data blocks and returns the
+// run. Contiguity policy (realizing §4.1's "long sequential chains"):
+// a free run that fits the request wins (first-fit over coalesced
+// runs), then the bump region, then the largest free fragment. The
+// caller loops until its need is covered.
+func (c *CRAID) allocRun(n int64) (start, got int64) {
+	if s, g, ok := c.free.takeFit(n); ok {
+		return s, g
+	}
+	if c.next < c.pcData {
+		got = n
+		if got > c.pcData-c.next {
+			got = c.pcData - c.next
+		}
+		start = c.next
+		c.next += got
+		return start, got
+	}
+	if s, g, ok := c.free.takeLargest(n); ok {
+		return s, g
+	}
+	panic("core: cache partition allocator exhausted (policy capacity mismatch)")
+}
+
+// alloc returns one free P_C data block.
+func (c *CRAID) alloc() int64 {
+	s, _ := c.allocRun(1)
+	return s
+}
+
+func (c *CRAID) freeSlot(s int64) { c.free.add(s, 1) }
+
+// freeRuns tracks free cache slots as sorted, coalesced runs so that
+// blocks evicted together free a contiguous region that the next
+// copy-in can claim as one sequential chain.
+type freeRuns struct {
+	runs []blockRange // sorted by start, non-adjacent
+}
+
+type blockRange struct{ start, end int64 } // [start, end)
+
+// add returns [start, start+n) to the free pool, merging neighbours.
+func (f *freeRuns) add(start, n int64) {
+	end := start + n
+	i := sort.Search(len(f.runs), func(i int) bool { return f.runs[i].start >= start })
+	// Merge with predecessor?
+	if i > 0 && f.runs[i-1].end == start {
+		i--
+		start = f.runs[i].start
+		f.runs = append(f.runs[:i], f.runs[i+1:]...)
+	}
+	// Merge with successor?
+	if i < len(f.runs) && f.runs[i].start == end {
+		end = f.runs[i].end
+		f.runs = append(f.runs[:i], f.runs[i+1:]...)
+	}
+	f.runs = append(f.runs, blockRange{})
+	copy(f.runs[i+1:], f.runs[i:])
+	f.runs[i] = blockRange{start, end}
+}
+
+// takeFit removes and returns a run of exactly n slots from the first
+// free run large enough (first-fit), or reports ok=false.
+func (f *freeRuns) takeFit(n int64) (start, got int64, ok bool) {
+	for i := range f.runs {
+		r := &f.runs[i]
+		if r.end-r.start >= n {
+			start = r.start
+			r.start += n
+			if r.start == r.end {
+				f.runs = append(f.runs[:i], f.runs[i+1:]...)
+			}
+			return start, n, true
+		}
+	}
+	return 0, 0, false
+}
+
+// takeLargest removes and returns the largest free fragment (capped at
+// n), or reports ok=false when the pool is empty.
+func (f *freeRuns) takeLargest(n int64) (start, got int64, ok bool) {
+	if len(f.runs) == 0 {
+		return 0, 0, false
+	}
+	best := 0
+	for i, r := range f.runs {
+		if r.end-r.start > f.runs[best].end-f.runs[best].start {
+			best = i
+		}
+	}
+	r := &f.runs[best]
+	got = r.end - r.start
+	if got > n {
+		got = n
+	}
+	start = r.start
+	r.start += got
+	if r.start == r.end {
+		f.runs = append(f.runs[:best], f.runs[best+1:]...)
+	}
+	return start, got, true
+}
+
+// size reports total free slots (used by tests).
+func (f *freeRuns) size() int64 {
+	var n int64
+	for _, r := range f.runs {
+		n += r.end - r.start
+	}
+	return n
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"craid/internal/disk"
+	"craid/internal/metrics"
+	"craid/internal/raid"
+	"craid/internal/sim"
+	"craid/internal/trace"
+)
+
+// Volume is a block volume that serves trace records; all controllers
+// implement it.
+type Volume interface {
+	// Submit serves one request; done (optional) fires at completion.
+	Submit(rec trace.Record, done func(sim.Time))
+	// DataBlocks is the logical capacity.
+	DataBlocks() int64
+	// ReadLatency and WriteLatency expose the response-time
+	// distributions collected so far.
+	ReadLatency() *metrics.LatencyHist
+	WriteLatency() *metrics.LatencyHist
+}
+
+// latencies is the embedded response-time collection shared by
+// controllers, plus the optional volume-level sequentiality tracker
+// (Fig. 5's metric: how sequential the *redirected* logical access
+// stream is — for CRAID that is P_C addresses, where the re-layout of
+// scattered hot data is visible).
+type latencies struct {
+	read  *metrics.LatencyHist
+	write *metrics.LatencyHist
+	seq   *metrics.SeqTracker
+}
+
+func newLatencies() latencies {
+	return latencies{read: metrics.NewLatencyHist(), write: metrics.NewLatencyHist()}
+}
+
+// ReadLatency implements Volume.
+func (l *latencies) ReadLatency() *metrics.LatencyHist { return l.read }
+
+// WriteLatency implements Volume.
+func (l *latencies) WriteLatency() *metrics.LatencyHist { return l.write }
+
+// SetVolumeSeq attaches a tracker for the volume-level sequentiality
+// of the (post-redirection) logical access stream.
+func (l *latencies) SetVolumeSeq(st *metrics.SeqTracker) { l.seq = st }
+
+// trackSeq records one logical access on stream (streams separate P_C
+// from P_A addresses so redirection boundaries don't fake contiguity).
+func (l *latencies) trackSeq(at sim.Time, stream int, block, count int64) {
+	if l.seq != nil {
+		l.seq.Add(at, stream, block, count)
+	}
+}
+
+// record wraps done to also record the response time.
+func (l *latencies) record(op disk.Op, start sim.Time, done func(sim.Time)) func(sim.Time) {
+	return func(at sim.Time) {
+		if op == disk.OpRead {
+			l.read.Add(at - start)
+		} else {
+			l.write.Add(at - start)
+		}
+		if done != nil {
+			done(at)
+		}
+	}
+}
+
+// RAIDController is a plain RAID volume over a single layout — the
+// paper's RAID-5 and RAID-5+ baselines (simulated in their ideal,
+// fully-restriped state, as in §5).
+type RAIDController struct {
+	latencies
+	span *span
+}
+
+// NewRAIDController builds a plain controller over the array devices
+// listed in disks, with the partition starting at base on each device.
+func NewRAIDController(arr *Array, layout raid.Layout, disks []int, base int64) *RAIDController {
+	return &RAIDController{latencies: newLatencies(), span: newSpan(arr, layout, disks, base)}
+}
+
+// DataBlocks implements Volume.
+func (c *RAIDController) DataBlocks() int64 { return c.span.layout.DataBlocks() }
+
+// Submit implements Volume.
+func (c *RAIDController) Submit(rec trace.Record, done func(sim.Time)) {
+	now := c.span.arr.Eng.Now()
+	c.trackSeq(now, 0, rec.Block, rec.Count)
+	j := newJoin(c.record(rec.Op, now, done))
+	if rec.Op == disk.OpRead {
+		c.span.read(j, rec.Block, rec.Count)
+	} else {
+		c.span.write(j, rec.Block, rec.Count)
+	}
+	j.seal(now)
+}

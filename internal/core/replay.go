@@ -1,0 +1,49 @@
+package core
+
+import (
+	"io"
+
+	"craid/internal/sim"
+	"craid/internal/trace"
+)
+
+// Replay feeds a trace into vol, submitting each record at its recorded
+// time, and runs the engine until all I/O completes. It returns the
+// number of requests replayed. Records must be time-ordered (all
+// readers in internal/trace and the generators in internal/workload
+// produce ordered streams).
+//
+// The trace is pumped lazily — the next record is scheduled from inside
+// the previous submission event — so arbitrarily long traces replay in
+// constant memory.
+func Replay(eng *sim.Engine, vol Volume, r trace.Reader) (int64, error) {
+	var count int64
+	var pumpErr error
+
+	var pump func(rec trace.Record)
+	schedule := func() {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			pumpErr = err
+			eng.Stop()
+			return
+		}
+		at := rec.Time
+		if at < eng.Now() {
+			at = eng.Now() // tolerate tiny reordering from parsers
+		}
+		eng.Schedule(at, func() { pump(rec) })
+	}
+	pump = func(rec trace.Record) {
+		count++
+		vol.Submit(rec, nil)
+		schedule()
+	}
+
+	schedule()
+	eng.Run()
+	return count, pumpErr
+}

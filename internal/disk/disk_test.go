@@ -1,0 +1,449 @@
+package disk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"craid/internal/sim"
+)
+
+// runOne submits a request and runs the engine to completion, returning
+// the response time.
+func runOne(t *testing.T, eng *sim.Engine, d Device, op Op, block, count int64) sim.Time {
+	t.Helper()
+	start := eng.Now()
+	var done sim.Time
+	completed := false
+	d.Submit(&Request{Op: op, Block: block, Count: count, Done: func(at sim.Time) {
+		done = at
+		completed = true
+	}})
+	eng.Run()
+	if !completed {
+		t.Fatalf("request (%v %d+%d) never completed", op, block, count)
+	}
+	return done - start
+}
+
+func TestNullDeviceInstant(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewNullDevice(eng, "null0", 1000)
+	if rt := runOne(t, eng, d, OpRead, 0, 8); rt != 0 {
+		t.Errorf("null device read took %v, want 0", rt)
+	}
+	if rt := runOne(t, eng, d, OpWrite, 100, 8); rt != 0 {
+		t.Errorf("null device write took %v, want 0", rt)
+	}
+	s := d.Stats()
+	if s.Reads != 1 || s.Writes != 1 || s.BlocksRead != 8 || s.BlocksWrite != 8 {
+		t.Errorf("stats = %+v, want 1 read/1 write of 8 blocks", s)
+	}
+}
+
+func TestNullDeviceRangeCheck(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewNullDevice(eng, "null0", 1000)
+	for _, bad := range []Request{
+		{Op: OpRead, Block: -1, Count: 1},
+		{Op: OpRead, Block: 0, Count: 0},
+		{Op: OpRead, Block: 999, Count: 2},
+	} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("out-of-range request %+v did not panic", bad)
+				}
+			}()
+			d.Submit(&bad)
+		}()
+	}
+}
+
+func smallHDDConfig(name string) HDDConfig {
+	cfg := CheetahConfig(name)
+	cfg.CapacityBlocks = 1 << 20 // 4 GiB keeps geometry tests fast
+	return cfg
+}
+
+func TestHDDGeometryCoversCapacity(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewHDD(eng, CheetahConfig("hdd0"))
+	var total int64
+	for _, z := range d.zones {
+		total += z.cylinders * z.blocksPCyl
+	}
+	if total < d.cfg.CapacityBlocks {
+		t.Fatalf("zones cover %d blocks, capacity is %d", total, d.cfg.CapacityBlocks)
+	}
+	// Every block must locate inside a zone, with sane coordinates.
+	for _, b := range []int64{0, 1, d.cfg.CapacityBlocks / 2, d.cfg.CapacityBlocks - 1} {
+		zn, cyl, pos := d.locate(b)
+		if zn == nil || cyl < 0 || cyl >= d.totalCyls || pos < 0 || pos >= zn.blocksPT {
+			t.Errorf("locate(%d) = zone %v cyl %d pos %d: out of bounds", b, zn, cyl, pos)
+		}
+	}
+}
+
+func TestHDDZonedDensityDecreasesInward(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewHDD(eng, CheetahConfig("hdd0"))
+	for i := 1; i < len(d.zones); i++ {
+		if d.zones[i].blocksPT > d.zones[i-1].blocksPT {
+			t.Fatalf("zone %d denser (%d) than zone %d (%d): density must fall inward",
+				i, d.zones[i].blocksPT, i-1, d.zones[i-1].blocksPT)
+		}
+	}
+}
+
+func TestHDDSeekCurveCalibration(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := CheetahConfig("hdd0")
+	d := NewHDD(eng, cfg)
+	if got := d.seekTime(0); got != 0 {
+		t.Errorf("seek(0) = %v, want 0", got)
+	}
+	if got := d.seekTime(1); got < cfg.TrackToTrack/2 || got > 2*cfg.TrackToTrack {
+		t.Errorf("seek(1) = %v, want near track-to-track %v", got, cfg.TrackToTrack)
+	}
+	third := d.totalCyls / 3
+	if got := d.seekTime(third); got < cfg.AvgSeek*9/10 || got > cfg.AvgSeek*11/10 {
+		t.Errorf("seek(N/3) = %v, want ~%v", got, cfg.AvgSeek)
+	}
+	if got := d.seekTime(d.totalCyls - 1); got < cfg.FullSeek*9/10 || got > cfg.FullSeek*11/10 {
+		t.Errorf("seek(full) = %v, want ~%v", got, cfg.FullSeek)
+	}
+	// Monotonic in distance.
+	prev := sim.Time(-1)
+	for _, dist := range []int64{1, 10, 100, 1000, 10000, d.totalCyls - 1} {
+		got := d.seekTime(dist)
+		if got < prev {
+			t.Errorf("seek(%d) = %v < seek at shorter distance %v", dist, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestHDDReadLatencyWithinMechanicalBounds(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallHDDConfig("hdd0")
+	cfg.CacheSegments = 0 // no cache: pure mechanical service
+	d := NewHDD(eng, cfg)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		block := rng.Int63n(cfg.CapacityBlocks - 8)
+		rt := runOne(t, eng, d, OpRead, block, 8)
+		min := cfg.ControllerOver
+		max := cfg.FullSeek + d.revTime + d.revTime + cfg.ControllerOver + 10*cfg.HeadSwitch
+		if rt < min || rt > max {
+			t.Fatalf("read %d: response %v outside [%v, %v]", i, rt, min, max)
+		}
+	}
+}
+
+func TestHDDSequentialFasterThanRandom(t *testing.T) {
+	// Uses the realistic configuration (read-ahead cache on): without
+	// read-ahead, back-to-back sequential requests miss the rotational
+	// window and pay a full revolution — the very effect the on-disk
+	// cache exists to hide.
+	cfg := smallHDDConfig("hdd0")
+
+	// Sequential reads of 64 blocks each.
+	engSeq := sim.NewEngine()
+	seq := NewHDD(engSeq, cfg)
+	var seqTotal sim.Time
+	for i := int64(0); i < 100; i++ {
+		seqTotal += runOne(t, engSeq, seq, OpRead, i*64, 64)
+	}
+
+	// Random reads of 64 blocks each.
+	engRnd := sim.NewEngine()
+	rnd := NewHDD(engRnd, cfg)
+	rng := rand.New(rand.NewSource(11))
+	var rndTotal sim.Time
+	for i := 0; i < 100; i++ {
+		rndTotal += runOne(t, engRnd, rnd, OpRead, rng.Int63n(cfg.CapacityBlocks-64), 64)
+	}
+
+	if seqTotal*2 >= rndTotal {
+		t.Fatalf("sequential (%v) not clearly faster than random (%v)", seqTotal, rndTotal)
+	}
+}
+
+func TestHDDReadCacheHit(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallHDDConfig("hdd0")
+	d := NewHDD(eng, cfg)
+	// First read misses and installs a read-ahead segment.
+	first := runOne(t, eng, d, OpRead, 1000, 8)
+	// Re-read and read-ahead hit must cost only controller overhead.
+	again := runOne(t, eng, d, OpRead, 1000, 8)
+	ahead := runOne(t, eng, d, OpRead, 1016, 8)
+	if again != cfg.ControllerOver {
+		t.Errorf("cache re-read took %v, want %v", again, cfg.ControllerOver)
+	}
+	if ahead != cfg.ControllerOver {
+		t.Errorf("read-ahead hit took %v, want %v", ahead, cfg.ControllerOver)
+	}
+	if first <= again {
+		t.Errorf("miss (%v) not slower than hit (%v)", first, again)
+	}
+	s := d.Stats()
+	if s.CacheHits != 2 || s.CacheMisses != 1 {
+		t.Errorf("cache stats hits=%d misses=%d, want 2/1", s.CacheHits, s.CacheMisses)
+	}
+}
+
+func TestHDDWriteBackAbsorbsSmallWrites(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallHDDConfig("hdd0")
+	d := NewHDD(eng, cfg)
+	rt := runOne(t, eng, d, OpWrite, 5000, 8)
+	if rt != cfg.ControllerOver {
+		t.Errorf("write-back absorbed write took %v, want %v", rt, cfg.ControllerOver)
+	}
+}
+
+func TestHDDWriteCacheFillsAndStalls(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallHDDConfig("hdd0")
+	cfg.WriteCacheBlocks = 64
+	d := NewHDD(eng, cfg)
+
+	// Burst of scattered writes exceeding the cache forces at least one
+	// write to wait for a destage (response > overhead).
+	rng := rand.New(rand.NewSource(3))
+	var times []sim.Time
+	pending := 0
+	for i := 0; i < 32; i++ {
+		block := rng.Int63n(cfg.CapacityBlocks - 8)
+		pending++
+		d.Submit(&Request{Op: OpWrite, Block: block, Count: 8, Done: func(at sim.Time) {
+			times = append(times, at)
+			pending--
+		}})
+	}
+	eng.Run()
+	if pending != 0 {
+		t.Fatalf("%d writes never completed", pending)
+	}
+	if len(times) != 32 {
+		t.Fatalf("completed %d writes, want 32", len(times))
+	}
+	// The final completion must be later than a pure cache-absorb burst
+	// would allow (32 * overhead), proving stalls occurred.
+	last := times[len(times)-1]
+	if last <= sim.Time(32)*cfg.ControllerOver {
+		t.Errorf("burst finished at %v; expected stalls beyond %v",
+			last, sim.Time(32)*cfg.ControllerOver)
+	}
+}
+
+func TestHDDSchedulersAllComplete(t *testing.T) {
+	for _, sched := range []Scheduler{FCFS, SSTF, LOOK} {
+		cfg := smallHDDConfig("hdd0")
+		cfg.Sched = sched
+		eng := sim.NewEngine()
+		d := NewHDD(eng, cfg)
+		rng := rand.New(rand.NewSource(5))
+		completed := 0
+		for i := 0; i < 200; i++ {
+			d.Submit(&Request{
+				Op:    OpRead,
+				Block: rng.Int63n(cfg.CapacityBlocks - 8),
+				Count: 8,
+				Done:  func(sim.Time) { completed++ },
+			})
+		}
+		eng.Run()
+		if completed != 200 {
+			t.Errorf("scheduler %d: completed %d/200", sched, completed)
+		}
+	}
+}
+
+func TestHDDLOOKBeatsFCFSOnScatteredQueue(t *testing.T) {
+	finish := func(sched Scheduler) sim.Time {
+		cfg := smallHDDConfig("hdd0")
+		cfg.Sched = sched
+		cfg.CacheSegments = 0
+		eng := sim.NewEngine()
+		d := NewHDD(eng, cfg)
+		rng := rand.New(rand.NewSource(9))
+		var last sim.Time
+		for i := 0; i < 100; i++ {
+			d.Submit(&Request{
+				Op:    OpRead,
+				Block: rng.Int63n(cfg.CapacityBlocks - 8),
+				Count: 8,
+				Done:  func(at sim.Time) { last = at },
+			})
+		}
+		eng.Run()
+		return last
+	}
+	fcfs, look := finish(FCFS), finish(LOOK)
+	if look >= fcfs {
+		t.Errorf("LOOK (%v) not faster than FCFS (%v) on a scattered queue", look, fcfs)
+	}
+}
+
+func TestHDDQueueStats(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallHDDConfig("hdd0")
+	d := NewHDD(eng, cfg)
+	for i := 0; i < 10; i++ {
+		d.Submit(&Request{Op: OpRead, Block: int64(i) * 100000, Count: 8})
+	}
+	eng.Run()
+	s := d.Stats()
+	if s.QueueSamples != 10 {
+		t.Errorf("QueueSamples = %d, want 10", s.QueueSamples)
+	}
+	if s.QueueMax < 1 {
+		t.Errorf("QueueMax = %d, want >= 1 (requests queued behind service)", s.QueueMax)
+	}
+}
+
+func TestSSDLatencyModel(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := MSRSSDConfig("ssd0")
+	d := NewSSD(eng, cfg)
+	// Single-block read: one page read + overhead.
+	if rt := runOne(t, eng, d, OpRead, 0, 1); rt != cfg.ReadLatency+cfg.ControllerOver {
+		t.Errorf("1-block read = %v, want %v", rt, cfg.ReadLatency+cfg.ControllerOver)
+	}
+	// Single-block write.
+	if rt := runOne(t, eng, d, OpWrite, 1, 1); rt != cfg.WriteLatency+cfg.ControllerOver {
+		t.Errorf("1-block write = %v, want %v", rt, cfg.WriteLatency+cfg.ControllerOver)
+	}
+	// A 4-block aligned read spreads over 4 channels: one page time.
+	if rt := runOne(t, eng, d, OpRead, 4, 4); rt != cfg.ReadLatency+cfg.ControllerOver {
+		t.Errorf("4-block striped read = %v, want %v (channel parallelism)",
+			rt, cfg.ReadLatency+cfg.ControllerOver)
+	}
+	// 8 blocks on 4 channels: two page times.
+	if rt := runOne(t, eng, d, OpRead, 8, 8); rt != 2*cfg.ReadLatency+cfg.ControllerOver {
+		t.Errorf("8-block read = %v, want %v", rt, 2*cfg.ReadLatency+cfg.ControllerOver)
+	}
+}
+
+func TestSSDReadsFasterThanHDD(t *testing.T) {
+	engS := sim.NewEngine()
+	ssd := NewSSD(engS, MSRSSDConfig("ssd0"))
+	engH := sim.NewEngine()
+	hcfg := smallHDDConfig("hdd0")
+	hcfg.CacheSegments = 0
+	hdd := NewHDD(engH, hcfg)
+
+	rng := rand.New(rand.NewSource(13))
+	var st, ht sim.Time
+	for i := 0; i < 100; i++ {
+		b := rng.Int63n(1 << 20)
+		st += runOne(t, engS, ssd, OpRead, b, 8)
+		ht += runOne(t, engH, hdd, OpRead, b, 8)
+	}
+	if st*10 >= ht {
+		t.Errorf("SSD random reads (%v) not ≫ faster than HDD (%v)", st, ht)
+	}
+}
+
+func TestSSDChannelContention(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := MSRSSDConfig("ssd0")
+	d := NewSSD(eng, cfg)
+	// Two simultaneous requests on the same channel serialize.
+	var t1, t2 sim.Time
+	d.Submit(&Request{Op: OpRead, Block: 0, Count: 1, Done: func(at sim.Time) { t1 = at }})
+	d.Submit(&Request{Op: OpRead, Block: 4, Count: 1, Done: func(at sim.Time) { t2 = at }})
+	eng.Run()
+	if t2 != t1+cfg.ReadLatency {
+		t.Errorf("same-channel requests: t1=%v t2=%v, want serialization by %v",
+			t1, t2, cfg.ReadLatency)
+	}
+}
+
+// Property: HDD response time is always at least the controller
+// overhead and the device never loses a request.
+func TestPropertyHDDAlwaysCompletes(t *testing.T) {
+	cfg := smallHDDConfig("hdd0")
+	f := func(seed int64, n uint8) bool {
+		eng := sim.NewEngine()
+		d := NewHDD(eng, cfg)
+		rng := rand.New(rand.NewSource(seed))
+		want := int(n%64) + 1
+		got := 0
+		for i := 0; i < want; i++ {
+			op := OpRead
+			if rng.Intn(2) == 1 {
+				op = OpWrite
+			}
+			count := int64(rng.Intn(32) + 1)
+			block := rng.Int63n(cfg.CapacityBlocks - count)
+			at := sim.Time(rng.Int63n(int64(sim.Second)))
+			eng.Schedule(at, func() {
+				d.Submit(&Request{Op: op, Block: block, Count: count,
+					Done: func(sim.Time) { got++ }})
+			})
+		}
+		eng.Run()
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: device stats block counters equal the sum of submitted
+// request sizes.
+func TestPropertyStatsConservation(t *testing.T) {
+	cfg := smallHDDConfig("hdd0")
+	f := func(seed int64) bool {
+		eng := sim.NewEngine()
+		d := NewHDD(eng, cfg)
+		rng := rand.New(rand.NewSource(seed))
+		var wantR, wantW int64
+		for i := 0; i < 50; i++ {
+			count := int64(rng.Intn(16) + 1)
+			block := rng.Int63n(cfg.CapacityBlocks - count)
+			if rng.Intn(2) == 0 {
+				wantR += count
+				d.Submit(&Request{Op: OpRead, Block: block, Count: count})
+			} else {
+				wantW += count
+				d.Submit(&Request{Op: OpWrite, Block: block, Count: count})
+			}
+		}
+		eng.Run()
+		s := d.Stats()
+		return s.BlocksRead == wantR && s.BlocksWrite == wantW
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHDDRandomReads(b *testing.B) {
+	cfg := smallHDDConfig("hdd0")
+	eng := sim.NewEngine()
+	d := NewHDD(eng, cfg)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Submit(&Request{Op: OpRead, Block: rng.Int63n(cfg.CapacityBlocks - 8), Count: 8})
+		eng.Run()
+	}
+}
+
+func BenchmarkSSDRandomReads(b *testing.B) {
+	cfg := MSRSSDConfig("ssd0")
+	eng := sim.NewEngine()
+	d := NewSSD(eng, cfg)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Submit(&Request{Op: OpRead, Block: rng.Int63n(cfg.CapacityBlocks - 8), Count: 8})
+		eng.Run()
+	}
+}

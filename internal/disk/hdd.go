@@ -1,0 +1,528 @@
+package disk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"craid/internal/sim"
+)
+
+// Scheduler selects which queued request an HDD services next.
+type Scheduler uint8
+
+// Queue scheduling disciplines.
+const (
+	// FCFS services requests in arrival order.
+	FCFS Scheduler = iota
+	// SSTF services the request with the shortest seek from the
+	// current head position.
+	SSTF
+	// LOOK sweeps the head across the platter servicing requests in
+	// cylinder order, reversing at the last request in each direction.
+	LOOK
+)
+
+// HDDConfig describes a hard-disk model. The zero value is not valid;
+// start from CheetahConfig (or NewHDDConfig) and adjust.
+type HDDConfig struct {
+	Name string
+
+	// Geometry.
+	CapacityBlocks int64 // total logical blocks
+	Heads          int   // surfaces (blocks per cylinder = Heads * blocks per track)
+	Zones          int   // number of recording zones
+	OuterBlocksPT  int   // blocks per track in the outermost zone
+	InnerBlocksPT  int   // blocks per track in the innermost zone
+
+	// Mechanics.
+	RPM            int      // spindle speed
+	TrackToTrack   sim.Time // minimum (single-cylinder) seek
+	AvgSeek        sim.Time // average seek (uniform random pairs)
+	FullSeek       sim.Time // full-stroke seek
+	HeadSwitch     sim.Time // surface switch during sequential transfer
+	ControllerOver sim.Time // per-request controller/bus overhead
+
+	// Cache.
+	CacheSegments    int // read segments
+	SegmentBlocks    int // blocks per read segment (read-ahead unit)
+	WriteCacheBlocks int // write-back buffer capacity, 0 disables write-back
+
+	Sched Scheduler
+}
+
+// CheetahConfig returns parameters approximating the Seagate Cheetah
+// 15K.5 (146 GB, 15 000 RPM, 16 MiB cache) that the paper's DiskSim
+// testbed uses. Values come from the drive datasheet the paper cites.
+func CheetahConfig(name string) HDDConfig {
+	return HDDConfig{
+		Name:             name,
+		CapacityBlocks:   146 * 1000 * 1000 * 1000 / BlockSize, // 146 GB
+		Heads:            4,
+		Zones:            16,
+		OuterBlocksPT:    122, // ~125 MB/s outer sustained rate at 15 kRPM
+		InnerBlocksPT:    71,  // ~73 MB/s inner
+		RPM:              15000,
+		TrackToTrack:     200 * sim.Microsecond,
+		AvgSeek:          3500 * sim.Microsecond,
+		FullSeek:         7400 * sim.Microsecond,
+		HeadSwitch:       300 * sim.Microsecond,
+		ControllerOver:   100 * sim.Microsecond,
+		CacheSegments:    16,
+		SegmentBlocks:    256,  // 16 segments * 256 blocks * 4 KiB = 16 MiB
+		WriteCacheBlocks: 1024, // 4 MiB of the cache dedicated to writes
+		Sched:            LOOK,
+	}
+}
+
+// zone is a contiguous run of cylinders with a common track density.
+type zone struct {
+	firstBlock int64 // first logical block of the zone
+	firstCyl   int64
+	cylinders  int64
+	blocksPT   int64 // blocks per track
+	blocksPCyl int64 // blocks per cylinder (= blocksPT * heads)
+}
+
+// HDD is an event-driven hard-disk model: a single mechanical arm, a
+// rotating platter stack with zoned density, a segmented read cache
+// with read-ahead, an optional write-back buffer, and a queue scheduler.
+type HDD struct {
+	eng   *sim.Engine
+	cfg   HDDConfig
+	stats Stats
+
+	zones     []zone
+	revTime   sim.Time // one platter revolution
+	seekB     float64  // sqrt coefficient of the seek curve (ns)
+	seekC     float64  // linear coefficient of the seek curve (ns)
+	totalCyls int64
+
+	queue    []*Request
+	busy     bool
+	curCyl   int64
+	sweepUp  bool // LOOK sweep direction
+	fcfsHead int  // index of next FCFS request (queue is appended-to)
+
+	// Read cache: fixed number of segments, each holding one
+	// contiguous block range; LRU replacement.
+	segments []segment
+	segClock int64
+
+	// Write-back state.
+	dirty       int64 // blocks waiting for destage
+	dirtyRanges []blockRange
+	destaging   bool
+	stalled     []*Request // writes waiting for write-cache space
+}
+
+type segment struct {
+	start, end int64 // [start, end) block range; start==end means empty
+	lastUse    int64
+}
+
+type blockRange struct{ start, end int64 }
+
+// NewHDD builds an HDD from cfg, attached to eng.
+func NewHDD(eng *sim.Engine, cfg HDDConfig) *HDD {
+	if cfg.CapacityBlocks <= 0 || cfg.Heads <= 0 || cfg.Zones <= 0 || cfg.RPM <= 0 {
+		panic("disk: invalid HDD config")
+	}
+	d := &HDD{
+		eng:     eng,
+		cfg:     cfg,
+		revTime: sim.Time(int64(60) * int64(sim.Second) / int64(cfg.RPM)),
+	}
+	d.buildZones()
+	d.calibrateSeek()
+	d.segments = make([]segment, cfg.CacheSegments)
+	return d
+}
+
+// buildZones lays out cfg.Zones zones whose per-track density falls
+// linearly from OuterBlocksPT to InnerBlocksPT and whose total capacity
+// is exactly cfg.CapacityBlocks (the last zone absorbs rounding).
+func (d *HDD) buildZones() {
+	cfg := &d.cfg
+	// First pass: provisional equal-cylinder zones to estimate how many
+	// cylinders realize the target capacity at the mean density.
+	meanPT := float64(cfg.OuterBlocksPT+cfg.InnerBlocksPT) / 2
+	cyls := int64(math.Ceil(float64(cfg.CapacityBlocks) / (meanPT * float64(cfg.Heads))))
+	perZone := cyls / int64(cfg.Zones)
+	if perZone == 0 {
+		perZone = 1
+	}
+	var block, cyl int64
+	for z := 0; z < cfg.Zones; z++ {
+		frac := float64(z) / float64(cfg.Zones-1)
+		if cfg.Zones == 1 {
+			frac = 0
+		}
+		pt := int64(math.Round(float64(cfg.OuterBlocksPT) - frac*float64(cfg.OuterBlocksPT-cfg.InnerBlocksPT)))
+		zn := zone{
+			firstBlock: block,
+			firstCyl:   cyl,
+			cylinders:  perZone,
+			blocksPT:   pt,
+			blocksPCyl: pt * int64(cfg.Heads),
+		}
+		if z == cfg.Zones-1 {
+			// Stretch the last zone to cover the remaining capacity.
+			remaining := cfg.CapacityBlocks - block
+			zn.cylinders = (remaining + zn.blocksPCyl - 1) / zn.blocksPCyl
+		}
+		d.zones = append(d.zones, zn)
+		block += zn.cylinders * zn.blocksPCyl
+		cyl += zn.cylinders
+	}
+	d.totalCyls = cyl
+}
+
+// calibrateSeek solves seek(d) = TrackToTrack + b*sqrt(d) + c*d for b, c
+// such that seek(totalCyls/3) = AvgSeek (mean seek distance of uniform
+// random pairs is N/3) and seek(totalCyls-1) = FullSeek.
+func (d *HDD) calibrateSeek() {
+	cfg := &d.cfg
+	n := float64(d.totalCyls)
+	x1, y1 := n/3, float64(cfg.AvgSeek-cfg.TrackToTrack)
+	x2, y2 := n-1, float64(cfg.FullSeek-cfg.TrackToTrack)
+	// Solve [sqrt(x1) x1; sqrt(x2) x2] * [b c]' = [y1 y2]'.
+	a11, a12 := math.Sqrt(x1), x1
+	a21, a22 := math.Sqrt(x2), x2
+	det := a11*a22 - a12*a21
+	d.seekB = (y1*a22 - a12*y2) / det
+	d.seekC = (a11*y2 - y1*a21) / det
+}
+
+// seekTime returns the arm movement time across dist cylinders.
+func (d *HDD) seekTime(dist int64) sim.Time {
+	if dist <= 0 {
+		return 0
+	}
+	t := float64(d.cfg.TrackToTrack) + d.seekB*math.Sqrt(float64(dist)) + d.seekC*float64(dist)
+	if t < float64(d.cfg.TrackToTrack) {
+		t = float64(d.cfg.TrackToTrack)
+	}
+	return sim.Time(t)
+}
+
+// locate maps a block to its zone, cylinder and position on track.
+func (d *HDD) locate(block int64) (zn *zone, cyl, posOnTrack int64) {
+	i := sort.Search(len(d.zones), func(i int) bool {
+		z := d.zones[i]
+		return block < z.firstBlock+z.cylinders*z.blocksPCyl
+	})
+	z := &d.zones[i]
+	rel := block - z.firstBlock
+	cyl = z.firstCyl + rel/z.blocksPCyl
+	posOnTrack = rel % z.blocksPT
+	return z, cyl, posOnTrack
+}
+
+// CapacityBlocks implements Device.
+func (d *HDD) CapacityBlocks() int64 { return d.cfg.CapacityBlocks }
+
+// Name implements Device.
+func (d *HDD) Name() string { return d.cfg.Name }
+
+// Stats implements Device.
+func (d *HDD) Stats() *Stats { return &d.stats }
+
+// QueueDepth reports requests pending or in service (used by the
+// array-level concurrency metrics).
+func (d *HDD) QueueDepth() int {
+	n := len(d.queue) + len(d.stalled)
+	if d.busy {
+		n++
+	}
+	return n
+}
+
+// Busy reports whether the device is currently servicing a request or
+// destaging its write cache.
+func (d *HDD) Busy() bool { return d.busy || d.destaging }
+
+// Submit implements Device.
+func (d *HDD) Submit(r *Request) {
+	checkRange(d, r)
+	r.arrive = d.eng.Now()
+	d.stats.observeQueue(d.QueueDepth())
+
+	if r.Op == OpWrite && d.cfg.WriteCacheBlocks > 0 {
+		// Write-back path: absorb into the cache if space allows.
+		if d.dirty+r.Count <= int64(d.cfg.WriteCacheBlocks) {
+			d.absorbWrite(r)
+			return
+		}
+		// No space: the write stalls until destaging frees room.
+		d.stalled = append(d.stalled, r)
+		d.kick()
+		return
+	}
+
+	d.queue = append(d.queue, r)
+	d.kick()
+}
+
+// absorbWrite completes a write from the write-back cache after the
+// controller overhead and records its blocks for later destage.
+func (d *HDD) absorbWrite(r *Request) {
+	d.dirty += r.Count
+	d.addDirtyRange(r.Block, r.Block+r.Count)
+	// Freshly written data is also readable from the cache.
+	d.installSegment(r.Block, r.Block+r.Count)
+	done := r.Done
+	d.eng.After(d.cfg.ControllerOver, func() {
+		d.stats.Writes++
+		d.stats.BlocksWrite += r.Count
+		if done != nil {
+			done(d.eng.Now())
+		}
+	})
+	d.kick()
+}
+
+// addDirtyRange records [start,end) for destaging, merging adjacent
+// ranges so sequential writes destage as one arm operation.
+func (d *HDD) addDirtyRange(start, end int64) {
+	for i := range d.dirtyRanges {
+		r := &d.dirtyRanges[i]
+		if start <= r.end && end >= r.start { // overlap or adjacency
+			if start < r.start {
+				r.start = start
+			}
+			if end > r.end {
+				r.end = end
+			}
+			return
+		}
+	}
+	d.dirtyRanges = append(d.dirtyRanges, blockRange{start, end})
+}
+
+// kick starts servicing if the device is idle.
+func (d *HDD) kick() {
+	if d.busy || d.destaging {
+		return
+	}
+	if len(d.queue) > 0 {
+		d.startNext()
+		return
+	}
+	if d.dirty > 0 && (len(d.stalled) > 0 || len(d.queue) == 0) {
+		d.startDestage()
+	}
+}
+
+// pickNext removes and returns the next request per the scheduler.
+func (d *HDD) pickNext() *Request {
+	switch d.cfg.Sched {
+	case FCFS:
+		r := d.queue[0]
+		d.queue = d.queue[1:]
+		return r
+	case SSTF:
+		best, bestDist := 0, int64(math.MaxInt64)
+		for i, r := range d.queue {
+			_, cyl, _ := d.locate(r.Block)
+			dist := cyl - d.curCyl
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist < bestDist {
+				best, bestDist = i, dist
+			}
+		}
+		r := d.queue[best]
+		d.queue = append(d.queue[:best], d.queue[best+1:]...)
+		return r
+	default: // LOOK
+		best := -1
+		var bestCyl int64
+		for pass := 0; pass < 2; pass++ {
+			for i, r := range d.queue {
+				_, cyl, _ := d.locate(r.Block)
+				if d.sweepUp && cyl < d.curCyl || !d.sweepUp && cyl > d.curCyl {
+					continue
+				}
+				if best == -1 ||
+					(d.sweepUp && cyl < bestCyl) || (!d.sweepUp && cyl > bestCyl) {
+					best, bestCyl = i, cyl
+				}
+			}
+			if best != -1 {
+				break
+			}
+			d.sweepUp = !d.sweepUp // reverse at the end of the sweep
+		}
+		r := d.queue[best]
+		d.queue = append(d.queue[:best], d.queue[best+1:]...)
+		return r
+	}
+}
+
+// startNext begins servicing one queued request.
+func (d *HDD) startNext() {
+	r := d.pickNext()
+	d.busy = true
+
+	if r.Op == OpRead && d.cacheCovers(r.Block, r.Block+r.Count) {
+		// Full cache hit: controller overhead only.
+		d.stats.CacheHits++
+		d.finish(r, d.cfg.ControllerOver)
+		return
+	}
+	if r.Op == OpRead {
+		d.stats.CacheMisses++
+	}
+
+	service := d.mediaTime(r.Block, r.Count, r.Op == OpWrite)
+	if r.Op == OpRead {
+		// Read-ahead: the segment fills with the request plus trailing
+		// blocks (time cost of read-ahead is hidden in idle rotation).
+		end := r.Block + int64(d.cfg.SegmentBlocks)
+		if end > d.cfg.CapacityBlocks {
+			end = d.cfg.CapacityBlocks
+		}
+		d.installSegment(r.Block, end)
+	}
+	d.finish(r, d.cfg.ControllerOver+service)
+}
+
+// finish completes r after service time, updates stats and continues
+// with the next queued operation.
+func (d *HDD) finish(r *Request, service sim.Time) {
+	d.stats.BusyTime += service
+	done := r.Done
+	d.eng.After(service, func() {
+		d.busy = false
+		if r.Op == OpRead {
+			d.stats.Reads++
+			d.stats.BlocksRead += r.Count
+		} else {
+			d.stats.Writes++
+			d.stats.BlocksWrite += r.Count
+		}
+		if done != nil {
+			done(d.eng.Now())
+		}
+		d.kick()
+	})
+}
+
+// mediaTime computes seek + rotational + transfer time for a contiguous
+// media access starting at block, and updates the head position.
+func (d *HDD) mediaTime(block, count int64, isWrite bool) sim.Time {
+	zn, cyl, pos := d.locate(block)
+	dist := cyl - d.curCyl
+	if dist < 0 {
+		dist = -dist
+	}
+	seek := d.seekTime(dist)
+	if isWrite && seek > 0 {
+		// Writes settle slightly longer than reads (datasheet: ~0.4 ms
+		// extra on average); approximate with +12%.
+		seek += seek / 8
+	}
+
+	// Rotational delay: where is the target sector when the seek ends?
+	arrival := d.eng.Now() + seek
+	angleNow := float64(int64(arrival)%int64(d.revTime)) / float64(d.revTime)
+	angleTarget := float64(pos) / float64(zn.blocksPT)
+	wait := angleTarget - angleNow
+	if wait < 0 {
+		wait++
+	}
+	rot := sim.Time(wait * float64(d.revTime))
+
+	// Transfer: a full track per revolution within the zone; crossing
+	// tracks adds head/cylinder switch time.
+	perBlock := sim.Time(float64(d.revTime) / float64(zn.blocksPT))
+	transfer := sim.Time(count) * perBlock
+	tracksCrossed := (pos + count - 1) / zn.blocksPT
+	transfer += sim.Time(tracksCrossed) * d.cfg.HeadSwitch
+
+	// Head ends at the cylinder holding the last block.
+	_, endCyl, _ := d.locate(block + count - 1)
+	d.curCyl = endCyl
+	return seek + rot + transfer
+}
+
+// startDestage flushes the largest dirty range to media in background.
+func (d *HDD) startDestage() {
+	if len(d.dirtyRanges) == 0 {
+		d.dirty = 0
+		return
+	}
+	// Destage the largest range first: frees the most space per seek.
+	best := 0
+	for i, r := range d.dirtyRanges {
+		if r.end-r.start > d.dirtyRanges[best].end-d.dirtyRanges[best].start {
+			best = i
+		}
+	}
+	r := d.dirtyRanges[best]
+	d.dirtyRanges = append(d.dirtyRanges[:best], d.dirtyRanges[best+1:]...)
+	d.destaging = true
+	service := d.mediaTime(r.start, r.end-r.start, true)
+	d.stats.BusyTime += service
+	d.eng.After(service, func() {
+		d.destaging = false
+		d.dirty -= r.end - r.start
+		if d.dirty < 0 {
+			d.dirty = 0
+		}
+		d.admitStalled()
+		d.kick()
+	})
+}
+
+// admitStalled moves stalled writes whose blocks now fit into the
+// write cache.
+func (d *HDD) admitStalled() {
+	i := 0
+	for ; i < len(d.stalled); i++ {
+		r := d.stalled[i]
+		if d.dirty+r.Count > int64(d.cfg.WriteCacheBlocks) {
+			break
+		}
+		d.absorbWrite(r)
+	}
+	d.stalled = d.stalled[i:]
+}
+
+// cacheCovers reports whether [start,end) is entirely inside one read
+// segment.
+func (d *HDD) cacheCovers(start, end int64) bool {
+	for i := range d.segments {
+		s := &d.segments[i]
+		if start >= s.start && end <= s.end {
+			d.segClock++
+			s.lastUse = d.segClock
+			return true
+		}
+	}
+	return false
+}
+
+// installSegment loads [start,end) into the least recently used
+// segment.
+func (d *HDD) installSegment(start, end int64) {
+	if len(d.segments) == 0 {
+		return
+	}
+	lru := 0
+	for i := range d.segments {
+		if d.segments[i].lastUse < d.segments[lru].lastUse {
+			lru = i
+		}
+	}
+	d.segClock++
+	d.segments[lru] = segment{start: start, end: end, lastUse: d.segClock}
+}
+
+// String summarizes the drive geometry, for debugging.
+func (d *HDD) String() string {
+	return fmt.Sprintf("%s: %d blocks, %d cyls, %d zones, rev %v",
+		d.cfg.Name, d.cfg.CapacityBlocks, d.totalCyls, len(d.zones), d.revTime)
+}

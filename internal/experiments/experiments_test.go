@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"testing"
+
+	"craid/internal/disk"
+	"craid/internal/sim"
+)
+
+// Tests here assert the paper's qualitative findings (who wins, where
+// the knees are) at reduced scale. Heavier full-series checks live in
+// the benchmarks and cmd/craidbench.
+
+func TestScaleFor(t *testing.T) {
+	if s := ScaleFor("webresearch", 5.0); s != 1 {
+		t.Errorf("small trace scale = %v, want 1 (no shrink needed)", s)
+	}
+	s := ScaleFor("proj", 1.0)
+	if s <= 0 || s >= 0.001 {
+		t.Errorf("proj scale = %v, want ~1/2520", s)
+	}
+	if ScaleFor("nosuch", 1.0) != 1 {
+		t.Error("unknown trace should default to 1")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(RunConfig{Trace: "wdev"}); err == nil {
+		t.Error("zero scale did not error")
+	}
+	if _, err := Run(RunConfig{Trace: "nosuch", Scale: 1, Strategy: RAID5}); err == nil {
+		t.Error("unknown trace did not error")
+	}
+	if _, err := Run(RunConfig{Trace: "wdev", Scale: 1, Strategy: "RAID-9"}); err == nil {
+		t.Error("unknown strategy did not error")
+	}
+}
+
+func TestTable1ShapesMatchPaper(t *testing.T) {
+	rows, err := Table1(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("Table 1 has %d rows, want 7", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Trace] = r
+		if r.Summary.Top20Share < 0.40 || r.Summary.Top20Share > 0.95 {
+			t.Errorf("%s: top-20%% share %.3f outside the paper's 51-87%% band",
+				r.Trace, r.Summary.Top20Share)
+		}
+	}
+	// Orderings from Table 1: deasna most skewed; proj largest volume;
+	// webresearch write-only.
+	if byName["deasna"].Summary.Top20Share <= byName["webresearch"].Summary.Top20Share {
+		t.Error("deasna not more skewed than webresearch")
+	}
+	// With budget semantics every trace replays ~the same volume.
+	for name, r := range byName {
+		if r.Summary.TotalGB < 0.3 || r.Summary.TotalGB > 0.8 {
+			t.Errorf("%s: total %.2f GB, want ≈ the 0.5 GB budget", name, r.Summary.TotalGB)
+		}
+	}
+	if byName["webresearch"].Summary.ReadGB != 0 {
+		t.Error("webresearch has reads")
+	}
+	// R/W ratios: proj read-dominated, webusers write-dominated.
+	if byName["proj"].Summary.RWRatio < 2 {
+		t.Errorf("proj R/W = %.2f, want > 2 (paper: 7.33)", byName["proj"].Summary.RWRatio)
+	}
+	if byName["webusers"].Summary.RWRatio > 1 {
+		t.Errorf("webusers R/W = %.2f, want < 1 (paper: 0.09)", byName["webusers"].Summary.RWRatio)
+	}
+}
+
+func TestFigure1Shapes(t *testing.T) {
+	res, err := Figure1("wdev", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone CDFs ending near 1.
+	for i := 1; i < len(res.ReadCDF); i++ {
+		if res.ReadCDF[i] < res.ReadCDF[i-1] {
+			t.Fatal("read frequency CDF not monotone")
+		}
+	}
+	if last := res.ReadCDF[len(res.ReadCDF)-1]; last < 0.99 {
+		t.Errorf("read CDF tail = %.3f, want ~1", last)
+	}
+	// Substantial day-to-day overlap for wdev (paper: ~55-80%).
+	if len(res.OverlapAll) != 6 {
+		t.Fatalf("overlap pairs = %d, want 6 (7 days)", len(res.OverlapAll))
+	}
+	var mean float64
+	for _, v := range res.OverlapAll {
+		mean += v
+	}
+	mean /= float64(len(res.OverlapAll))
+	if mean < 0.40 {
+		t.Errorf("wdev mean daily overlap %.2f, want >= 0.40", mean)
+	}
+}
+
+func TestTables2and3PolicyRanking(t *testing.T) {
+	rows, err := Tables2and3(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7*5 {
+		t.Fatalf("got %d rows, want 35", len(rows))
+	}
+	perTrace := map[string]map[string]PolicyRow{}
+	for _, r := range rows {
+		if perTrace[r.Trace] == nil {
+			perTrace[r.Trace] = map[string]PolicyRow{}
+		}
+		perTrace[r.Trace][r.Policy] = r
+	}
+	for traceName, policies := range perTrace {
+		// GDSF never leads: the size term is dead weight for block
+		// storage (see EXPERIMENTS.md — at equal-sized block granularity
+		// its collapse is milder than the paper's, where request sizes
+		// feed the metric directly).
+		gdsf := policies["GDSF"].HitRatio
+		best := 0.0
+		for p, r := range policies {
+			if p != "GDSF" && r.HitRatio > best {
+				best = r.HitRatio
+			}
+		}
+		if gdsf > best {
+			t.Errorf("%s: GDSF (%.3f) is the best policy (best other %.3f); paper has it worst",
+				traceName, gdsf, best)
+		}
+		// The recency policies sit within a band of each other.
+		lru := policies["LRU"].HitRatio
+		for _, p := range []string{"LFUDA", "ARC", "WLRU"} {
+			d := policies[p].HitRatio - lru
+			if d < -0.15 || d > 0.12 {
+				t.Errorf("%s: %s hit %.3f too far from LRU %.3f",
+					traceName, p, policies[p].HitRatio, lru)
+			}
+		}
+		// WLRU tracks LRU closely (its window only changes *which*
+		// entry is evicted) — the property that justifies the paper's
+		// WLRU choice.
+		if d := policies["WLRU"].HitRatio - lru; d < -0.05 || d > 0.05 {
+			t.Errorf("%s: WLRU hit %.3f deviates from LRU %.3f", traceName,
+				policies["WLRU"].HitRatio, lru)
+		}
+		// Hit + replacement ≈ 1 at a tiny P_C (paper Tables 2+3 sum to
+		// ~100%): nearly every miss causes a replacement once warm.
+		for p, r := range policies {
+			if sum := r.HitRatio + r.ReplacementRatio; sum < 0.8 || sum > 1.1 {
+				t.Errorf("%s/%s: hit+replacement = %.3f, want ≈ 1", traceName, p, sum)
+			}
+		}
+	}
+}
+
+func TestResponseTimeSweepShapes(t *testing.T) {
+	// wdev at modest volume: the paper's principal Fig. 4/6 claims.
+	sweep, err := ResponseTimeSweep("wdev", ScaleFor("wdev", 0.5), []float64{0.008, 0.032})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(s Strategy, pct float64) SweepPoint {
+		for _, p := range sweep.Points {
+			if p.Strategy == s && (p.PCPct == pct || !s.IsCRAID()) {
+				return p
+			}
+		}
+		t.Fatalf("missing point %s/%v", s, pct)
+		return SweepPoint{}
+	}
+	r5 := at(RAID5, 0)
+	r5p := at(RAID5Plus, 0)
+	c5 := at(CRAID5, 0.032)
+	c5p := at(CRAID5Plus, 0.032)
+	ssd := at(CRAID5SSD, 0.032)
+
+	// RAID-5+ no faster than ideal RAID-5.
+	if r5p.ReadMean < r5.ReadMean*95/100 {
+		t.Errorf("RAID-5+ reads (%v) faster than RAID-5 (%v)", r5p.ReadMean, r5.ReadMean)
+	}
+	// CRAID read/write times competitive with ideal RAID-5.
+	if c5.ReadMean > r5.ReadMean*12/10 {
+		t.Errorf("CRAID-5 reads (%v) not competitive with RAID-5 (%v)", c5.ReadMean, r5.ReadMean)
+	}
+	if c5.WriteMean > r5.WriteMean {
+		t.Errorf("CRAID-5 writes (%v) not better than RAID-5 (%v); paper: writes benefit most",
+			c5.WriteMean, r5.WriteMean)
+	}
+	// CRAID-5+ ≈ CRAID-5 despite the RAID-5+ archive: P_C absorbs I/O.
+	if diff := float64(c5p.ReadMean-c5.ReadMean) / float64(c5.ReadMean); diff > 0.15 || diff < -0.15 {
+		t.Errorf("CRAID-5+ reads (%v) deviate %.0f%% from CRAID-5 (%v)",
+			c5p.ReadMean, diff*100, c5.ReadMean)
+	}
+	// Dedicated SSDs win reads.
+	if ssd.ReadMean >= c5.ReadMean {
+		t.Errorf("CRAID-5ssd reads (%v) not faster than full-HDD (%v)", ssd.ReadMean, c5.ReadMean)
+	}
+	// Larger P_C improves CRAID hit ratio (knee behaviour).
+	small := at(CRAID5, 0.008)
+	if c5.ReadHit < small.ReadHit {
+		t.Errorf("hit ratio fell as P_C grew: %.3f → %.3f", small.ReadHit, c5.ReadHit)
+	}
+	// Table 4 derivation.
+	t4 := Table4(sweep)
+	if t4.BestReadHit < 0.80 || t4.BestWriteHit < 0.80 {
+		t.Errorf("best hit ratios %.3f/%.3f, want >= 0.80 (paper: 85-99%%)",
+			t4.BestReadHit, t4.BestWriteHit)
+	}
+	if t4.WorstReadEvict > 0.5 {
+		t.Errorf("worst eviction ratio %.3f implausibly high", t4.WorstReadEvict)
+	}
+}
+
+func TestFigure5SequentialityOrdering(t *testing.T) {
+	series, err := Figure5("webusers", ScaleFor("webusers", 0.5), 0.016)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := map[Strategy]float64{}
+	for _, s := range series {
+		means[s.Strategy] = s.Mean
+		for i := 1; i < len(s.Quantiles); i++ {
+			if s.Quantiles[i] < s.Quantiles[i-1] {
+				t.Fatalf("%s: quantiles not monotone", s.Strategy)
+			}
+		}
+	}
+	// Paper Fig. 5 claims CRAID ≈ RAID-5; we reproduce the same order
+	// of magnitude (see EXPERIMENTS.md for the recorded deviation: our
+	// volume-level metric puts CRAID at ~2/3 of RAID-5 because partial
+	// cache residency splits streams between partitions).
+	if means[CRAID5] < means[RAID5]/2 {
+		t.Errorf("CRAID-5 sequentiality (%.3f) below half of RAID-5 (%.3f)",
+			means[CRAID5], means[RAID5])
+	}
+	if means[CRAID5] <= 0 {
+		t.Error("CRAID-5 shows no sequentiality at all")
+	}
+	// The load-bearing claim: CRAID-5+ matches CRAID-5 — P_C absorbs
+	// the pattern regardless of the archive layout.
+	if d := means[CRAID5Plus] - means[CRAID5]; d > 0.05 || d < -0.05 {
+		t.Errorf("CRAID-5+ sequentiality (%.3f) deviates from CRAID-5 (%.3f)",
+			means[CRAID5Plus], means[CRAID5])
+	}
+	// Scan bursts must actually sequentialize: the top decile of
+	// per-second fractions is strongly sequential for every strategy.
+	for _, s := range series {
+		if s.Quantiles[9] < 0.3 {
+			t.Errorf("%s: p90 sequential fraction %.3f, want >= 0.3", s.Strategy, s.Quantiles[9])
+		}
+	}
+}
+
+func TestTable5QueueComparison(t *testing.T) {
+	rows, err := Table5(ScaleFor("wdev", 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	hdd, ssd := rows[0], rows[1]
+	if hdd.Strategy != CRAID5Plus || ssd.Strategy != CRAID5PlusSSD {
+		t.Fatalf("row order wrong: %v / %v", hdd.Strategy, ssd.Strategy)
+	}
+	// Paper Table 5: the full-HDD variant keeps more devices busy
+	// concurrently than the 5-SSD dedicated cache.
+	if hdd.ConcMean <= ssd.ConcMean {
+		t.Errorf("full-HDD concurrent devices (%.2f) not above SSD variant (%.2f)",
+			hdd.ConcMean, ssd.ConcMean)
+	}
+}
+
+func TestFigure7AndTable6(t *testing.T) {
+	series, err := Figure7("wdev", ScaleFor("wdev", 0.5), []float64{0.002, 0.032})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[Strategy][]Figure7Series{}
+	for _, s := range series {
+		byKey[s.Strategy] = append(byKey[s.Strategy], s)
+		for i := 1; i < len(s.CDF); i++ {
+			if s.CDF[i] < s.CDF[i-1] {
+				t.Fatalf("%s: cv CDF not monotone", s.Strategy)
+			}
+		}
+	}
+	// Full-HDD CRAID distributes at least as uniformly as RAID-5, and
+	// dedicated SSDs degrade global uniformity (paper §5.3).
+	craidBest := byKey[CRAID5][0].MeanCV
+	for _, s := range byKey[CRAID5] {
+		if s.MeanCV < craidBest {
+			craidBest = s.MeanCV
+		}
+	}
+	if r5 := byKey[RAID5][0].MeanCV; craidBest > r5*1.15 {
+		t.Errorf("CRAID-5 best mean cv (%.3f) clearly worse than RAID-5 (%.3f)", craidBest, r5)
+	}
+	if ssd := byKey[CRAID5SSD][0].MeanCV; ssd <= craidBest {
+		t.Errorf("SSD-dedicated cv (%.3f) not worse than full-HDD (%.3f)", ssd, craidBest)
+	}
+	// Table 6: smaller P_C gives the (weakly) better distribution.
+	for _, row := range Table6(series) {
+		if row.BestCV > row.WorstCV {
+			t.Errorf("%s: best cv %.3f above worst %.3f", row.Strategy, row.BestCV, row.WorstCV)
+		}
+	}
+}
+
+func TestMigrationAblation(t *testing.T) {
+	rows, err := MigrationAblation(0.0128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]MigrationRow{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+	}
+	if byName["craid"].TotalFrac >= byName["fastscale"].TotalFrac {
+		t.Error("CRAID did not move least data")
+	}
+	if byName["restripe"].TotalFrac < 3 {
+		t.Errorf("restripe moved %.2f datasets; expected several over 6 expansions",
+			byName["restripe"].TotalFrac)
+	}
+}
+
+func TestRunInstantModeFast(t *testing.T) {
+	res, err := Run(RunConfig{
+		Trace: "webusers", Scale: 1, Strategy: CRAID5, Policy: "ARC",
+		Instant: true, PCBlocks: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadMean != 0 || res.WriteMean != 0 {
+		t.Errorf("instant mode latencies = %v/%v, want 0", res.ReadMean, res.WriteMean)
+	}
+	if res.CRAID.OverallHitRatio() <= 0 {
+		t.Error("no hits recorded")
+	}
+}
+
+func TestRunShortDuration(t *testing.T) {
+	res, err := Run(RunConfig{
+		Trace: "wdev", Scale: 0.2, Duration: 2 * sim.Hour, Strategy: CRAID5, PCPct: 0.008,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests in 2h window")
+	}
+	if res.CRAID.HitRatio(disk.OpRead) < 0 {
+		t.Fatal("bad stats")
+	}
+}

@@ -1,0 +1,338 @@
+// Package experiments reproduces every table and figure of the CRAID
+// paper's evaluation (§5) plus the migration-cost ablation its
+// motivation implies. Each experiment has one entry point returning
+// plain row/series structs; cmd/craidbench prints them paper-style and
+// bench_test.go wraps them in testing.B benchmarks.
+//
+// Scaling. The paper simulates one week against 50×146 GB disks. All
+// experiments here take a volume scale factor: workload volumes AND
+// disk capacities shrink together, preserving the dataset:disk ratio,
+// seek-curve calibration (seek times depend on relative, not absolute,
+// distances) and the P_C:dataset ratio — so the paper's shapes survive
+// scaling while tests run in seconds. Scale 1.0 reproduces paper-scale
+// geometry outright.
+package experiments
+
+import (
+	"fmt"
+
+	"craid/internal/core"
+	"craid/internal/disk"
+	"craid/internal/metrics"
+	"craid/internal/raid"
+	"craid/internal/sim"
+	"craid/internal/trace"
+	"craid/internal/workload"
+)
+
+// Strategy names the six allocation policies of the paper's §5.
+type Strategy string
+
+// The evaluated strategies (Fig. 3).
+const (
+	RAID5         Strategy = "RAID-5"
+	RAID5Plus     Strategy = "RAID-5+"
+	CRAID5        Strategy = "CRAID-5"
+	CRAID5Plus    Strategy = "CRAID-5+"
+	CRAID5SSD     Strategy = "CRAID-5ssd"
+	CRAID5PlusSSD Strategy = "CRAID-5+ssd"
+)
+
+// Strategies returns all six in the paper's order.
+func Strategies() []Strategy {
+	return []Strategy{RAID5, RAID5Plus, CRAID5, CRAID5Plus, CRAID5SSD, CRAID5PlusSSD}
+}
+
+func (s Strategy) IsCRAID() bool { return s != RAID5 && s != RAID5Plus }
+func (s Strategy) usesSSD() bool { return s == CRAID5SSD || s == CRAID5PlusSSD }
+
+// Testbed constants (paper §5).
+const (
+	TestbedDisks       = 50
+	TestbedSSDs        = 5
+	TestbedParityGroup = 10
+	TestbedStripeUnit  = 32 // blocks = 128 KiB
+)
+
+// QuickScale is the default volume scale for tests and benches.
+const QuickScale = 0.002
+
+// ScaleFor returns the volume scale that replays roughly budgetGB of
+// traffic for the named trace (capped at 1.0 = paper scale). Traces
+// differ by three orders of magnitude in volume (proj: 2.5 TB,
+// webresearch: 3.4 GB), so a flat scale either degenerates the small
+// traces or makes the big ones intractable; a volume budget keeps every
+// trace meaningful at comparable simulation cost.
+func ScaleFor(traceName string, budgetGB float64) float64 {
+	p, err := workload.Preset(traceName)
+	if err != nil {
+		return 1
+	}
+	total := p.ReadGB + p.WriteGB
+	if total <= budgetGB {
+		return 1
+	}
+	return budgetGB / total
+}
+
+// PCSizes returns the paper's cache-partition sweep (% per disk,
+// Fig. 4/6 x-axes) for a trace.
+func PCSizes(trace string) []float64 {
+	switch trace {
+	case "cello99", "home02":
+		return []float64{0.02, 0.04, 0.08, 0.16, 0.32}
+	case "deasna":
+		return []float64{0.08, 0.16, 0.32, 0.64, 1.28}
+	case "webresearch", "wdev":
+		return []float64{0.002, 0.004, 0.008, 0.016, 0.032}
+	case "webusers":
+		return []float64{0.004, 0.008, 0.016, 0.032, 0.064}
+	case "proj":
+		return []float64{0.016, 0.032, 0.064, 0.128, 0.256}
+	}
+	return []float64{0.02, 0.04, 0.08, 0.16, 0.32}
+}
+
+// RunConfig describes one simulation.
+type RunConfig struct {
+	Trace    string
+	Scale    float64  // volume scale (1.0 = paper scale); required
+	Duration sim.Time // 0 = the preset's full week
+	Strategy Strategy
+	PCPct    float64 // cache size, % per disk (CRAID variants)
+	Policy   string  // monitor policy; default WLRU (paper §5.1)
+
+	Instant  bool  // instant-service devices (§5.1 policy experiments)
+	PCBlocks int64 // Instant mode: direct P_C capacity override
+
+	// PCLevel selects the cache partition's redundancy (default
+	// RAID-5, the paper's configuration).
+	PCLevel core.PCLevel
+
+	Bursty    bool // bursty, partially sequential arrivals
+	TrackLoad bool // per-disk load → cv samples (Fig. 7)
+	TrackSeq  bool // per-disk sequentiality (Fig. 5)
+}
+
+// RunResult carries everything the tables/figures consume.
+type RunResult struct {
+	Cfg      RunConfig
+	Requests int64
+
+	ReadMean, ReadP99   sim.Time
+	WriteMean, WriteP99 sim.Time
+
+	CRAID *core.Stats // nil for the plain baselines
+
+	CVs      []float64 // per-second coefficient of variation (if tracked)
+	SeqFracs []float64 // per-second sequential fractions (if tracked)
+
+	QueueMean float64
+	QueueP99  int64
+	QueueMax  int64
+	ConcMean  float64
+	ConcP99   int64
+	ConcMax   int64
+}
+
+// Run executes one simulation to completion.
+func Run(cfg RunConfig) (RunResult, error) {
+	if cfg.Scale <= 0 {
+		return RunResult{}, fmt.Errorf("experiments: scale must be positive")
+	}
+	params, err := workload.Preset(cfg.Trace)
+	if err != nil {
+		return RunResult{}, err
+	}
+	params = params.Scaled(cfg.Scale)
+	if cfg.Duration > 0 {
+		params = params.WithDuration(cfg.Duration)
+	}
+	if cfg.Bursty {
+		params = params.WithBursts(12, 300*sim.Microsecond, 0.4)
+	}
+	gen := workload.New(params)
+	dataset := gen.DatasetBlocks()
+
+	eng := sim.NewEngine()
+	vol, arr, err := buildVolume(eng, cfg, dataset)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if cfg.TrackLoad {
+		arr.Load = metrics.NewLoadTracker(arr.Devices(), sim.Second)
+	}
+	var volSeq *metrics.SeqTracker
+	if cfg.TrackSeq {
+		// Fig. 5 measures the volume-level sequentiality of the
+		// redirected logical stream (where CRAID's re-layout of
+		// scattered hot data is visible), not raw per-disk mechanics.
+		volSeq = metrics.NewSeqTracker(sim.Second)
+		if v, ok := vol.(interface {
+			SetVolumeSeq(*metrics.SeqTracker)
+		}); ok {
+			v.SetVolumeSeq(volSeq)
+		}
+	}
+
+	n, err := core.Replay(eng, vol, trace.Clamp(gen, vol.DataBlocks()))
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	res := RunResult{
+		Cfg:       cfg,
+		Requests:  n,
+		ReadMean:  vol.ReadLatency().Mean(),
+		ReadP99:   vol.ReadLatency().Percentile(0.99),
+		WriteMean: vol.WriteLatency().Mean(),
+		WriteP99:  vol.WriteLatency().Percentile(0.99),
+	}
+	if c, ok := vol.(*core.CRAID); ok {
+		res.CRAID = c.Stats()
+	}
+	if arr.Load != nil {
+		res.CVs = arr.Load.CVs()
+	}
+	if volSeq != nil {
+		res.SeqFracs = volSeq.Fractions()
+	}
+	res.QueueMean, res.QueueP99, res.QueueMax = arr.QueueStats()
+	res.ConcMean, res.ConcP99, res.ConcMax = arr.ConcurrencyStats()
+	return res, nil
+}
+
+// buildVolume assembles devices, layouts and the controller for cfg.
+func buildVolume(eng *sim.Engine, cfg RunConfig, dataset int64) (core.Volume, *core.Array, error) {
+	hcfg := disk.CheetahConfig("hdd")
+	diskCap := int64(float64(hcfg.CapacityBlocks) * cfg.Scale)
+
+	// Cache partition size per disk (shared-P_C variants).
+	pcPerDisk := int64(cfg.PCPct / 100 * float64(diskCap))
+	if cfg.Strategy.IsCRAID() && pcPerDisk < TestbedStripeUnit {
+		pcPerDisk = TestbedStripeUnit
+	}
+	paPerDisk := diskCap - pcPerDisk
+	if !cfg.Strategy.IsCRAID() || cfg.Strategy.usesSSD() {
+		paPerDisk = diskCap // archive owns the whole disk
+	}
+
+	// Devices.
+	var devs []disk.Device
+	for i := 0; i < TestbedDisks; i++ {
+		if cfg.Instant {
+			devs = append(devs, disk.NewNullDevice(eng, fmt.Sprintf("null%d", i), 1<<40))
+			continue
+		}
+		c := hcfg
+		c.Name = fmt.Sprintf("hdd%d", i)
+		c.CapacityBlocks = diskCap
+		devs = append(devs, disk.NewHDD(eng, c))
+	}
+	hddIdx := indices(0, TestbedDisks)
+
+	var ssdIdx []int
+	pcTotalPerSSD := pcPerDisk * int64(TestbedDisks) / int64(TestbedSSDs)
+	if cfg.Strategy.usesSSD() {
+		for i := 0; i < TestbedSSDs; i++ {
+			if cfg.Instant {
+				devs = append(devs, disk.NewNullDevice(eng, fmt.Sprintf("nullssd%d", i), 1<<40))
+				continue
+			}
+			sc := disk.MSRSSDConfig(fmt.Sprintf("ssd%d", i))
+			if sc.CapacityBlocks < pcTotalPerSSD {
+				sc.CapacityBlocks = pcTotalPerSSD
+			}
+			devs = append(devs, disk.NewSSD(eng, sc))
+		}
+		ssdIdx = indices(TestbedDisks, TestbedSSDs)
+	}
+	arr := core.NewArray(eng, devs)
+
+	// Archive layouts sized to the full archive region, with the
+	// dataset spread uniformly across it.
+	buildArchive := func(plus bool) (raid.Layout, error) {
+		var inner raid.Layout
+		if plus {
+			inner = raid.NewRAID5Plus(raid.PaperExpansionSizes(), paPerDisk, TestbedStripeUnit)
+		} else {
+			inner = raid.NewRAID5(TestbedDisks, TestbedParityGroup, paPerDisk, TestbedStripeUnit)
+		}
+		if inner.DataBlocks() < dataset {
+			return nil, fmt.Errorf("experiments: dataset (%d blocks) exceeds archive capacity (%d); increase scale or disks",
+				dataset, inner.DataBlocks())
+		}
+		return raid.NewSpreadLayout(inner, dataset), nil
+	}
+
+	ccfg := core.Config{
+		Policy:       cfg.Policy,
+		CachePerDisk: pcPerDisk,
+		ParityGroup:  TestbedParityGroup,
+		StripeUnit:   TestbedStripeUnit,
+		Level:        cfg.PCLevel,
+	}
+	if cfg.Instant && cfg.PCBlocks > 0 {
+		// Policy-quality experiments size P_C directly in blocks.
+		ccfg.StripeUnit = 1
+		ccfg.ParityGroup = TestbedParityGroup
+		perDisk := cfg.PCBlocks / int64(TestbedDisks-TestbedDisks/TestbedParityGroup)
+		if perDisk < 1 {
+			perDisk = 1
+		}
+		ccfg.CachePerDisk = perDisk
+	}
+
+	switch cfg.Strategy {
+	case RAID5:
+		layout, err := buildArchive(false)
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.NewRAIDController(arr, layout, hddIdx, 0), arr, nil
+	case RAID5Plus:
+		layout, err := buildArchive(true)
+		if err != nil {
+			return nil, nil, err
+		}
+		return core.NewRAIDController(arr, layout, hddIdx, 0), arr, nil
+	case CRAID5, CRAID5Plus:
+		layout, err := buildArchive(cfg.Strategy == CRAID5Plus)
+		if err != nil {
+			return nil, nil, err
+		}
+		base := ccfg.CachePerDisk
+		return core.NewCRAID(arr, ccfg, true, hddIdx, 0, layout, hddIdx, base), arr, nil
+	case CRAID5SSD, CRAID5PlusSSD:
+		layout, err := buildArchive(cfg.Strategy == CRAID5PlusSSD)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Dedicated cache: the same total P_C bytes concentrated on the
+		// SSDs (5 devices → parity group = 5).
+		scfg := ccfg
+		scfg.ParityGroup = TestbedSSDs
+		scfg.CachePerDisk = pcTotalPerSSD
+		if cfg.Instant && cfg.PCBlocks > 0 {
+			scfg.StripeUnit = 1
+			scfg.CachePerDisk = maxI64(1, cfg.PCBlocks/int64(TestbedSSDs-1))
+		}
+		return core.NewCRAID(arr, scfg, false, ssdIdx, 0, layout, hddIdx, 0), arr, nil
+	}
+	return nil, nil, fmt.Errorf("experiments: unknown strategy %q", cfg.Strategy)
+}
+
+func indices(from, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = from + i
+	}
+	return out
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

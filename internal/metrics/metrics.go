@@ -1,0 +1,336 @@
+// Package metrics provides the measurement utilities the experiments
+// use: streaming moments (Welford), log-bucketed latency histograms
+// with percentiles, per-interval per-disk load tracking for the
+// coefficient-of-variation distribution analysis (paper §5.3), and
+// per-interval sequentiality tracking (paper Fig. 5).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"craid/internal/sim"
+)
+
+// Welford accumulates streaming mean and variance.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean (normal approximation, as the paper's ±CI error bars).
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return 1.96 * w.Stddev() / math.Sqrt(float64(w.n))
+}
+
+// CV returns the coefficient of variation σ/µ (0 when µ is 0).
+func (w *Welford) CV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.Stddev() / w.mean
+}
+
+// LatencyHist is a latency histogram with logarithmic buckets (~3%
+// resolution), supporting percentiles over millions of samples in
+// constant memory.
+type LatencyHist struct {
+	buckets map[int]int64
+	count   int64
+	sum     float64
+	max     sim.Time
+}
+
+// NewLatencyHist returns an empty histogram.
+func NewLatencyHist() *LatencyHist {
+	return &LatencyHist{buckets: make(map[int]int64)}
+}
+
+const latBucketsPerOctave = 16
+
+func latBucket(t sim.Time) int {
+	if t <= 0 {
+		return 0
+	}
+	return int(math.Floor(math.Log2(float64(t)) * latBucketsPerOctave))
+}
+
+func latBucketValue(b int) sim.Time {
+	return sim.Time(math.Exp2((float64(b) + 0.5) / latBucketsPerOctave))
+}
+
+// Add records one latency sample.
+func (h *LatencyHist) Add(t sim.Time) {
+	h.buckets[latBucket(t)]++
+	h.count++
+	h.sum += float64(t)
+	if t > h.max {
+		h.max = t
+	}
+}
+
+// Count returns the number of samples.
+func (h *LatencyHist) Count() int64 { return h.count }
+
+// Mean returns the exact mean latency.
+func (h *LatencyHist) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return sim.Time(h.sum / float64(h.count))
+}
+
+// Max returns the largest sample.
+func (h *LatencyHist) Max() sim.Time { return h.max }
+
+// Percentile returns the latency at quantile p in [0,1], within the
+// bucket resolution (~3%).
+func (h *LatencyHist) Percentile(p float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	keys := make([]int, 0, len(h.buckets))
+	for b := range h.buckets {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	target := int64(math.Ceil(p * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	if target >= h.count {
+		return h.max
+	}
+	var cum int64
+	for _, b := range keys {
+		cum += h.buckets[b]
+		if cum >= target {
+			v := latBucketValue(b)
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// String summarizes the distribution.
+func (h *LatencyHist) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Percentile(0.5), h.Percentile(0.99), h.max)
+}
+
+// LoadTracker accumulates per-disk I/O volume into fixed time intervals
+// and reports, per interval, the coefficient of variation of the
+// per-disk load — the paper's uniformity metric (§5.3): cv = σ/µ of MB
+// moved per disk per second.
+type LoadTracker struct {
+	interval  sim.Time
+	disks     int
+	current   int64 // index of the interval being accumulated
+	load      []float64
+	intervals []float64 // finished per-interval cv values
+	active    bool      // any load recorded in the current interval
+}
+
+// NewLoadTracker tracks disks devices at the given interval
+// granularity.
+func NewLoadTracker(disks int, interval sim.Time) *LoadTracker {
+	if disks < 1 || interval <= 0 {
+		panic("metrics: invalid LoadTracker parameters")
+	}
+	return &LoadTracker{interval: interval, disks: disks, load: make([]float64, disks)}
+}
+
+// Add records bytes moved on disk at time at.
+func (l *LoadTracker) Add(at sim.Time, diskIdx int, bytes int64) {
+	idx := int64(at / l.interval)
+	for l.current < idx {
+		l.flush()
+	}
+	l.load[diskIdx] += float64(bytes)
+	l.active = true
+}
+
+func (l *LoadTracker) flush() {
+	if l.active {
+		var w Welford
+		for _, v := range l.load {
+			w.Add(v)
+		}
+		l.intervals = append(l.intervals, w.CV())
+		for i := range l.load {
+			l.load[i] = 0
+		}
+		l.active = false
+	}
+	l.current++
+}
+
+// CVs finalizes the current interval and returns the cv of every
+// interval that saw I/O.
+func (l *LoadTracker) CVs() []float64 {
+	if l.active {
+		l.flush()
+	}
+	out := make([]float64, len(l.intervals))
+	copy(out, l.intervals)
+	return out
+}
+
+// Resize changes the number of tracked disks (array expansion). The
+// current interval is flushed first so old and new widths don't mix.
+func (l *LoadTracker) Resize(disks int) {
+	if l.active {
+		l.flush()
+	}
+	l.disks = disks
+	l.load = make([]float64, disks)
+}
+
+// SeqTracker measures access sequentiality per time interval: the
+// fraction of block accesses that start exactly where the previous
+// access on the same disk ended (paper Fig. 5: #SeqAccess/#Accesses
+// aggregated per second).
+type SeqTracker struct {
+	interval sim.Time
+	lastEnd  map[int]int64
+	current  int64
+	seq, tot int64
+	results  []float64
+}
+
+// NewSeqTracker returns a tracker with the given aggregation interval.
+func NewSeqTracker(interval sim.Time) *SeqTracker {
+	if interval <= 0 {
+		panic("metrics: invalid SeqTracker interval")
+	}
+	return &SeqTracker{interval: interval, lastEnd: make(map[int]int64)}
+}
+
+// Add records an access of count blocks at block on diskIdx at time at.
+func (s *SeqTracker) Add(at sim.Time, diskIdx int, block, count int64) {
+	idx := int64(at / s.interval)
+	for s.current < idx {
+		s.flushInterval()
+	}
+	if end, ok := s.lastEnd[diskIdx]; ok && end == block {
+		s.seq++
+	}
+	s.tot++
+	s.lastEnd[diskIdx] = block + count
+}
+
+func (s *SeqTracker) flushInterval() {
+	if s.tot > 0 {
+		s.results = append(s.results, float64(s.seq)/float64(s.tot))
+	}
+	s.seq, s.tot = 0, 0
+	s.current++
+}
+
+// Fractions finalizes the current interval and returns per-interval
+// sequential-access fractions.
+func (s *SeqTracker) Fractions() []float64 {
+	if s.tot > 0 {
+		s.flushInterval()
+	}
+	out := make([]float64, len(s.results))
+	copy(out, s.results)
+	return out
+}
+
+// CDF computes an empirical CDF of samples evaluated at the given
+// points: out[i] = P(X <= at[i]).
+func CDF(samples []float64, at []float64) []float64 {
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	out := make([]float64, len(at))
+	for i, x := range at {
+		out[i] = float64(sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))) /
+			float64(maxInt(len(sorted), 1))
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0..1) of samples by linear
+// interpolation; it copies and sorts internally.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean of samples (0 when empty).
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,217 @@
+// Package migrate models the data-migration cost of RAID upgrade
+// strategies, quantifying the comparison that motivates CRAID (paper
+// §1, §7.2): traditional restriping moves almost everything; minimal
+// strategies move k/N of the data but either unbalance the array
+// (Semi-RR) or constrain the layout (GSR); CRAID moves only the cache
+// partition.
+//
+// Strategies are simulated block-by-block over a sampled dataset so
+// both the migration volume per expansion step and the final placement
+// balance (coefficient of variation of per-disk block counts) are
+// measured rather than asserted.
+package migrate
+
+import (
+	"fmt"
+
+	"craid/internal/metrics"
+)
+
+// StepReport describes one expansion step.
+type StepReport struct {
+	FromDisks int
+	ToDisks   int
+	Moved     int64   // sample blocks relocated in this step
+	MovedFrac float64 // Moved / total sample blocks
+}
+
+// Report is the outcome of running a strategy over a whole expansion
+// schedule.
+type Report struct {
+	Strategy   string
+	Steps      []StepReport
+	TotalMoved int64
+	// FinalCV is the coefficient of variation of per-disk block counts
+	// after the last step: 0 is perfectly balanced.
+	FinalCV float64
+}
+
+// TotalFrac returns total moved blocks as a fraction of the dataset,
+// summed over steps (can exceed 1 for repeatedly-moving strategies).
+func (r *Report) TotalFrac(samples int64) float64 {
+	return float64(r.TotalMoved) / float64(samples)
+}
+
+// Names returns the available strategy names.
+func Names() []string {
+	return []string{"restripe", "semi-rr", "fastscale", "gsr", "craid"}
+}
+
+// Simulate runs the named strategy over schedule (cumulative disk
+// counts, e.g. 10,13,17,22,29,38,50) with a sampled dataset of samples
+// blocks. pcFrac is CRAID's cache-partition size as a fraction of the
+// dataset (ignored by other strategies).
+func Simulate(name string, schedule []int, samples int64, pcFrac float64) (Report, error) {
+	if len(schedule) < 2 {
+		return Report{}, fmt.Errorf("migrate: schedule needs at least two sizes")
+	}
+	for i := 1; i < len(schedule); i++ {
+		if schedule[i] <= schedule[i-1] {
+			return Report{}, fmt.Errorf("migrate: schedule must grow monotonically")
+		}
+	}
+	var s strategy
+	switch name {
+	case "restripe":
+		s = restripe{}
+	case "semi-rr":
+		s = semiRR{}
+	case "fastscale":
+		s = &fastScale{}
+	case "gsr":
+		s = gsr{}
+	case "craid":
+		s = craidStrategy{pcFrac: pcFrac}
+	default:
+		return Report{}, fmt.Errorf("migrate: unknown strategy %q", name)
+	}
+
+	rep := Report{Strategy: name}
+	place := make([]int, samples)
+	n0 := schedule[0]
+	for i := range place {
+		place[i] = i % n0 // initial round-robin layout
+	}
+	for step := 1; step < len(schedule); step++ {
+		from, to := schedule[step-1], schedule[step]
+		moved := s.expand(place, from, to, step)
+		rep.Steps = append(rep.Steps, StepReport{
+			FromDisks: from, ToDisks: to,
+			Moved: moved, MovedFrac: float64(moved) / float64(samples),
+		})
+		rep.TotalMoved += moved
+	}
+
+	final := schedule[len(schedule)-1]
+	counts := make([]float64, final)
+	for _, d := range place {
+		counts[d]++
+	}
+	var w metrics.Welford
+	for _, c := range counts {
+		w.Add(c)
+	}
+	rep.FinalCV = w.CV()
+	return rep, nil
+}
+
+// strategy mutates the placement for one expansion and reports moved
+// blocks.
+type strategy interface {
+	expand(place []int, from, to, round int) int64
+}
+
+// restripe preserves global round-robin order: the approach of
+// conventional reshaping (mdadm, SLAS): block i lives on disk i mod N,
+// so almost every block moves when N changes.
+type restripe struct{}
+
+func (restripe) expand(place []int, _, to, _ int) int64 {
+	var moved int64
+	for i := range place {
+		want := i % to
+		if place[i] != want {
+			place[i] = want
+			moved++
+		}
+	}
+	return moved
+}
+
+// semiRR is the Semi-RR/SCADDAR family: a block moves only when its
+// (re-hashed) target lands on a new disk. Migration is minimal, but
+// repeated expansions skew the distribution (the paper's criticism).
+type semiRR struct{}
+
+func (semiRR) expand(place []int, from, to, round int) int64 {
+	var moved int64
+	for i := range place {
+		h := int(splitmix(uint64(i)*31+uint64(round)) % uint64(to))
+		if h >= from { // target is one of the new disks
+			place[i] = h
+			moved++
+		}
+	}
+	return moved
+}
+
+// fastScale moves exactly (to-from)/to of each old disk's blocks onto
+// the new disks, spread evenly — minimal migration with preserved
+// balance (Zheng & Zhang, FAST '11).
+type fastScale struct {
+	rr int // round-robin cursor over new disks
+}
+
+func (f *fastScale) expand(place []int, from, to, round int) int64 {
+	k := to - from
+	var moved int64
+	// Per old disk, every ⌈to/k⌉-th block moves; deterministic and
+	// exactly proportional.
+	counters := make([]int, from)
+	for i := range place {
+		d := place[i]
+		if d >= from {
+			continue
+		}
+		counters[d]++
+		// Exactly k of every `to` consecutive blocks per disk move.
+		if counters[d]*k%to < k {
+			place[i] = from + f.rr%k
+			f.rr++
+			moved++
+		}
+	}
+	return moved
+}
+
+// gsr (Global Stripe-based Redistribution) moves one contiguous
+// section of the address space onto the new disks, keeping old stripes
+// intact. Minimal movement, but post-upgrade reads of old data use only
+// old disks and reads of moved data only new disks (its performance
+// limitation; paper §7.2).
+type gsr struct{}
+
+func (gsr) expand(place []int, from, to, round int) int64 {
+	k := to - from
+	var moved int64
+	// Move the tail k/to fraction of the (logical) block range.
+	cut := int64(len(place)) * int64(to-k) / int64(to)
+	for i := cut; i < int64(len(place)); i++ {
+		want := from + int(i)%k
+		if place[i] != want {
+			place[i] = want
+			moved++
+		}
+	}
+	return moved
+}
+
+// craidStrategy: the archive does not move at all; each upgrade costs
+// at most one cache-partition refill (invalidate + re-copy of the hot
+// set, paper §4.1). Placement of archive blocks is untouched, so the
+// "balance" measured here is the archive's — CRAID's point is that QoS
+// is carried by P_C, which is always rebuilt balanced across all disks.
+type craidStrategy struct {
+	pcFrac float64
+}
+
+func (c craidStrategy) expand(place []int, from, to, round int) int64 {
+	return int64(c.pcFrac * float64(len(place)))
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

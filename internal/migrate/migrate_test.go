@@ -1,0 +1,126 @@
+package migrate
+
+import (
+	"testing"
+)
+
+var paperSchedule = []int{10, 13, 17, 22, 29, 38, 50}
+
+const samples = 100_000
+
+func run(t *testing.T, name string, pcFrac float64) Report {
+	t.Helper()
+	rep, err := Simulate(name, paperSchedule, samples, pcFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestAllStrategiesRun(t *testing.T) {
+	for _, name := range Names() {
+		rep := run(t, name, 0.01)
+		if len(rep.Steps) != len(paperSchedule)-1 {
+			t.Errorf("%s: %d steps, want %d", name, len(rep.Steps), len(paperSchedule)-1)
+		}
+	}
+	if _, err := Simulate("nosuch", paperSchedule, samples, 0); err == nil {
+		t.Error("unknown strategy did not error")
+	}
+	if _, err := Simulate("restripe", []int{10}, samples, 0); err == nil {
+		t.Error("single-entry schedule did not error")
+	}
+	if _, err := Simulate("restripe", []int{10, 9}, samples, 0); err == nil {
+		t.Error("shrinking schedule did not error")
+	}
+}
+
+func TestRestripeMovesAlmostEverything(t *testing.T) {
+	rep := run(t, "restripe", 0)
+	for _, s := range rep.Steps {
+		if s.MovedFrac < 0.5 {
+			t.Errorf("restripe %d→%d moved only %.0f%%; round-robin preservation moves most blocks",
+				s.FromDisks, s.ToDisks, 100*s.MovedFrac)
+		}
+	}
+	if rep.FinalCV > 0.02 {
+		t.Errorf("restripe final cv = %.4f, want ~0 (perfect balance)", rep.FinalCV)
+	}
+}
+
+func TestMinimalStrategiesMoveProportionally(t *testing.T) {
+	for _, name := range []string{"semi-rr", "fastscale", "gsr"} {
+		rep := run(t, name, 0)
+		for _, s := range rep.Steps {
+			want := float64(s.ToDisks-s.FromDisks) / float64(s.ToDisks)
+			if s.MovedFrac < want*0.5 || s.MovedFrac > want*1.5 {
+				t.Errorf("%s %d→%d moved %.3f of data, want ≈ k/N = %.3f",
+					name, s.FromDisks, s.ToDisks, s.MovedFrac, want)
+			}
+		}
+	}
+}
+
+func TestFastScaleBalancedSemiRRNot(t *testing.T) {
+	fs := run(t, "fastscale", 0)
+	srr := run(t, "semi-rr", 0)
+	if fs.FinalCV > 0.05 {
+		t.Errorf("fastscale final cv = %.4f, want near 0", fs.FinalCV)
+	}
+	if srr.FinalCV <= fs.FinalCV {
+		t.Errorf("semi-rr cv (%.4f) not worse than fastscale (%.4f); paper: Semi-RR unbalances after several expansions",
+			srr.FinalCV, fs.FinalCV)
+	}
+}
+
+func TestCRAIDMovesLeast(t *testing.T) {
+	const pcFrac = 0.0128 // the paper's largest P_C: 1.28% per disk
+	craid := run(t, "craid", pcFrac)
+	for _, other := range []string{"restripe", "semi-rr", "fastscale", "gsr"} {
+		rep := run(t, other, 0)
+		if craid.TotalMoved >= rep.TotalMoved {
+			t.Errorf("CRAID moved %d blocks, %s moved %d; CRAID must migrate least",
+				craid.TotalMoved, other, rep.TotalMoved)
+		}
+	}
+	// Each step costs at most one P_C refill.
+	for _, s := range craid.Steps {
+		if s.MovedFrac > pcFrac*1.01 {
+			t.Errorf("CRAID step moved %.4f of data, want <= pcFrac %.4f", s.MovedFrac, pcFrac)
+		}
+	}
+}
+
+func TestRestripeMatchesExactRule(t *testing.T) {
+	// For a single 4→5 expansion, block i moves iff i%4 != i%5: that is
+	// 16 of every 20 blocks (LCM cycle), i.e. 80%.
+	rep, err := Simulate("restripe", []int{4, 5}, 20_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Steps[0].MovedFrac; got != 0.8 {
+		t.Errorf("4→5 restripe moved %.4f, want exactly 0.8", got)
+	}
+}
+
+func TestGSRStaysInMinimalFamily(t *testing.T) {
+	rep := run(t, "gsr", 0)
+	// Over the whole schedule, a minimal strategy moves Σ k_i/N_i of
+	// the dataset (≈1.41 for the paper's 10→50 schedule); GSR must not
+	// exceed that family budget materially.
+	var minimal float64
+	for i := 1; i < len(paperSchedule); i++ {
+		minimal += float64(paperSchedule[i]-paperSchedule[i-1]) / float64(paperSchedule[i])
+	}
+	if got := rep.TotalFrac(samples); got > minimal*1.1 {
+		t.Errorf("gsr total moved %.3f of dataset, want <= %.3f (minimal family)", got, minimal*1.1)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := run(t, "semi-rr", 0)
+	b := run(t, "semi-rr", 0)
+	if a.TotalMoved != b.TotalMoved || a.FinalCV != b.FinalCV {
+		t.Error("semi-rr simulation not deterministic")
+	}
+}

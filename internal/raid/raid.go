@@ -1,0 +1,362 @@
+// Package raid implements block-address layouts for RAID-0, RAID-5 and
+// RAID-5+ (an aggregation of independently-striped RAID-5 sets, the
+// paper's model of an array that has been expanded several times).
+//
+// A Layout is pure address arithmetic: it maps a logical data block to
+// the disk and on-disk block holding it, and to the location of the
+// parity protecting it. Issuing the actual device I/O — including the
+// read-modify-write cycles that parity updates require — is the job of
+// the controllers in internal/core.
+//
+// RAID-5 here is left-symmetric with rotated parity and configurable
+// parity groups: stripes span all disks, but each group of G disks
+// computes its own parity (paper §5, Fig. 3a), bounding the failure
+// domain while preserving full-array parallelism.
+package raid
+
+import "fmt"
+
+// PBA is a physical block address: a device index within the array and
+// a block offset local to that device (relative to the partition the
+// layout occupies; controllers add the partition base).
+type PBA struct {
+	Disk  int
+	Block int64
+}
+
+// Extent is a run of physically contiguous data blocks on one disk
+// together with the parity run protecting it (Parity.Disk < 0 for
+// layouts without redundancy).
+type Extent struct {
+	Logical int64 // first logical block of the run
+	Data    PBA
+	Parity  PBA
+	Count   int64
+}
+
+// Layout maps logical data blocks to physical locations.
+type Layout interface {
+	// Disks returns the number of devices the layout spans.
+	Disks() int
+	// DataBlocks returns the logical data capacity in blocks.
+	DataBlocks() int64
+	// BlocksPerDisk returns how many blocks the layout occupies on
+	// each device.
+	BlocksPerDisk() int64
+	// StripeUnitBlocks returns the stripe unit size in blocks.
+	StripeUnitBlocks() int64
+	// Locate maps a logical block to its data location.
+	Locate(block int64) PBA
+	// ParityOf returns the parity location protecting the block; ok is
+	// false when the layout has no redundancy.
+	ParityOf(block int64) (pba PBA, ok bool)
+	// ForEachExtent decomposes the logical run [block, block+count)
+	// into per-disk contiguous extents, invoking fn in logical order.
+	ForEachExtent(block, count int64, fn func(Extent))
+}
+
+func checkBlock(l Layout, block, count int64) {
+	if count < 1 || block < 0 || block+count > l.DataBlocks() {
+		panic(fmt.Sprintf("raid: logical run [%d,+%d) out of range (capacity %d)",
+			block, count, l.DataBlocks()))
+	}
+}
+
+// RAID0 stripes data across disks with no redundancy.
+type RAID0 struct {
+	disks    int
+	unit     int64
+	rows     int64
+	capacity int64
+}
+
+// NewRAID0 builds a RAID-0 layout over disks devices, each contributing
+// blocksPerDisk blocks, striped in units of unitBlocks.
+func NewRAID0(disks int, blocksPerDisk, unitBlocks int64) *RAID0 {
+	if disks < 1 || unitBlocks < 1 || blocksPerDisk < unitBlocks {
+		panic("raid: invalid RAID0 parameters")
+	}
+	rows := blocksPerDisk / unitBlocks
+	return &RAID0{
+		disks:    disks,
+		unit:     unitBlocks,
+		rows:     rows,
+		capacity: rows * int64(disks) * unitBlocks,
+	}
+}
+
+// Disks implements Layout.
+func (r *RAID0) Disks() int { return r.disks }
+
+// DataBlocks implements Layout.
+func (r *RAID0) DataBlocks() int64 { return r.capacity }
+
+// BlocksPerDisk implements Layout.
+func (r *RAID0) BlocksPerDisk() int64 { return r.rows * r.unit }
+
+// StripeUnitBlocks implements Layout.
+func (r *RAID0) StripeUnitBlocks() int64 { return r.unit }
+
+// Locate implements Layout.
+func (r *RAID0) Locate(block int64) PBA {
+	checkBlock(r, block, 1)
+	unit := block / r.unit
+	off := block % r.unit
+	row := unit / int64(r.disks)
+	disk := int(unit % int64(r.disks))
+	return PBA{Disk: disk, Block: row*r.unit + off}
+}
+
+// ParityOf implements Layout; RAID-0 has no parity.
+func (r *RAID0) ParityOf(int64) (PBA, bool) { return PBA{Disk: -1}, false }
+
+// ForEachExtent implements Layout.
+func (r *RAID0) ForEachExtent(block, count int64, fn func(Extent)) {
+	forEachUnitRun(r, block, count, fn)
+}
+
+// forEachUnitRun splits [block, block+count) at stripe-unit boundaries;
+// within one unit data is contiguous on a single disk.
+func forEachUnitRun(l Layout, block, count int64, fn func(Extent)) {
+	checkBlock(l, block, count)
+	unit := l.StripeUnitBlocks()
+	for count > 0 {
+		inUnit := unit - block%unit
+		if inUnit > count {
+			inUnit = count
+		}
+		e := Extent{Logical: block, Data: l.Locate(block), Count: inUnit}
+		if p, ok := l.ParityOf(block); ok {
+			e.Parity = p
+		} else {
+			e.Parity = PBA{Disk: -1}
+		}
+		fn(e)
+		block += inUnit
+		count -= inUnit
+	}
+}
+
+// group is one parity group of a RAID-5 layout.
+type group struct {
+	firstDisk int // index of the group's first disk within the array
+	size      int // disks in the group
+	firstData int64
+}
+
+// RAID5 is a left-symmetric rotated-parity layout with parity groups:
+// a stripe row spans all disks; each group of ~groupSize disks holds
+// its own rotated parity unit per row.
+type RAID5 struct {
+	disks      int
+	unit       int64
+	rows       int64
+	groups     []group
+	dataPerRow int64 // data units per row across all groups
+	capacity   int64
+}
+
+// NewRAID5 builds a RAID-5 layout. groupSize disks per parity group
+// (the trailing group may be smaller, but never smaller than 2).
+func NewRAID5(disks int, groupSize int, blocksPerDisk, unitBlocks int64) *RAID5 {
+	if disks < 2 || unitBlocks < 1 || blocksPerDisk < unitBlocks {
+		panic("raid: invalid RAID5 parameters")
+	}
+	if groupSize < 2 || groupSize > disks {
+		groupSize = disks
+	}
+	sizes := splitGroups(disks, groupSize)
+	r := &RAID5{disks: disks, unit: unitBlocks, rows: blocksPerDisk / unitBlocks}
+	first := 0
+	for _, s := range sizes {
+		r.groups = append(r.groups, group{firstDisk: first, size: s, firstData: r.dataPerRow})
+		r.dataPerRow += int64(s - 1)
+		first += s
+	}
+	r.capacity = r.rows * r.dataPerRow * unitBlocks
+	return r
+}
+
+// splitGroups partitions n disks into groups of size g, fixing up a
+// trailing remainder of 1 (a group cannot be a lone parity disk).
+func splitGroups(n, g int) []int {
+	var sizes []int
+	for rem := n; rem > 0; {
+		s := g
+		if s > rem {
+			s = rem
+		}
+		sizes = append(sizes, s)
+		rem -= s
+	}
+	if last := len(sizes) - 1; sizes[last] == 1 {
+		// Borrow one disk from the previous group: ..., g, 1 → g-1, 2.
+		sizes[last-1]--
+		sizes[last]++
+	}
+	return sizes
+}
+
+// Disks implements Layout.
+func (r *RAID5) Disks() int { return r.disks }
+
+// DataBlocks implements Layout.
+func (r *RAID5) DataBlocks() int64 { return r.capacity }
+
+// BlocksPerDisk implements Layout.
+func (r *RAID5) BlocksPerDisk() int64 { return r.rows * r.unit }
+
+// StripeUnitBlocks implements Layout.
+func (r *RAID5) StripeUnitBlocks() int64 { return r.unit }
+
+// DataUnitsPerRow reports how many data stripe units one row holds
+// across all parity groups (the array's effective stripe width).
+func (r *RAID5) DataUnitsPerRow() int64 { return r.dataPerRow }
+
+// locateUnit maps a data unit index to (row, group, slot) coordinates.
+func (r *RAID5) locateUnit(unit int64) (row int64, g group, slot int) {
+	row = unit / r.dataPerRow
+	idx := unit % r.dataPerRow
+	for _, grp := range r.groups {
+		if idx < grp.firstData+int64(grp.size-1) {
+			return row, grp, int(idx - grp.firstData)
+		}
+	}
+	panic("raid: unit index out of range") // unreachable: caller range-checked
+}
+
+// parityPos returns the slot (disk offset within the group) holding
+// parity in the given row: left-symmetric rotation.
+func parityPos(row int64, size int) int {
+	return int(int64(size-1) - row%int64(size))
+}
+
+// Locate implements Layout.
+func (r *RAID5) Locate(block int64) PBA {
+	checkBlock(r, block, 1)
+	unit := block / r.unit
+	off := block % r.unit
+	row, grp, slot := r.locateUnit(unit)
+	pp := parityPos(row, grp.size)
+	diskInGroup := slot
+	if diskInGroup >= pp {
+		diskInGroup++ // skip the parity slot
+	}
+	return PBA{Disk: grp.firstDisk + diskInGroup, Block: row*r.unit + off}
+}
+
+// ParityOf implements Layout.
+func (r *RAID5) ParityOf(block int64) (PBA, bool) {
+	checkBlock(r, block, 1)
+	unit := block / r.unit
+	off := block % r.unit
+	row, grp, _ := r.locateUnit(unit)
+	pp := parityPos(row, grp.size)
+	return PBA{Disk: grp.firstDisk + pp, Block: row*r.unit + off}, true
+}
+
+// ForEachExtent implements Layout.
+func (r *RAID5) ForEachExtent(block, count int64, fn func(Extent)) {
+	forEachUnitRun(r, block, count, fn)
+}
+
+// set is one member array of a RAID-5+ aggregation.
+type set struct {
+	firstDisk  int
+	layout     *RAID5
+	firstBlock int64 // first logical block owned by this set
+}
+
+// RAID5Plus aggregates independent RAID-5 sets, modelling an array that
+// has been expanded several times by adding whole new RAID-5 volumes
+// (paper §5, Fig. 3b). Logical capacity is the concatenation of the
+// sets, exactly as the figure shows (set 0 holds the first blocks, the
+// next set continues after it): a volume grown by appending arrays.
+// This segmentation is what limits RAID-5+ — locality concentrates in
+// one set's few disks, and per-disk data shares differ between sets.
+type RAID5Plus struct {
+	disks    int
+	unit     int64
+	sets     []set
+	capacity int64
+}
+
+// NewRAID5Plus builds an aggregation of RAID-5 sets with the given disk
+// counts (each set is one parity group). The paper's 50-disk testbed
+// uses sizes 10,3,4,5,7,9,12 — a 10-disk original grown by +30% steps.
+func NewRAID5Plus(setSizes []int, blocksPerDisk, unitBlocks int64) *RAID5Plus {
+	if len(setSizes) == 0 {
+		panic("raid: RAID5Plus needs at least one set")
+	}
+	r := &RAID5Plus{unit: unitBlocks}
+	first := 0
+	for _, n := range setSizes {
+		if n < 2 {
+			panic("raid: RAID5Plus set smaller than 2 disks")
+		}
+		l := NewRAID5(n, n, blocksPerDisk, unitBlocks)
+		r.sets = append(r.sets, set{firstDisk: first, layout: l, firstBlock: r.capacity})
+		r.capacity += l.DataBlocks()
+		first += n
+	}
+	r.disks = first
+	return r
+}
+
+// PaperExpansionSizes returns the paper's RAID-5+ growth schedule: a
+// 10-disk array expanded by ~30% per step until 50 disks.
+func PaperExpansionSizes() []int { return []int{10, 3, 4, 5, 7, 9, 12} }
+
+// Disks implements Layout.
+func (r *RAID5Plus) Disks() int { return r.disks }
+
+// DataBlocks implements Layout.
+func (r *RAID5Plus) DataBlocks() int64 { return r.capacity }
+
+// BlocksPerDisk implements Layout.
+func (r *RAID5Plus) BlocksPerDisk() int64 { return r.sets[0].layout.BlocksPerDisk() }
+
+// StripeUnitBlocks implements Layout.
+func (r *RAID5Plus) StripeUnitBlocks() int64 { return r.unit }
+
+// Sets returns the disk count of each member set.
+func (r *RAID5Plus) Sets() []int {
+	sizes := make([]int, len(r.sets))
+	for i, s := range r.sets {
+		sizes[i] = s.layout.Disks()
+	}
+	return sizes
+}
+
+// locateSet finds the set owning a logical block.
+func (r *RAID5Plus) locateSet(block int64) set {
+	for i := len(r.sets) - 1; i >= 0; i-- {
+		if block >= r.sets[i].firstBlock {
+			return r.sets[i]
+		}
+	}
+	panic("raid: block out of range") // unreachable: caller range-checked
+}
+
+// Locate implements Layout.
+func (r *RAID5Plus) Locate(block int64) PBA {
+	checkBlock(r, block, 1)
+	s := r.locateSet(block)
+	p := s.layout.Locate(block - s.firstBlock)
+	p.Disk += s.firstDisk
+	return p
+}
+
+// ParityOf implements Layout.
+func (r *RAID5Plus) ParityOf(block int64) (PBA, bool) {
+	checkBlock(r, block, 1)
+	s := r.locateSet(block)
+	p, ok := s.layout.ParityOf(block - s.firstBlock)
+	p.Disk += s.firstDisk
+	return p, ok
+}
+
+// ForEachExtent implements Layout.
+func (r *RAID5Plus) ForEachExtent(block, count int64, fn func(Extent)) {
+	forEachUnitRun(r, block, count, fn)
+}

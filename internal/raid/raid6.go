@@ -1,0 +1,138 @@
+package raid
+
+// DualParity is implemented by layouts with a second parity device per
+// stripe (RAID-6). Controllers use it to extend the read-modify-write
+// cycle to both parities — the paper's §6 notes the cost of upgrading
+// CRAID to RAID-6 "directly increases with the number of parity
+// blocks"; this layout plus core's write path realizes that cost model.
+type DualParity interface {
+	Layout
+	// QParityOf returns the location of the Q (second) parity
+	// protecting the block.
+	QParityOf(block int64) (PBA, bool)
+}
+
+// RAID6 is a dual-parity layout with rotated P and Q and configurable
+// parity groups, structured like RAID5 but with two parity slots per
+// row in each group.
+type RAID6 struct {
+	disks      int
+	unit       int64
+	rows       int64
+	groups     []group
+	dataPerRow int64
+	capacity   int64
+}
+
+// NewRAID6 builds a RAID-6 layout; groups need at least 4 disks (2
+// data + P + Q).
+func NewRAID6(disks int, groupSize int, blocksPerDisk, unitBlocks int64) *RAID6 {
+	if disks < 4 || unitBlocks < 1 || blocksPerDisk < unitBlocks {
+		panic("raid: invalid RAID6 parameters")
+	}
+	if groupSize < 4 || groupSize > disks {
+		groupSize = disks
+	}
+	sizes := splitGroups(disks, groupSize)
+	for i := len(sizes) - 1; i > 0; i-- {
+		// A RAID-6 group needs >= 4 disks; merge short trailing groups
+		// leftward.
+		if sizes[i] < 4 {
+			sizes[i-1] += sizes[i]
+			sizes = sizes[:i]
+		}
+	}
+	if sizes[0] < 4 {
+		panic("raid: RAID6 needs at least 4 disks per group")
+	}
+	r := &RAID6{disks: disks, unit: unitBlocks, rows: blocksPerDisk / unitBlocks}
+	first := 0
+	for _, s := range sizes {
+		r.groups = append(r.groups, group{firstDisk: first, size: s, firstData: r.dataPerRow})
+		r.dataPerRow += int64(s - 2)
+		first += s
+	}
+	r.capacity = r.rows * r.dataPerRow * unitBlocks
+	return r
+}
+
+// Disks implements Layout.
+func (r *RAID6) Disks() int { return r.disks }
+
+// DataBlocks implements Layout.
+func (r *RAID6) DataBlocks() int64 { return r.capacity }
+
+// BlocksPerDisk implements Layout.
+func (r *RAID6) BlocksPerDisk() int64 { return r.rows * r.unit }
+
+// StripeUnitBlocks implements Layout.
+func (r *RAID6) StripeUnitBlocks() int64 { return r.unit }
+
+// DataUnitsPerRow reports the array's effective stripe width.
+func (r *RAID6) DataUnitsPerRow() int64 { return r.dataPerRow }
+
+func (r *RAID6) locateUnit(unit int64) (row int64, g group, slot int) {
+	row = unit / r.dataPerRow
+	idx := unit % r.dataPerRow
+	for _, grp := range r.groups {
+		if idx < grp.firstData+int64(grp.size-2) {
+			return row, grp, int(idx - grp.firstData)
+		}
+	}
+	panic("raid: unit index out of range") // unreachable: caller range-checked
+}
+
+// parityPositions returns the in-group slots of P and Q for a row:
+// left-symmetric rotation with Q immediately after P (wrapping).
+func parityPositions(row int64, size int) (p, q int) {
+	p = int(int64(size-1) - row%int64(size))
+	q = (p + 1) % size
+	return p, q
+}
+
+// Locate implements Layout.
+func (r *RAID6) Locate(block int64) PBA {
+	checkBlock(r, block, 1)
+	unit := block / r.unit
+	off := block % r.unit
+	row, grp, slot := r.locateUnit(unit)
+	pp, qp := parityPositions(row, grp.size)
+	disk := slot
+	// Skip the parity slots in ascending order.
+	lo, hi := pp, qp
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if disk >= lo {
+		disk++
+	}
+	if disk >= hi {
+		disk++
+	}
+	return PBA{Disk: grp.firstDisk + disk, Block: row*r.unit + off}
+}
+
+// ParityOf implements Layout (the P parity).
+func (r *RAID6) ParityOf(block int64) (PBA, bool) {
+	checkBlock(r, block, 1)
+	unit := block / r.unit
+	off := block % r.unit
+	row, grp, _ := r.locateUnit(unit)
+	pp, _ := parityPositions(row, grp.size)
+	return PBA{Disk: grp.firstDisk + pp, Block: row*r.unit + off}, true
+}
+
+// QParityOf implements DualParity.
+func (r *RAID6) QParityOf(block int64) (PBA, bool) {
+	checkBlock(r, block, 1)
+	unit := block / r.unit
+	off := block % r.unit
+	row, grp, _ := r.locateUnit(unit)
+	_, qp := parityPositions(row, grp.size)
+	return PBA{Disk: grp.firstDisk + qp, Block: row*r.unit + off}, true
+}
+
+// ForEachExtent implements Layout.
+func (r *RAID6) ForEachExtent(block, count int64, fn func(Extent)) {
+	forEachUnitRun(r, block, count, fn)
+}

@@ -1,0 +1,148 @@
+// Package sim implements a deterministic discrete-event simulation
+// engine. It is the substrate under every timed experiment in this
+// repository: disks, RAID controllers and the CRAID core all advance a
+// shared simulated clock by scheduling callbacks on an Engine.
+//
+// The engine is intentionally single-threaded: determinism matters more
+// than parallelism here because experiments assert on exact, repeatable
+// results. Events scheduled for the same instant fire in FIFO order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a simulated instant, measured in integer nanoseconds from the
+// start of the simulation. Integer time keeps event ordering exact; all
+// latency math converts to nanoseconds at the edges.
+type Time int64
+
+// Common simulated durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Hour        Time = 3600 * Second
+)
+
+// MaxTime is the largest representable simulated instant.
+const MaxTime Time = math.MaxInt64
+
+// Duration converts a standard library duration to simulated time.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds reports t as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the instant with millisecond precision, e.g. "12.345ms".
+func (t Time) String() string { return fmt.Sprintf("%.3fms", t.Milliseconds()) }
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among events at the same instant
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation loop. The zero value is not
+// usable; create one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and no pending
+// events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule registers fn to run at the absolute simulated instant at.
+// Scheduling in the past (at < Now) panics: it always indicates a
+// modelling bug, and silently clamping would corrupt causality.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After registers fn to run delay nanoseconds after the current instant.
+func (e *Engine) After(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.Schedule(e.now+delay, fn)
+}
+
+// Stop makes the currently running Run/RunUntil return after the event
+// being processed completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the single earliest pending event and returns true, or
+// returns false if no events remain.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run processes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= deadline, then advances
+// the clock to deadline (if it is in the future) and returns. Events
+// scheduled beyond the deadline stay queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"craid/internal/disk"
+	"craid/internal/sim"
+)
+
+func TestNativeRoundTrip(t *testing.T) {
+	records := []Record{
+		{Time: 0, Op: disk.OpRead, Block: 100, Count: 8},
+		{Time: 1500 * sim.Microsecond, Op: disk.OpWrite, Block: 0, Count: 1},
+		{Time: sim.Hour, Op: disk.OpRead, Block: 1 << 40, Count: 1024},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range records {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewNativeReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("round-tripped %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if got[i] != records[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func TestNativeSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n1 R 5 2\n   \n# tail\n2 W 6 1\n"
+	got, err := ReadAll(NewNativeReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d records, want 2", len(got))
+	}
+	if got[0].Op != disk.OpRead || got[1].Op != disk.OpWrite {
+		t.Error("ops parsed wrong")
+	}
+}
+
+func TestNativeRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"1 R 5",      // missing field
+		"x R 5 2",    // bad time
+		"1 Q 5 2",    // bad op
+		"1 R five 2", // bad block
+		"1 R 5 0",    // zero count
+		"1 R 5 -3",   // negative count
+	} {
+		if _, err := ReadAll(NewNativeReader(strings.NewReader(in))); err == nil {
+			t.Errorf("input %q did not error", in)
+		}
+	}
+}
+
+func TestMSRReader(t *testing.T) {
+	// FILETIME ticks: second record is 10ms after the first.
+	in := strings.Join([]string{
+		"128166372003061629,wdev,0,Read,8192,4096,1331",
+		"128166372003161629,wdev,0,Write,4096,8192,2518",
+		"128166372003261629,wdev,1,Read,0,512,100", // other volume
+	}, "\n")
+	r := NewMSRReader(strings.NewReader(in))
+	r.Volume = 0
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d records, want 2 (volume filter)", len(got))
+	}
+	if got[0].Time != 0 {
+		t.Errorf("first record time = %v, want 0 (rebased)", got[0].Time)
+	}
+	if got[0].Block != 2 || got[0].Count != 1 {
+		t.Errorf("record 0 = %+v, want block 2 count 1", got[0])
+	}
+	if got[1].Time != 10*sim.Millisecond {
+		t.Errorf("second record time = %v, want 10ms", got[1].Time)
+	}
+	if got[1].Op != disk.OpWrite || got[1].Block != 1 || got[1].Count != 2 {
+		t.Errorf("record 1 = %+v, want write block 1 count 2", got[1])
+	}
+}
+
+func TestMSRUnalignedExtent(t *testing.T) {
+	// Offset 6144 size 4096 spans blocks 1..2 (bytes 6144-10239).
+	in := "0,srv,0,Read,6144,4096,1"
+	got, err := ReadAll(NewMSRReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Block != 1 || got[0].Count != 2 {
+		t.Errorf("unaligned extent = %+v, want block 1 count 2", got[0])
+	}
+}
+
+func TestBlkReader(t *testing.T) {
+	in := strings.Join([]string{
+		"100.000000 sda R 64 8",  // sectors 64..71 → block 8, count 1
+		"100.250000 sda W 72 16", // sectors 72..87 → blocks 9..10
+	}, "\n")
+	got, err := ReadAll(NewBlkReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d records, want 2", len(got))
+	}
+	if got[0].Time != 0 || got[0].Block != 8 || got[0].Count != 1 {
+		t.Errorf("record 0 = %+v", got[0])
+	}
+	if got[1].Time != 250*sim.Millisecond || got[1].Block != 9 || got[1].Count != 2 {
+		t.Errorf("record 1 = %+v", got[1])
+	}
+}
+
+func TestWindowFilter(t *testing.T) {
+	records := []Record{
+		{Time: 1 * sim.Second, Block: 1, Count: 1},
+		{Time: 5 * sim.Second, Block: 2, Count: 1},
+		{Time: 9 * sim.Second, Block: 3, Count: 1},
+	}
+	got, err := ReadAll(Window(NewSlice(records), 2*sim.Second, 8*sim.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Block != 2 {
+		t.Fatalf("window = %+v, want only block 2", got)
+	}
+	if got[0].Time != 3*sim.Second {
+		t.Errorf("windowed time = %v, want rebased 3s", got[0].Time)
+	}
+}
+
+func TestClampWrapsAddresses(t *testing.T) {
+	records := []Record{
+		{Block: 1000, Count: 4},
+		{Block: 98, Count: 8}, // would cross the 100-block end
+	}
+	got, err := ReadAll(Clamp(NewSlice(records), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got {
+		if r.Block < 0 || r.Block+r.Count > 100 {
+			t.Errorf("record %d = %+v escapes [0,100)", i, r)
+		}
+	}
+	if got[0].Block != 0 {
+		t.Errorf("clamped block = %d, want 0 (1000 mod 100)", got[0].Block)
+	}
+}
+
+// Property: native round-trip is the identity for all valid records
+// (times at microsecond granularity, the format's resolution).
+func TestPropertyNativeRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		records := make([]Record, int(n%50)+1)
+		for i := range records {
+			records[i] = Record{
+				Time:  sim.Time(rng.Int63n(1<<40)) * sim.Microsecond,
+				Op:    disk.Op(rng.Intn(2)),
+				Block: rng.Int63n(1 << 45),
+				Count: rng.Int63n(1024) + 1,
+			}
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range records {
+			if w.Write(r) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		got, err := ReadAll(NewNativeReader(&buf))
+		if err != nil || len(got) != len(records) {
+			return false
+		}
+		for i := range records {
+			if got[i] != records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSliceReaderEOF(t *testing.T) {
+	s := NewSlice(nil)
+	if _, err := s.Next(); err != io.EOF {
+		t.Errorf("empty slice Next() err = %v, want EOF", err)
+	}
+}
