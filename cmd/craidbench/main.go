@@ -8,17 +8,24 @@
 //	craidbench -figure 4        # one figure (1, 4, 5, 6, 7)
 //	craidbench -budget 2.0      # GB of replayed traffic per trace
 //	craidbench -trace wdev      # restrict figures to one trace
+//	craidbench -parallel 4      # concurrent simulations (default: all cores)
 //
 // The -budget flag scales each workload so roughly that many gigabytes
 // of traffic replay per simulation (volumes and disk capacities shrink
 // together, preserving the paper's ratios). Larger budgets sharpen the
 // curves at proportional CPU cost; the defaults complete in minutes.
+//
+// The -parallel flag bounds how many independent simulation cells run
+// concurrently (each cell owns a private simulation engine, so the
+// matrix is embarrassingly parallel). Results are identical at every
+// parallelism level.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"craid/internal/experiments"
@@ -30,7 +37,9 @@ func main() {
 	figure := flag.String("figure", "", "regenerate one figure: 1, 4, 5, 6 or 7")
 	budget := flag.Float64("budget", 0.5, "replayed GB per trace per simulation")
 	traceName := flag.String("trace", "", "restrict figures to one trace")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations")
 	flag.Parse()
+	experiments.SetParallelism(*parallel)
 
 	r := runner{budget: *budget, trace: *traceName}
 	if *table == "" && *figure == "" {

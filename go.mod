@@ -1,0 +1,3 @@
+module craid
+
+go 1.24

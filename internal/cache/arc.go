@@ -121,6 +121,15 @@ func (a *ARC) Insert(k Key, size int64) (Key, bool) {
 	return victim, evicted
 }
 
+// AccessRun implements Policy via the generic per-key fallback (ARC's
+// ghost-list bookkeeping has no batched shortcut).
+func (a *ARC) AccessRun(k Key, n, size int64) { accessRunGeneric(a, k, n, size) }
+
+// InsertRun implements Policy via the generic per-key fallback.
+func (a *ARC) InsertRun(k Key, n, size int64, evicted func(Key)) {
+	insertRunGeneric(a, k, n, size, evicted)
+}
+
 // replace implements REPLACE(x, p): demote from T1 or T2 into the
 // corresponding ghost list and report the evicted key. inB2 is whether
 // the triggering key was a B2 ghost.

@@ -29,6 +29,15 @@ type Policy interface {
 	// Insert adds non-resident k, evicting a victim if at capacity.
 	// Inserting a resident key is equivalent to Access.
 	Insert(k Key, size int64) (victim Key, evicted bool)
+	// AccessRun records hits on the n consecutive keys k..k+n-1 in
+	// ascending order, exactly as a loop of Access would. Batched so
+	// extent-granularity callers cross the interface once per run.
+	AccessRun(k Key, n, size int64)
+	// InsertRun inserts the n consecutive keys k..k+n-1 in ascending
+	// order, calling evicted for each victim as it is displaced,
+	// exactly as a loop of Insert would. evicted must not call back
+	// into the policy.
+	InsertRun(k Key, n, size int64, evicted func(victim Key))
 	// Remove deletes k if resident, reporting whether it was.
 	Remove(k Key) bool
 	// Clear drops all entries (and any adaptive state that only makes
@@ -77,10 +86,48 @@ func New(name string, capacity int, cfg Config) (Policy, error) {
 // Names returns the canonical policy names in the paper's order.
 func Names() []string { return []string{"LRU", "LFUDA", "GDSF", "ARC", "WLRU"} }
 
+// accessRunGeneric is the per-key fallback for policies without a
+// native batched access path.
+func accessRunGeneric(p Policy, k Key, n, size int64) {
+	for i := int64(0); i < n; i++ {
+		p.Access(k+i, size)
+	}
+}
+
+// insertRunGeneric is the per-key fallback for policies without a
+// native batched insert path.
+func insertRunGeneric(p Policy, k Key, n, size int64, evicted func(Key)) {
+	for i := int64(0); i < n; i++ {
+		if v, ev := p.Insert(k+i, size); ev {
+			evicted(v)
+		}
+	}
+}
+
 // entry is a node of the intrusive LRU list shared by LRU and WLRU.
 type entry struct {
 	key        Key
 	prev, next *entry
+}
+
+// entryPool is a freelist of entries, shared by LRU and WLRU so their
+// steady-state insert/evict/remove churn allocates nothing.
+type entryPool struct{ free *entry }
+
+// get takes an entry from the pool, or allocates.
+func (p *entryPool) get(k Key) *entry {
+	if e := p.free; e != nil {
+		p.free = e.next
+		e.key, e.prev, e.next = k, nil, nil
+		return e
+	}
+	return &entry{key: k}
+}
+
+// put returns a detached entry to the pool.
+func (p *entryPool) put(e *entry) {
+	e.prev, e.next = nil, p.free
+	p.free = e
 }
 
 // lruList is a doubly-linked list with sentinel; front = MRU.

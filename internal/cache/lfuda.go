@@ -133,6 +133,15 @@ func (p *agingPolicy) Insert(k Key, size int64) (Key, bool) {
 	return victim, evicted
 }
 
+// AccessRun implements Policy via the generic per-key fallback (the
+// priority heap re-sifts per key regardless of batching).
+func (p *agingPolicy) AccessRun(k Key, n, size int64) { accessRunGeneric(p, k, n, size) }
+
+// InsertRun implements Policy via the generic per-key fallback.
+func (p *agingPolicy) InsertRun(k Key, n, size int64, evicted func(Key)) {
+	insertRunGeneric(p, k, n, size, evicted)
+}
+
 // Remove implements Policy.
 func (p *agingPolicy) Remove(k Key) bool {
 	e, ok := p.items[k]

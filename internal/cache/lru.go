@@ -7,6 +7,7 @@ type LRU struct {
 	capacity int
 	items    map[Key]*entry
 	list     lruList
+	pool     entryPool
 }
 
 // NewLRU returns an LRU policy holding at most capacity entries.
@@ -46,16 +47,35 @@ func (l *LRU) Insert(k Key, size int64) (Key, bool) {
 	}
 	var victim Key
 	evicted := false
+	var e *entry
 	if len(l.items) >= l.capacity {
 		lru := l.list.back()
 		l.list.remove(lru)
 		delete(l.items, lru.key)
 		victim, evicted = lru.key, true
+		e = lru // reuse the victim's node for the newcomer
+		e.key = k
+	} else {
+		e = l.pool.get(k)
 	}
-	e := &entry{key: k}
 	l.items[k] = e
 	l.list.pushFront(e)
 	return victim, evicted
+}
+
+// AccessRun implements Policy.
+func (l *LRU) AccessRun(k Key, n, size int64) {
+	for i := int64(0); i < n; i++ {
+		if e, ok := l.items[k+i]; ok {
+			l.list.moveFront(e)
+		}
+	}
+}
+
+// InsertRun implements Policy (the per-key loop is already
+// allocation-free thanks to the entry pool).
+func (l *LRU) InsertRun(k Key, n, size int64, evicted func(Key)) {
+	insertRunGeneric(l, k, n, size, evicted)
 }
 
 // Remove implements Policy.
@@ -66,6 +86,7 @@ func (l *LRU) Remove(k Key) bool {
 	}
 	l.list.remove(e)
 	delete(l.items, k)
+	l.pool.put(e)
 	return true
 }
 
@@ -94,6 +115,7 @@ type WLRU struct {
 	dirty    DirtyFunc
 	items    map[Key]*entry
 	list     lruList
+	pool     entryPool
 }
 
 // NewWLRU returns a WLRU policy with scan window w (fraction of
@@ -141,16 +163,34 @@ func (l *WLRU) Insert(k Key, size int64) (Key, bool) {
 	}
 	var victim Key
 	evicted := false
+	var e *entry
 	if len(l.items) >= l.capacity {
 		v := l.pickVictim()
 		l.list.remove(v)
 		delete(l.items, v.key)
 		victim, evicted = v.key, true
+		e = v // reuse the victim's node for the newcomer
+		e.key = k
+	} else {
+		e = l.pool.get(k)
 	}
-	e := &entry{key: k}
 	l.items[k] = e
 	l.list.pushFront(e)
 	return victim, evicted
+}
+
+// AccessRun implements Policy.
+func (l *WLRU) AccessRun(k Key, n, size int64) {
+	for i := int64(0); i < n; i++ {
+		if e, ok := l.items[k+i]; ok {
+			l.list.moveFront(e)
+		}
+	}
+}
+
+// InsertRun implements Policy.
+func (l *WLRU) InsertRun(k Key, n, size int64, evicted func(Key)) {
+	insertRunGeneric(l, k, n, size, evicted)
 }
 
 // pickVictim scans up to window·capacity entries from the LRU end for
@@ -179,6 +219,7 @@ func (l *WLRU) Remove(k Key) bool {
 	}
 	l.list.remove(e)
 	delete(l.items, k)
+	l.pool.put(e)
 	return true
 }
 

@@ -39,6 +39,30 @@ type Array struct {
 
 	queueHist *metrics.LatencyHist // sample unit: queue depth, abusing ns=depth
 	concHist  *metrics.LatencyHist // concurrent busy devices per submit
+
+	// retains[i] reports whether device i keeps the *Request beyond
+	// Submit; devices that don't (instant models) are fed the shared
+	// scratch request, so hot instant-mode runs allocate no requests.
+	retains []bool
+	scratch disk.Request
+
+	// freelists for the per-I/O control structures. The array (like
+	// its engine) is single-threaded, so no locking; fired joins and
+	// completed RMW ops recycle here instead of garbage-collecting at
+	// millions per simulated second.
+	joinFree *join
+	rmwFree  *rmw
+}
+
+// nonRetaining is implemented by device models that drop the *Request
+// before Submit returns.
+type nonRetaining interface{ RetainsRequests() bool }
+
+func retainsRequests(d disk.Device) bool {
+	if nr, ok := d.(nonRetaining); ok {
+		return nr.RetainsRequests()
+	}
+	return true
 }
 
 // queuer is implemented by device models that expose queue state.
@@ -49,12 +73,16 @@ type queuer interface {
 
 // NewArray returns an array over devices.
 func NewArray(eng *sim.Engine, devices []disk.Device) *Array {
-	return &Array{
+	a := &Array{
 		Eng:       eng,
 		devices:   devices,
 		queueHist: metrics.NewLatencyHist(),
 		concHist:  metrics.NewLatencyHist(),
 	}
+	for _, d := range devices {
+		a.retains = append(a.retains, retainsRequests(d))
+	}
+	return a
 }
 
 // Devices returns the device count.
@@ -67,6 +95,9 @@ func (a *Array) Device(i int) disk.Device { return a.devices[i] }
 // widens the load tracker.
 func (a *Array) AddDevices(devs []disk.Device) {
 	a.devices = append(a.devices, devs...)
+	for _, d := range devs {
+		a.retains = append(a.retains, retainsRequests(d))
+	}
 	if a.Load != nil {
 		a.Load.Resize(len(a.devices))
 	}
@@ -115,7 +146,12 @@ func (a *Array) submit(dev int, op disk.Op, block, count int64, trackSeq bool, d
 		}
 		a.concHist.Add(sim.Time(busy))
 	}
-	a.devices[dev].Submit(&disk.Request{Op: op, Block: block, Count: count, Done: done})
+	if a.retains[dev] {
+		a.devices[dev].Submit(&disk.Request{Op: op, Block: block, Count: count, Done: done})
+		return
+	}
+	a.scratch = disk.Request{Op: op, Block: block, Count: count, Done: done}
+	a.devices[dev].Submit(&a.scratch)
 }
 
 // join collects the completions of a dynamic set of I/O branches and
@@ -127,11 +163,32 @@ type join struct {
 	fired   bool
 	last    sim.Time
 	fn      func(sim.Time)
+
+	// completeFn caches the j.complete method value so each branch()
+	// hands out the same func instead of allocating a new one. It is
+	// bound to the join's identity, so it survives pool recycling.
+	completeFn func(sim.Time)
+
+	arr  *Array // owning pool; nil for pool-less joins (tests)
+	next *join  // freelist link
 }
 
-// newJoin returns a join calling fn on completion; fn may be nil
-// (detached background work).
+// newJoin returns an unpooled join calling fn on completion; fn may be
+// nil (detached background work). Hot paths use Array.newJoin instead.
 func newJoin(fn func(sim.Time)) *join { return &join{fn: fn} }
+
+// newJoin returns a pooled join: once fired, it recycles itself onto
+// the array's freelist.
+func (a *Array) newJoin(fn func(sim.Time)) *join {
+	j := a.joinFree
+	if j == nil {
+		return &join{fn: fn, arr: a}
+	}
+	a.joinFree = j.next
+	j.pending, j.sealed, j.fired, j.last = 0, false, false, 0
+	j.fn, j.next = fn, nil
+	return j
+}
 
 // branch registers one more outstanding I/O and returns its completion
 // callback.
@@ -140,7 +197,10 @@ func (j *join) branch() func(sim.Time) {
 		panic("core: branch after seal")
 	}
 	j.pending++
-	return j.complete
+	if j.completeFn == nil {
+		j.completeFn = j.complete
+	}
+	return j.completeFn
 }
 
 func (j *join) complete(at sim.Time) {
@@ -167,8 +227,17 @@ func (j *join) seal(now sim.Time) {
 func (j *join) maybeFire() {
 	if j.sealed && j.pending == 0 && !j.fired {
 		j.fired = true
-		if j.fn != nil {
-			j.fn(j.last)
+		fn, last := j.fn, j.last
+		if j.arr != nil {
+			// A fired join can have no outstanding references: every
+			// branch callback has run and seal was called. Recycle
+			// before running fn — fn must not touch j afterwards.
+			j.fn = nil
+			j.next = j.arr.joinFree
+			j.arr.joinFree = j
+		}
+		if fn != nil {
+			fn(last)
 		}
 	}
 }
@@ -197,6 +266,46 @@ func (s *span) read(j *join, block, count int64) {
 	})
 }
 
+// rmw is one extent's read-modify-write cycle in flight: the pre-read
+// locations double as the write locations. Pooled on the Array so the
+// simulator's hottest control structure allocates nothing at steady
+// state; phase2Fn caches the method value across recycles.
+type rmw struct {
+	arr      *Array
+	devs     [3]int
+	blks     [3]int64
+	nloc     int
+	count    int64
+	writes   func(sim.Time) // fires when all final writes complete
+	phase2Fn func(sim.Time)
+	next     *rmw // freelist link
+}
+
+func (a *Array) newRMW() *rmw {
+	r := a.rmwFree
+	if r == nil {
+		r = &rmw{arr: a}
+		r.phase2Fn = r.phase2
+		return r
+	}
+	a.rmwFree = r.next
+	r.next = nil
+	return r
+}
+
+// phase2 runs when the pre-reads finish: issue the final data+parity
+// writes, then recycle the op.
+func (r *rmw) phase2(sim.Time) {
+	inner := r.arr.newJoin(r.writes)
+	for i := 0; i < r.nloc; i++ {
+		r.arr.submit(r.devs[i], disk.OpWrite, r.blks[i], r.count, i == 0, inner.branch())
+	}
+	inner.seal(r.arr.Eng.Now())
+	r.writes = nil
+	r.next = r.arr.rmwFree
+	r.arr.rmwFree = r
+}
+
 // write issues a small-write against the span. Layouts with parity pay
 // the full read-modify-write cycle per extent: read old data and old
 // parity, then write new data and new parity — the paper's 4 I/Os;
@@ -213,32 +322,23 @@ func (s *span) write(j *join, block, count int64) {
 			s.arr.Submit(s.disks[e.Data.Disk], disk.OpWrite, s.base+e.Data.Block, e.Count, j.branch())
 			return
 		}
-		type loc struct {
-			dev int
-			blk int64
-		}
-		locs := []loc{
-			{s.disks[e.Data.Disk], s.base + e.Data.Block},
-			{s.disks[e.Parity.Disk], s.base + e.Parity.Block},
-		}
+		r := s.arr.newRMW()
+		r.devs[0], r.blks[0] = s.disks[e.Data.Disk], s.base+e.Data.Block
+		r.devs[1], r.blks[1] = s.disks[e.Parity.Disk], s.base+e.Parity.Block
+		r.nloc = 2
 		if dual != nil {
 			if q, ok := dual.QParityOf(e.Logical); ok {
-				locs = append(locs, loc{s.disks[q.Disk], s.base + q.Block})
+				r.devs[2], r.blks[2] = s.disks[q.Disk], s.base+q.Block
+				r.nloc = 3
 			}
 		}
-		n := e.Count
-		writes := j.branch() // completes when all final writes do
-		phase1 := newJoin(func(sim.Time) {
-			inner := newJoin(writes)
-			for i, l := range locs {
-				s.arr.submit(l.dev, disk.OpWrite, l.blk, n, i == 0, inner.branch())
-			}
-			inner.seal(s.arr.Eng.Now())
-		})
+		r.count = e.Count
+		r.writes = j.branch() // completes when all final writes do
+		phase1 := s.arr.newJoin(r.phase2Fn)
 		// The pre-reads (including the old-data read, which retraces
 		// the data position) are RMW mechanics, not access pattern.
-		for _, l := range locs {
-			s.arr.submit(l.dev, disk.OpRead, l.blk, n, false, phase1.branch())
+		for i := 0; i < r.nloc; i++ {
+			s.arr.submit(r.devs[i], disk.OpRead, r.blks[i], r.count, false, phase1.branch())
 		}
 		phase1.seal(s.arr.Eng.Now())
 	})

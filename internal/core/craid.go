@@ -13,6 +13,47 @@ import (
 	"craid/internal/trace"
 )
 
+// Performance notes — extent-run invariants of the monitor hot path.
+//
+// The monitor operates at extent (run) granularity, not block
+// granularity. The load-bearing invariants, relied on throughout
+// readPath/writePath/insertRuns:
+//
+//  1. mapcache.Table.LookupRun answers, in one O(log k) descent, either
+//     "the run of mappings starting here that is contiguous in BOTH
+//     Orig and Cache" (a hit extent — servable with one P_C I/O) or
+//     "the gap to the next mapping" (a miss extent). The per-block
+//     loops of the original implementation — one descent plus one
+//     policy-map operation per block of every request — are gone; a
+//     256-block sequential request costs a handful of descents instead
+//     of ~512.
+//
+//  2. Batched policy traffic must be bit-identical to per-block
+//     traffic: cache.Policy.AccessRun/InsertRun are specified (and
+//     property-tested) to behave exactly like loops of Access/Insert,
+//     so hit, replacement and eviction ratios do not depend on the
+//     batching. Eviction victims surface through InsertRun's callback
+//     in per-block order.
+//
+//  3. Allocation is banished from steady state: the mapping cache and
+//     the LRU/WLRU policies recycle their nodes through freelists, the
+//     insertRuns newborn scratch and the write-back run buffer live on
+//     the CRAID struct, and joins/RMW ops pool on the Array. Monitor
+//     churn (evict + re-insert) allocates nothing.
+//
+//  4. Dirty victims evicted together are written back together:
+//     queueWriteback coalesces victims contiguous in both archive
+//     address and cache slot, and flushWritebacks issues one
+//     read-then-update chain per run (the paper's "4 additional I/Os"
+//     amortized across the run). Write-back reads are flushed before
+//     the batch's allocation writes, preserving order on shared disk
+//     queues.
+//
+// The single-threading assumption stands: one CRAID (like one
+// sim.Engine) is confined to a goroutine; cross-experiment parallelism
+// lives in internal/experiments.RunAll, which runs whole simulations
+// per worker.
+
 // PCLevel selects the redundancy of the cache partition.
 type PCLevel uint8
 
@@ -156,7 +197,49 @@ type CRAID struct {
 	free freeRuns
 	next int64 // bump allocator over P_C data blocks
 
+	pending []bool  // insertRuns newborn scratch, reused across calls
+	wb      []wbRun // pending dirty write-back runs, reused across calls
+	wbFree  *wbOp   // write-back op freelist
+
 	stats Stats
+}
+
+// wbRun is a contiguous run of dirty victims awaiting write-back:
+// blocks orig..orig+n-1 cached at slots slot..slot+n-1.
+type wbRun struct{ orig, slot, n int64 }
+
+// wbOp is one write-back chain in flight: when the P_C read of the
+// evicted copies completes, done issues the archive update. Pooled on
+// the CRAID (fn caches the method value) so dirty evictions allocate
+// nothing at steady state.
+type wbOp struct {
+	c       *CRAID
+	orig, n int64
+	fn      func(sim.Time)
+	next    *wbOp // freelist link
+}
+
+func (c *CRAID) newWBOp(orig, n int64) *wbOp {
+	o := c.wbFree
+	if o == nil {
+		o = &wbOp{c: c}
+		o.fn = o.done
+	} else {
+		c.wbFree = o.next
+		o.next = nil
+	}
+	o.orig, o.n = orig, n
+	return o
+}
+
+// done runs when the P_C read finishes: update P_A, recycle the op.
+func (o *wbOp) done(sim.Time) {
+	c := o.c
+	detached := c.arr.newJoin(nil)
+	c.pa.write(detached, o.orig, o.n)
+	detached.seal(c.arr.Eng.Now())
+	o.next = c.wbFree
+	c.wbFree = o
 }
 
 // NewCRAID assembles a CRAID volume.
@@ -231,7 +314,7 @@ func (c *CRAID) DataBlocks() int64 { return c.pa.layout.DataBlocks() }
 // Submit implements Volume, realizing the paper's Fig. 2 control flow.
 func (c *CRAID) Submit(rec trace.Record, done func(sim.Time)) {
 	now := c.arr.Eng.Now()
-	j := newJoin(c.record(rec.Op, now, done))
+	j := c.arr.newJoin(c.record(rec.Op, now, done))
 	if rec.Op == disk.OpRead {
 		c.readPath(rec, j)
 	} else {
@@ -241,42 +324,28 @@ func (c *CRAID) Submit(rec trace.Record, done func(sim.Time)) {
 }
 
 // readPath serves reads: hits redirect to P_C; misses are served from
-// P_A and copied into P_C in the background.
+// P_A and copied into P_C in the background. Hit and miss extents are
+// discovered at run granularity — one mapping-cache descent per extent
+// instead of one per block (see the performance notes above).
 func (c *CRAID) readPath(rec trace.Record, j *join) {
 	c.stats.ReadBlocks += rec.Count
 	b, end := rec.Block, rec.End()
 	for b < end {
-		if m, ok := c.table.Lookup(b); ok {
-			// Coalesce a run of hits with contiguous cache addresses.
-			n := int64(1)
-			c.policy.Access(b, rec.Count)
-			for b+n < end {
-				m2, ok2 := c.table.Lookup(b + n)
-				if !ok2 || m2.Cache != m.Cache+n {
-					break
-				}
-				c.policy.Access(b+n, rec.Count)
-				n++
-			}
+		if m, n, ok := c.table.LookupRun(b, end-b); ok {
+			// A run of hits with contiguous cache addresses.
+			c.policy.AccessRun(b, n, rec.Count)
 			c.stats.ReadHits += n
 			c.trackSeq(c.arr.Eng.Now(), 0, m.Cache, n)
 			c.pc.read(j, m.Cache, n)
 			b += n
 		} else {
-			// Coalesce a run of misses.
-			n := int64(1)
-			for b+n < end {
-				if _, ok2 := c.table.Lookup(b + n); ok2 {
-					break
-				}
-				n++
-			}
-			// Serve the client from P_A; once the data is in memory,
-			// copy it into P_C in the background (B.1/B.2 in Fig. 2).
+			// A run of misses: serve the client from P_A; once the data
+			// is in memory, copy it into P_C in the background (B.1/B.2
+			// in Fig. 2).
 			start, cnt := b, n
 			c.trackSeq(c.arr.Eng.Now(), 1, start, cnt)
 			jb := j.branch()
-			sub := newJoin(func(at sim.Time) {
+			sub := c.arr.newJoin(func(at sim.Time) {
 				jb(at)
 				c.copyIn(start, cnt, disk.OpRead)
 			})
@@ -289,35 +358,20 @@ func (c *CRAID) readPath(rec trace.Record, j *join) {
 
 // writePath serves writes: always into P_C (allocate on miss), marking
 // blocks dirty. Parity in P_C is maintained with read-modify-write.
+// Like readPath, hit and miss extents are discovered at run
+// granularity.
 func (c *CRAID) writePath(rec trace.Record, j *join) {
 	c.stats.WriteBlocks += rec.Count
 	b, end := rec.Block, rec.End()
 	for b < end {
-		if m, ok := c.table.Lookup(b); ok {
-			n := int64(1)
-			c.policy.Access(b, rec.Count)
-			c.table.SetDirty(b, true)
-			for b+n < end {
-				m2, ok2 := c.table.Lookup(b + n)
-				if !ok2 || m2.Cache != m.Cache+n {
-					break
-				}
-				c.policy.Access(b+n, rec.Count)
-				c.table.SetDirty(b+n, true)
-				n++
-			}
+		if m, n, ok := c.table.LookupRun(b, end-b); ok {
+			c.policy.AccessRun(b, n, rec.Count)
+			c.table.SetDirtyRun(b, n, true)
 			c.stats.WriteHits += n
 			c.trackSeq(c.arr.Eng.Now(), 0, m.Cache, n)
 			c.pc.write(j, m.Cache, n)
 			b += n
 		} else {
-			n := int64(1)
-			for b+n < end {
-				if _, ok2 := c.table.Lookup(b + n); ok2 {
-					break
-				}
-				n++
-			}
 			c.insertRuns(j, b, n, true, disk.OpWrite, rec.Count)
 			b += n
 		}
@@ -328,7 +382,7 @@ func (c *CRAID) writePath(rec trace.Record, j *join) {
 // client was already served from P_A).
 func (c *CRAID) copyIn(b, n int64, byOp disk.Op) {
 	c.stats.CopyIns += n
-	detached := newJoin(nil)
+	detached := c.arr.newJoin(nil)
 	c.insertRuns(detached, b, n, false, byOp, n)
 	detached.seal(c.arr.Eng.Now())
 }
@@ -337,81 +391,73 @@ func (c *CRAID) copyIn(b, n int64, byOp disk.Op) {
 // updates the mapping cache and policy (evicting as needed), and issues
 // the P_C writes attached to j. Each uncached sub-run is evicted-for
 // first and then allocated as a whole, so related blocks land in
-// contiguous slots — the "long sequential chains" of §4.1.
+// contiguous slots — the "long sequential chains" of §4.1. All work is
+// done at extent granularity: one LookupRun per sub-run, one policy
+// InsertRun per batch, one mapcache InsertRun per allocated fragment.
 func (c *CRAID) insertRuns(j *join, b, n int64, dirty bool, byOp disk.Op, reqSize int64) {
 	for i := int64(0); i < n; {
 		blk := b + i
-		if m, ok := c.table.Lookup(blk); ok {
-			// Already cached: a concurrent request inserted the block
+		m, run, ok := c.table.LookupRun(blk, n-i)
+		if ok {
+			// Already cached: a concurrent request inserted the blocks
 			// between our miss and this (possibly deferred) insert.
-			c.policy.Access(blk, reqSize)
+			c.policy.AccessRun(blk, run, reqSize)
 			if dirty {
-				c.table.SetDirty(blk, true)
-				c.pc.write(j, m.Cache, 1)
+				c.table.SetDirtyRun(blk, run, true)
+				c.pc.write(j, m.Cache, run)
 			}
-			i++
+			i += run
 			continue
 		}
-		// Maximal uncached sub-run starting here.
-		run := int64(1)
-		for i+run < n {
-			if _, ok := c.table.Lookup(b + i + run); ok {
-				break
-			}
-			run++
-		}
+		// run is the maximal uncached sub-run starting here.
+		//
 		// Make room first: these insertions may evict, freeing slots
 		// the allocation below can then claim as contiguous runs. A
 		// victim may be a block of this very batch (possible under
 		// priority policies like GDSF, where a large new entry can rank
 		// last immediately): such newborns are simply dropped — they
-		// have no mapping and no cached data yet.
-		pending := make(map[int64]bool, run)
-		for k := int64(0); k < run; k++ {
-			pending[b+i+k] = true
+		// have no mapping and no cached data yet. pending[k] tracks
+		// whether newborn blk+k still stands; the buffer is reused
+		// across calls (the monitor is single-threaded and insertRuns
+		// never re-enters itself).
+		if int64(cap(c.pending)) < run {
+			c.pending = make([]bool, run)
 		}
-		for k := int64(0); k < run; k++ {
-			blk := b + i + k
-			if !pending[blk] {
-				continue // evicted as a newborn by a later sibling
-			}
-			if victim, evicted := c.policy.Insert(blk, reqSize); evicted {
-				if pending[victim] {
-					// The insert displaced a sibling newborn: still a
-					// replacement for the ratio accounting, but there
-					// is nothing cached to clean up.
-					delete(pending, victim)
-					c.stats.Evictions++
-					if byOp == disk.OpRead {
-						c.stats.ReadEvictions++
-					} else {
-						c.stats.WriteEvictions++
-					}
-					continue
+		pending := c.pending[:run]
+		for k := range pending {
+			pending[k] = true
+		}
+		c.policy.InsertRun(blk, run, reqSize, func(victim cache.Key) {
+			if off := victim - blk; off >= 0 && off < run && pending[off] {
+				// The insert displaced a sibling newborn: still a
+				// replacement for the ratio accounting, but there
+				// is nothing cached to clean up.
+				pending[off] = false
+				c.stats.Evictions++
+				if byOp == disk.OpRead {
+					c.stats.ReadEvictions++
+				} else {
+					c.stats.WriteEvictions++
 				}
-				c.evict(victim, byOp)
+				return
 			}
-		}
+			c.evict(victim, byOp)
+		})
+		c.flushWritebacks()
 		// Allocate fragments and bind mappings for surviving blocks,
 		// keeping sub-runs of consecutive survivors together.
 		for k := int64(0); k < run; {
-			if !pending[b+i+k] {
+			if !pending[k] {
 				k++
 				continue
 			}
 			m := int64(1)
-			for k+m < run && pending[b+i+k+m] {
+			for k+m < run && pending[k+m] {
 				m++
 			}
 			for off := int64(0); off < m; {
 				start, got := c.allocRun(m - off)
-				for x := int64(0); x < got; x++ {
-					c.table.Insert(mapcache.Mapping{
-						Orig:  b + i + k + off + x,
-						Cache: start + x,
-						Dirty: dirty,
-					})
-				}
+				c.table.InsertRun(blk+k+off, start, got, dirty)
 				if dirty {
 					// Client-visible write stream at its redirected
 					// address.
@@ -426,10 +472,11 @@ func (c *CRAID) insertRuns(j *join, b, n int64, dirty bool, byOp disk.Op, reqSiz
 	}
 }
 
-// evict removes a victim chosen by the policy: dirty copies are written
-// back to P_A (1 read from P_C, then the 2-read/2-write parity update
-// in P_A — the paper's "4 additional I/Os"); clean copies are dropped
-// for free.
+// evict removes a victim chosen by the policy: dirty copies are queued
+// for write-back to P_A, clean copies are dropped for free. The actual
+// write-back I/O is issued by flushWritebacks, which coalesces victims
+// evicted together — replacement sweeps walk blocks that were inserted
+// together, so their runs are long.
 func (c *CRAID) evict(victim cache.Key, byOp disk.Op) {
 	m, ok := c.table.Lookup(victim)
 	if !ok {
@@ -447,21 +494,38 @@ func (c *CRAID) evict(victim cache.Key, byOp disk.Op) {
 	if m.Dirty {
 		c.stats.DirtyEvictions++
 		c.stats.Writebacks++
-		slot := m.Cache
-		orig := victim
-		// Read the current copy from P_C, then update P_A.
-		sub := newJoin(func(sim.Time) {
-			detached := newJoin(nil)
-			c.pa.write(detached, orig, 1)
-			detached.seal(c.arr.Eng.Now())
-		})
-		c.pc.read(sub, slot, 1)
-		sub.seal(c.arr.Eng.Now())
+		c.queueWriteback(victim, m.Cache)
 	}
 	// The slot is reusable immediately: the simulator models timing,
-	// not data, and the in-flight write-back read was issued first so
-	// it is ordered ahead of any reuse on the same disk queue.
+	// not data, and the write-back read is flushed before any reuse is
+	// issued, so it is ordered ahead on the same disk queue.
 	c.freeSlot(m.Cache)
+}
+
+// queueWriteback records one dirty victim, extending the previous run
+// when both its archive address and cache slot are contiguous.
+func (c *CRAID) queueWriteback(orig, slot int64) {
+	if last := len(c.wb) - 1; last >= 0 &&
+		c.wb[last].orig+c.wb[last].n == orig &&
+		c.wb[last].slot+c.wb[last].n == slot {
+		c.wb[last].n++
+		return
+	}
+	c.wb = append(c.wb, wbRun{orig: orig, slot: slot, n: 1})
+}
+
+// flushWritebacks issues the queued dirty write-backs, one I/O chain
+// per contiguous run: read the current copies from P_C, then update
+// P_A (the 2-read/2-write parity update per extent — the paper's "4
+// additional I/Os", amortized over the run).
+func (c *CRAID) flushWritebacks() {
+	for _, r := range c.wb {
+		o := c.newWBOp(r.orig, r.n)
+		sub := c.arr.newJoin(o.fn)
+		c.pc.read(sub, r.slot, r.n)
+		sub.seal(c.arr.Eng.Now())
+	}
+	c.wb = c.wb[:0]
 }
 
 // Expand performs the online upgrade (paper §4.1): dirty blocks are
@@ -474,15 +538,9 @@ func (c *CRAID) Expand(newDevs []disk.Device) ExpandStats {
 	for _, m := range c.table.DirtyMappings() {
 		st.DirtyWriteback++
 		c.stats.Writebacks++
-		slot, orig := m.Cache, m.Orig
-		sub := newJoin(func(sim.Time) {
-			detached := newJoin(nil)
-			c.pa.write(detached, orig, 1)
-			detached.seal(c.arr.Eng.Now())
-		})
-		c.pc.read(sub, slot, 1)
-		sub.seal(c.arr.Eng.Now())
+		c.queueWriteback(m.Orig, m.Cache)
 	}
+	c.flushWritebacks()
 	c.table.Clear()
 	c.stats.Expansions++
 	if len(newDevs) > 0 {
@@ -556,7 +614,7 @@ func (c *CRAID) ExpandRetain(newDevs []disk.Device) ExpandStats {
 		start, n := slots[i], int64(j-i)
 		st.Migrated += n
 		sub := newJoin(func(sim.Time) {
-			detached := newJoin(nil)
+			detached := c.arr.newJoin(nil)
 			c.pc.write(detached, start, n)
 			detached.seal(c.arr.Eng.Now())
 		})

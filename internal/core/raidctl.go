@@ -89,7 +89,7 @@ func (c *RAIDController) DataBlocks() int64 { return c.span.layout.DataBlocks() 
 func (c *RAIDController) Submit(rec trace.Record, done func(sim.Time)) {
 	now := c.span.arr.Eng.Now()
 	c.trackSeq(now, 0, rec.Block, rec.Count)
-	j := newJoin(c.record(rec.Op, now, done))
+	j := c.span.arr.newJoin(c.record(rec.Op, now, done))
 	if rec.Op == disk.OpRead {
 		c.span.read(j, rec.Block, rec.Count)
 	} else {

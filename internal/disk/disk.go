@@ -142,13 +142,16 @@ func (d *NullDevice) Submit(r *Request) {
 		d.stats.Writes++
 		d.stats.BlocksWrite += r.Count
 	}
-	done := r.Done
-	d.eng.After(0, func() {
-		if done != nil {
-			done(d.eng.Now())
-		}
-	})
+	if r.Done != nil {
+		// Zero-delay timed event: preserves callback ordering without
+		// allocating a wrapper closure per request.
+		d.eng.AfterTimed(0, r.Done)
+	}
 }
+
+// RetainsRequests reports that NullDevice never keeps a *Request past
+// Submit, so callers may reuse the request structure immediately.
+func (d *NullDevice) RetainsRequests() bool { return false }
 
 // CapacityBlocks implements Device.
 func (d *NullDevice) CapacityBlocks() int64 { return d.capacity }

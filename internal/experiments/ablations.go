@@ -26,9 +26,9 @@ type PCLevelRow struct {
 // RAID-6 cache partitions: the §6 trade-off between parity safety and
 // parity-update cost, made measurable.
 func AblationPCLevel(traceName string, scale, pcPct float64) ([]PCLevelRow, error) {
-	var rows []PCLevelRow
+	var cfgs []RunConfig
 	for _, level := range []core.PCLevel{core.PCRaid0, core.PCRaid5, core.PCRaid6} {
-		res, err := Run(RunConfig{
+		cfgs = append(cfgs, RunConfig{
 			Trace:    traceName,
 			Scale:    scale,
 			Strategy: CRAID5,
@@ -36,16 +36,20 @@ func AblationPCLevel(traceName string, scale, pcPct float64) ([]PCLevelRow, erro
 			PCLevel:  level,
 			Bursty:   true,
 		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, PCLevelRow{
-			Level:     level,
+	}
+	results, err := RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PCLevelRow, len(results))
+	for i, res := range results {
+		rows[i] = PCLevelRow{
+			Level:     res.Cfg.PCLevel,
 			ReadMean:  res.ReadMean,
 			WriteMean: res.WriteMean,
 			HitRead:   res.CRAID.HitRatio(disk.OpRead),
 			HitWrite:  res.CRAID.HitRatio(disk.OpWrite),
-		})
+		}
 	}
 	return rows, nil
 }

@@ -86,9 +86,10 @@ func PolicyNamesPaper() []string { return []string{"LRU", "LFUDA", "GDSF", "ARC"
 
 // Tables2and3 evaluates every policy on every trace with a P_C of 0.1%
 // of the weekly working set, using the instant disk model, exactly as
-// §5.1 does. Each workload scales to roughly budgetGB of traffic.
+// §5.1 does. Each workload scales to roughly budgetGB of traffic. The
+// trace × policy cells run concurrently (see RunAll).
 func Tables2and3(budgetGB float64) ([]PolicyRow, error) {
-	var rows []PolicyRow
+	var cfgs []RunConfig
 	for _, traceName := range workload.PresetNames() {
 		p, err := workload.Preset(traceName)
 		if err != nil {
@@ -101,7 +102,7 @@ func Tables2and3(budgetGB float64) ([]PolicyRow, error) {
 			pcBlocks = 50
 		}
 		for _, policy := range PolicyNamesPaper() {
-			res, err := Run(RunConfig{
+			cfgs = append(cfgs, RunConfig{
 				Trace:    traceName,
 				Scale:    scale,
 				Strategy: CRAID5,
@@ -109,15 +110,19 @@ func Tables2and3(budgetGB float64) ([]PolicyRow, error) {
 				Instant:  true,
 				PCBlocks: pcBlocks,
 			})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, PolicyRow{
-				Trace:            traceName,
-				Policy:           policy,
-				HitRatio:         res.CRAID.OverallHitRatio(),
-				ReplacementRatio: res.CRAID.ReplacementRatio(),
-			})
+		}
+	}
+	results, err := RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PolicyRow, len(results))
+	for i, res := range results {
+		rows[i] = PolicyRow{
+			Trace:            res.Cfg.Trace,
+			Policy:           res.Cfg.Policy,
+			HitRatio:         res.CRAID.OverallHitRatio(),
+			ReplacementRatio: res.CRAID.ReplacementRatio(),
 		}
 	}
 	return rows, nil
@@ -145,42 +150,46 @@ type SweepResult struct {
 
 // ResponseTimeSweep regenerates the Fig. 4 (reads) and Fig. 6 (writes)
 // series for one trace: every strategy at every cache size (plain
-// baselines once, since they have no P_C). pcSizes nil uses the paper's
-// sweep for the trace.
+// baselines once, since they have no P_C), run concurrently. pcSizes
+// nil uses the paper's sweep for the trace.
 func ResponseTimeSweep(traceName string, scale float64, pcSizes []float64) (SweepResult, error) {
 	if pcSizes == nil {
 		pcSizes = PCSizes(traceName)
 	}
-	out := SweepResult{Trace: traceName}
+	var cfgs []RunConfig
 	for _, strat := range Strategies() {
 		sizes := pcSizes
 		if !strat.IsCRAID() {
 			sizes = pcSizes[:1] // baselines don't vary with P_C
 		}
 		for _, pct := range sizes {
-			res, err := Run(RunConfig{
+			cfgs = append(cfgs, RunConfig{
 				Trace:    traceName,
 				Scale:    scale,
 				Strategy: strat,
 				PCPct:    pct,
 			})
-			if err != nil {
-				return out, err
-			}
-			pt := SweepPoint{
-				Strategy:  strat,
-				PCPct:     pct,
-				ReadMean:  res.ReadMean,
-				WriteMean: res.WriteMean,
-			}
-			if res.CRAID != nil {
-				pt.ReadHit = res.CRAID.HitRatio(disk.OpRead)
-				pt.WriteHit = res.CRAID.HitRatio(disk.OpWrite)
-				pt.ReadEviction = res.CRAID.EvictionRatio(disk.OpRead)
-				pt.WriteEviction = res.CRAID.EvictionRatio(disk.OpWrite)
-			}
-			out.Points = append(out.Points, pt)
 		}
+	}
+	out := SweepResult{Trace: traceName}
+	results, err := RunAll(cfgs)
+	if err != nil {
+		return out, err
+	}
+	for _, res := range results {
+		pt := SweepPoint{
+			Strategy:  res.Cfg.Strategy,
+			PCPct:     res.Cfg.PCPct,
+			ReadMean:  res.ReadMean,
+			WriteMean: res.WriteMean,
+		}
+		if res.CRAID != nil {
+			pt.ReadHit = res.CRAID.HitRatio(disk.OpRead)
+			pt.WriteHit = res.CRAID.HitRatio(disk.OpWrite)
+			pt.ReadEviction = res.CRAID.EvictionRatio(disk.OpRead)
+			pt.WriteEviction = res.CRAID.EvictionRatio(disk.OpWrite)
+		}
+		out.Points = append(out.Points, pt)
 	}
 	return out, nil
 }
@@ -225,9 +234,9 @@ type Figure5Series struct {
 // (the paper shows cello99 and webusers; any preset works). Uses
 // bursty arrivals so scan-like streams exist to be sequentialized.
 func Figure5(traceName string, scale, pcPct float64) ([]Figure5Series, error) {
-	var out []Figure5Series
+	var cfgs []RunConfig
 	for _, strat := range []Strategy{RAID5, RAID5Plus, CRAID5, CRAID5Plus} {
-		res, err := Run(RunConfig{
+		cfgs = append(cfgs, RunConfig{
 			Trace:    traceName,
 			Scale:    scale,
 			Strategy: strat,
@@ -235,18 +244,22 @@ func Figure5(traceName string, scale, pcPct float64) ([]Figure5Series, error) {
 			Bursty:   true,
 			TrackSeq: true,
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Figure5Series, len(results))
+	for i, res := range results {
 		qs := make([]float64, 11)
-		for i := range qs {
-			qs[i] = metrics.Quantile(res.SeqFracs, float64(i)/10)
+		for j := range qs {
+			qs[j] = metrics.Quantile(res.SeqFracs, float64(j)/10)
 		}
-		out = append(out, Figure5Series{
-			Strategy:  strat,
+		out[i] = Figure5Series{
+			Strategy:  res.Cfg.Strategy,
 			Quantiles: qs,
 			Mean:      metrics.Mean(res.SeqFracs),
-		})
+		}
 	}
 	return out, nil
 }
@@ -267,23 +280,21 @@ type Table5Row struct {
 // Table5 reproduces the wdev comparison at P_C = 0.002% with bursty
 // arrivals (queue dynamics need load).
 func Table5(scale float64) ([]Table5Row, error) {
-	var rows []Table5Row
-	for _, strat := range []Strategy{CRAID5Plus, CRAID5PlusSSD} {
-		res, err := Run(RunConfig{
-			Trace:    "wdev",
-			Scale:    scale,
-			Strategy: strat,
-			PCPct:    0.002,
-			Bursty:   true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table5Row{
-			Strategy:  strat,
+	cfgs := []RunConfig{
+		{Trace: "wdev", Scale: scale, Strategy: CRAID5Plus, PCPct: 0.002, Bursty: true},
+		{Trace: "wdev", Scale: scale, Strategy: CRAID5PlusSSD, PCPct: 0.002, Bursty: true},
+	}
+	results, err := RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table5Row, len(results))
+	for i, res := range results {
+		rows[i] = Table5Row{
+			Strategy:  res.Cfg.Strategy,
 			QueueMean: res.QueueMean, QueueP99: res.QueueP99, QueueMax: res.QueueMax,
 			ConcMean: res.ConcMean, ConcP99: res.ConcP99, ConcMax: res.ConcMax,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -309,14 +320,14 @@ func Figure7(traceName string, scale float64, pcSizes []float64) ([]Figure7Serie
 	if pcSizes == nil {
 		pcSizes = PCSizes(traceName)
 	}
-	var out []Figure7Series
+	var cfgs []RunConfig
 	for _, strat := range Strategies() {
 		sizes := pcSizes
 		if !strat.IsCRAID() {
 			sizes = pcSizes[:1]
 		}
 		for _, pct := range sizes {
-			res, err := Run(RunConfig{
+			cfgs = append(cfgs, RunConfig{
 				Trace:     traceName,
 				Scale:     scale,
 				Strategy:  strat,
@@ -324,15 +335,19 @@ func Figure7(traceName string, scale float64, pcSizes []float64) ([]Figure7Serie
 				Bursty:    true,
 				TrackLoad: true,
 			})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Figure7Series{
-				Strategy: strat,
-				PCPct:    pct,
-				CDF:      metrics.CDF(res.CVs, CVGrid),
-				MeanCV:   metrics.Mean(res.CVs),
-			})
+		}
+	}
+	results, err := RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Figure7Series, len(results))
+	for i, res := range results {
+		out[i] = Figure7Series{
+			Strategy: res.Cfg.Strategy,
+			PCPct:    res.Cfg.PCPct,
+			CDF:      metrics.CDF(res.CVs, CVGrid),
+			MeanCV:   metrics.Mean(res.CVs),
 		}
 	}
 	return out, nil

@@ -43,6 +43,16 @@ type Table struct {
 	root *node
 	size int
 	log  io.Writer // optional persistent dirty log
+
+	// freelist of removed nodes, chained through right: the monitor
+	// continuously evicts and re-inserts mappings, so steady-state
+	// churn allocates nothing.
+	free *node
+
+	// scratch for the last insert descent (replacement detection
+	// without a second Lookup descent when logging is enabled).
+	replaced Mapping
+	existed  bool
 }
 
 // New returns an empty table.
@@ -81,17 +91,23 @@ func (t *Table) Lookup(orig int64) (Mapping, bool) {
 
 // Insert adds or replaces the mapping for m.Orig.
 func (t *Table) Insert(m Mapping) {
-	old, existed := Mapping{}, false
-	if t.log != nil {
-		old, existed = t.Lookup(m.Orig)
-	}
+	t.existed = false
 	t.root = t.insert(t.root, m)
 	switch {
 	case m.Dirty:
 		t.appendLog(logInsert, m)
-	case existed && old.Dirty:
+	case t.existed && t.replaced.Dirty:
 		// A clean copy replaced a dirty one: the dirty state is gone.
 		t.appendLog(logClean, Mapping{Orig: m.Orig})
+	}
+}
+
+// InsertRun adds or replaces the n mappings orig+i → cache+i for
+// 0 <= i < n, all with the same dirty flag — equivalent to a loop of
+// Insert over consecutive addresses.
+func (t *Table) InsertRun(orig, cache, n int64, dirty bool) {
+	for i := int64(0); i < n; i++ {
+		t.Insert(Mapping{Orig: orig + i, Cache: cache + i, Dirty: dirty})
 	}
 }
 
@@ -129,6 +145,174 @@ func (t *Table) SetDirty(orig int64, dirty bool) bool {
 		}
 	}
 	return false
+}
+
+// LookupRun inspects the run starting at orig in a single descent.
+//
+// If orig is mapped it returns its mapping, ok=true, and n = the length
+// (capped at max) of the contiguous run of mappings starting at orig
+// whose Orig AND Cache addresses both advance by one per entry — the
+// extent a redirector can serve with one cache-partition I/O.
+//
+// If orig is unmapped it returns ok=false and n = the number of
+// consecutive unmapped addresses starting at orig (capped at max), i.e.
+// the gap to the next mapping.
+//
+// The run is discovered by walking in-order successors from the initial
+// descent's search path, so a whole extent costs one O(log k) descent
+// plus O(n) amortized pointer chasing instead of n descents.
+func (t *Table) LookupRun(orig, max int64) (m Mapping, n int64, ok bool) {
+	if max <= 0 {
+		return Mapping{}, 0, false
+	}
+	// Descend to orig, stacking the pending in-order successors (the
+	// nodes where the search went left).
+	var buf [48]*node // fits the AVL height of ~2^33 entries
+	stack := buf[:0]
+	cur := t.root
+	for cur != nil {
+		switch {
+		case orig < cur.m.Orig:
+			stack = append(stack, cur)
+			cur = cur.left
+		case orig > cur.m.Orig:
+			cur = cur.right
+		default:
+			goto found
+		}
+	}
+	// orig is unmapped; the successor (if any) bounds the gap.
+	if len(stack) == 0 {
+		return Mapping{}, max, false
+	}
+	if gap := stack[len(stack)-1].m.Orig - orig; gap < max {
+		return Mapping{}, gap, false
+	}
+	return Mapping{}, max, false
+
+found:
+	m = cur.m
+	n = 1
+	prev := cur.m
+	for n < max {
+		// Advance to the in-order successor: leftmost of the right
+		// subtree, else the nearest stacked ancestor.
+		next := cur.right
+		for next != nil {
+			stack = append(stack, next)
+			next = next.left
+		}
+		if len(stack) == 0 {
+			break
+		}
+		cur = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur.m.Orig != prev.Orig+1 || cur.m.Cache != prev.Cache+1 {
+			break
+		}
+		prev = cur.m
+		n++
+	}
+	return m, n, true
+}
+
+// SetDirtyRun updates the dirty flag of every existing mapping in
+// [orig, orig+n) — equivalent to a loop of SetDirty — using one descent
+// plus successor walking. It returns how many mappings were found.
+// Transitions are logged so dirty blocks stay recoverable.
+func (t *Table) SetDirtyRun(orig, n int64, dirty bool) int64 {
+	if n <= 0 {
+		return 0
+	}
+	end := orig + n
+	var buf [48]*node
+	stack := buf[:0]
+	cur := t.root
+	for cur != nil {
+		switch {
+		case orig < cur.m.Orig:
+			stack = append(stack, cur)
+			cur = cur.left
+		case orig > cur.m.Orig:
+			cur = cur.right
+		default:
+			stack = append(stack, cur)
+			cur = nil
+		}
+	}
+	var found int64
+	for len(stack) > 0 {
+		cur = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur.m.Orig >= end {
+			break
+		}
+		found++
+		if cur.m.Dirty != dirty {
+			cur.m.Dirty = dirty
+			if dirty {
+				t.appendLog(logInsert, cur.m)
+			} else {
+				t.appendLog(logClean, Mapping{Orig: cur.m.Orig})
+			}
+		}
+		for next := cur.right; next != nil; next = next.left {
+			stack = append(stack, next)
+		}
+	}
+	return found
+}
+
+// RemoveRun deletes every mapping in [orig, orig+n), returning how many
+// existed — equivalent to a loop of Remove over the range, but existing
+// keys are discovered by successor walking so sparse ranges don't pay a
+// descent per absent address.
+func (t *Table) RemoveRun(orig, n int64) int64 {
+	var removed int64
+	end := orig + n
+	for orig < end {
+		// Collect the next batch of present keys (removal rebalances
+		// the tree, invalidating any in-flight iterator).
+		var keys [64]int64
+		got := 0
+		var buf [48]*node
+		stack := buf[:0]
+		cur := t.root
+		for cur != nil {
+			switch {
+			case orig < cur.m.Orig:
+				stack = append(stack, cur)
+				cur = cur.left
+			case orig > cur.m.Orig:
+				cur = cur.right
+			default:
+				stack = append(stack, cur)
+				cur = nil
+			}
+		}
+		for len(stack) > 0 && got < len(keys) {
+			cur = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cur.m.Orig >= end {
+				break
+			}
+			keys[got] = cur.m.Orig
+			got++
+			for next := cur.right; next != nil; next = next.left {
+				stack = append(stack, next)
+			}
+		}
+		if got == 0 {
+			break
+		}
+		for _, k := range keys[:got] {
+			if t.Remove(k) {
+				removed++
+			}
+		}
+		orig = keys[got-1] + 1
+	}
+	return removed
 }
 
 // Walk visits all mappings in ascending Orig order. Returning false
@@ -214,10 +398,26 @@ func max8(a, b int8) int8 {
 	return b
 }
 
+// newNode takes a node from the freelist, or allocates.
+func (t *Table) newNode(m Mapping) *node {
+	if f := t.free; f != nil {
+		t.free = f.right
+		f.m, f.left, f.right, f.height = m, nil, nil, 1
+		return f
+	}
+	return &node{m: m, height: 1}
+}
+
+// freeNode returns a detached node to the freelist.
+func (t *Table) freeNode(n *node) {
+	n.left, n.right = nil, t.free
+	t.free = n
+}
+
 func (t *Table) insert(n *node, m Mapping) *node {
 	if n == nil {
 		t.size++
-		return &node{m: m, height: 1}
+		return t.newNode(m)
 	}
 	switch {
 	case m.Orig < n.m.Orig:
@@ -225,6 +425,7 @@ func (t *Table) insert(n *node, m Mapping) *node {
 	case m.Orig > n.m.Orig:
 		n.right = t.insert(n.right, m)
 	default:
+		t.replaced, t.existed = n.m, true
 		n.m = m // replace in place
 		return n
 	}
@@ -244,10 +445,14 @@ func (t *Table) remove(n *node, orig int64) (*node, bool) {
 	default:
 		removed = true
 		if n.left == nil {
-			return n.right, true
+			r := n.right
+			t.freeNode(n)
+			return r, true
 		}
 		if n.right == nil {
-			return n.left, true
+			l := n.left
+			t.freeNode(n)
+			return l, true
 		}
 		// Replace with the in-order successor.
 		succ := n.right

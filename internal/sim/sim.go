@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -44,40 +43,89 @@ func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) 
 // String formats the instant with millisecond precision, e.g. "12.345ms".
 func (t Time) String() string { return fmt.Sprintf("%.3fms", t.Milliseconds()) }
 
-// Event is a scheduled callback.
+// Event is a scheduled callback. Exactly one of fn/tfn is set; tfn
+// receives the firing instant, letting completion callbacks schedule
+// without a capturing closure.
 type event struct {
 	at  Time
 	seq uint64 // tie-break: FIFO among events at the same instant
 	fn  func()
+	tfn func(Time)
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event simulation loop. The zero value is not
 // usable; create one with NewEngine.
+//
+// The event queue is a hand-rolled binary heap over event values (not
+// pointers): scheduling allocates nothing once the backing array has
+// grown, which matters because every simulated I/O is at least one
+// event.
+//
+// Events scheduled for the *current* instant bypass the heap into a
+// FIFO ring: zero-delay completions (instant devices, same-tick
+// callback chains) dominate many workloads and need no ordering work
+// beyond arrival order. Correctness of the split: once the clock
+// reaches T, every new at=T event lands in the ring with a sequence
+// number above all at=T events still in the heap (which were scheduled
+// while now < T), so draining heap-at-T before the ring preserves
+// global FIFO order among same-instant events.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventQueue
-	stopped bool
+	now      Time
+	seq      uint64
+	queue    []event
+	ring     []event // FIFO of events due at the current instant
+	ringHead int
+	stopped  bool
+}
+
+// push adds ev to the heap.
+func (e *Engine) push(ev event) {
+	e.queue = append(e.queue, ev)
+	q := e.queue
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release callback references
+	e.queue = q[:n]
+	q = e.queue
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && eventLess(q[l], q[min]) {
+			min = l
+		}
+		if r < n && eventLess(q[r], q[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
 }
 
 // NewEngine returns an engine with the clock at zero and no pending
@@ -90,7 +138,7 @@ func NewEngine() *Engine {
 func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of scheduled, not-yet-fired events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.queue) + len(e.ring) - e.ringHead }
 
 // Schedule registers fn to run at the absolute simulated instant at.
 // Scheduling in the past (at < Now) panics: it always indicates a
@@ -100,7 +148,26 @@ func (e *Engine) Schedule(at Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	if at == e.now {
+		e.ring = append(e.ring, event{at: at, seq: e.seq, fn: fn})
+		return
+	}
+	e.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleTimed registers fn to run at the absolute instant at,
+// receiving that instant as its argument. Completion callbacks of type
+// func(Time) can be scheduled directly, without a capturing closure.
+func (e *Engine) ScheduleTimed(at Time, fn func(Time)) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	if at == e.now {
+		e.ring = append(e.ring, event{at: at, seq: e.seq, tfn: fn})
+		return
+	}
+	e.push(event{at: at, seq: e.seq, tfn: fn})
 }
 
 // After registers fn to run delay nanoseconds after the current instant.
@@ -111,6 +178,15 @@ func (e *Engine) After(delay Time, fn func()) {
 	e.Schedule(e.now+delay, fn)
 }
 
+// AfterTimed registers fn to run delay nanoseconds after the current
+// instant, receiving the firing instant.
+func (e *Engine) AfterTimed(delay Time, fn func(Time)) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.ScheduleTimed(e.now+delay, fn)
+}
+
 // Stop makes the currently running Run/RunUntil return after the event
 // being processed completes.
 func (e *Engine) Stop() { e.stopped = true }
@@ -118,12 +194,29 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step fires the single earliest pending event and returns true, or
 // returns false if no events remain.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	var ev event
+	switch {
+	case len(e.queue) > 0 && e.queue[0].at == e.now:
+		// Heap events due now predate everything in the ring.
+		ev = e.pop()
+	case e.ringHead < len(e.ring):
+		ev = e.ring[e.ringHead]
+		e.ring[e.ringHead] = event{} // release callback references
+		e.ringHead++
+		if e.ringHead == len(e.ring) {
+			e.ring, e.ringHead = e.ring[:0], 0
+		}
+	case len(e.queue) > 0:
+		ev = e.pop() // the ring is empty: safe to advance the clock
+	default:
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.at
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.tfn(ev.at)
+	}
 	return true
 }
 
@@ -139,7 +232,9 @@ func (e *Engine) Run() {
 // scheduled beyond the deadline stay queued.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for !e.stopped && len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for !e.stopped &&
+		((e.ringHead < len(e.ring) && e.now <= deadline) ||
+			(len(e.queue) > 0 && e.queue[0].at <= deadline)) {
 		e.Step()
 	}
 	if e.now < deadline {

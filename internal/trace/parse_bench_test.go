@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func buildNative(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		op := "R"
+		if i%3 == 0 {
+			op = "W"
+		}
+		fmt.Fprintf(&sb, "%d %s %d %d\n", i*100, op, i*8, 8)
+	}
+	return sb.String()
+}
+
+func buildMSR(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		typ := "Read"
+		if i%3 == 0 {
+			typ = "Write"
+		}
+		fmt.Fprintf(&sb, "%d,host,0,%s,%d,%d,100\n", 128166372003061629+i*1000, typ, i*4096, 4096)
+	}
+	return sb.String()
+}
+
+func buildBlk(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		op := "R"
+		if i%3 == 0 {
+			op = "W"
+		}
+		fmt.Fprintf(&sb, "%d.%06d 0 %s %d %d\n", i, i%1000000, op, i*64, 64)
+	}
+	return sb.String()
+}
+
+func benchReader(b *testing.B, input string, open func(io.Reader) Reader) {
+	b.ReportAllocs()
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := open(strings.NewReader(input))
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkNativeReader(b *testing.B) {
+	in := buildNative(10000)
+	benchReader(b, in, func(r io.Reader) Reader { return NewNativeReader(r) })
+}
+
+func BenchmarkMSRReader(b *testing.B) {
+	in := buildMSR(10000)
+	benchReader(b, in, func(r io.Reader) Reader { return NewMSRReader(r) })
+}
+
+func BenchmarkBlkReader(b *testing.B) {
+	in := buildBlk(10000)
+	benchReader(b, in, func(r io.Reader) Reader { return NewBlkReader(r) })
+}

@@ -110,6 +110,27 @@ func (w *Writer) Flush() error {
 	return w.w.Flush()
 }
 
+// cutField splits s at the first run of spaces or tabs: it returns the
+// leading field and the remainder with its leading separators removed.
+// Unlike strings.Fields it allocates nothing — the hot trace-replay
+// loops parse millions of lines, so each line must cost one allocation
+// (the scanner's line copy), not one per field.
+func cutField(s string) (field, rest string) {
+	i := 0
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+		i++
+	}
+	j := i
+	for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+		j++
+	}
+	k := j
+	for k < len(s) && (s[k] == ' ' || s[k] == '\t') {
+		k++
+	}
+	return s[i:j], s[k:]
+}
+
 // NativeReader parses the native format.
 type NativeReader struct {
 	sc   *bufio.Scanner
@@ -131,30 +152,33 @@ func (n *NativeReader) Next() (Record, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		f := strings.Fields(line)
-		if len(f) != 4 {
-			return Record{}, fmt.Errorf("trace: line %d: want 4 fields, got %d", n.line, len(f))
+		f0, rest := cutField(line)
+		f1, rest := cutField(rest)
+		f2, rest := cutField(rest)
+		f3, rest := cutField(rest)
+		if f3 == "" || rest != "" {
+			return Record{}, fmt.Errorf("trace: line %d: want 4 fields, got %d", n.line, len(strings.Fields(line)))
 		}
-		us, err := strconv.ParseInt(f[0], 10, 64)
+		us, err := strconv.ParseInt(f0, 10, 64)
 		if err != nil {
 			return Record{}, fmt.Errorf("trace: line %d: time: %w", n.line, err)
 		}
 		var op disk.Op
-		switch f[1] {
+		switch f1 {
 		case "R", "r":
 			op = disk.OpRead
 		case "W", "w":
 			op = disk.OpWrite
 		default:
-			return Record{}, fmt.Errorf("trace: line %d: bad op %q", n.line, f[1])
+			return Record{}, fmt.Errorf("trace: line %d: bad op %q", n.line, f1)
 		}
-		block, err := strconv.ParseInt(f[2], 10, 64)
+		block, err := strconv.ParseInt(f2, 10, 64)
 		if err != nil {
 			return Record{}, fmt.Errorf("trace: line %d: block: %w", n.line, err)
 		}
-		count, err := strconv.ParseInt(f[3], 10, 64)
+		count, err := strconv.ParseInt(f3, 10, 64)
 		if err != nil || count < 1 {
-			return Record{}, fmt.Errorf("trace: line %d: bad count %q", n.line, f[3])
+			return Record{}, fmt.Errorf("trace: line %d: bad count %q", n.line, f3)
 		}
 		return Record{
 			Time:  sim.Time(us) * sim.Microsecond,
@@ -204,16 +228,23 @@ func (m *MSRReader) Next() (Record, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		f := strings.Split(line, ",")
-		if len(f) < 6 {
-			return Record{}, fmt.Errorf("trace: msr line %d: want >=6 fields, got %d", m.line, len(f))
+		f0, rest, ok0 := strings.Cut(line, ",")
+		_, rest, ok1 := strings.Cut(rest, ",") // hostname, unused
+		f2, rest, ok2 := strings.Cut(rest, ",")
+		f3, rest, ok3 := strings.Cut(rest, ",")
+		f4, rest, ok4 := strings.Cut(rest, ",")
+		f5, _, ok5 := strings.Cut(rest, ",")
+		if !ok0 || !ok1 || !ok2 || !ok3 || !ok4 {
+			return Record{}, fmt.Errorf("trace: msr line %d: want >=6 fields, got %d",
+				m.line, strings.Count(line, ",")+1)
 		}
-		ft, err := strconv.ParseInt(f[0], 10, 64)
+		_ = ok5 // a trailing 6th field needs no terminating comma
+		ft, err := strconv.ParseInt(f0, 10, 64)
 		if err != nil {
 			return Record{}, fmt.Errorf("trace: msr line %d: timestamp: %w", m.line, err)
 		}
 		if m.Volume >= 0 {
-			vol, err := strconv.Atoi(f[2])
+			vol, err := strconv.Atoi(f2)
 			if err != nil {
 				return Record{}, fmt.Errorf("trace: msr line %d: disk number: %w", m.line, err)
 			}
@@ -222,19 +253,19 @@ func (m *MSRReader) Next() (Record, error) {
 			}
 		}
 		var op disk.Op
-		switch strings.ToLower(f[3]) {
-		case "read":
+		switch {
+		case strings.EqualFold(f3, "read"):
 			op = disk.OpRead
-		case "write":
+		case strings.EqualFold(f3, "write"):
 			op = disk.OpWrite
 		default:
-			return Record{}, fmt.Errorf("trace: msr line %d: bad type %q", m.line, f[3])
+			return Record{}, fmt.Errorf("trace: msr line %d: bad type %q", m.line, f3)
 		}
-		off, err := strconv.ParseInt(f[4], 10, 64)
+		off, err := strconv.ParseInt(f4, 10, 64)
 		if err != nil {
 			return Record{}, fmt.Errorf("trace: msr line %d: offset: %w", m.line, err)
 		}
-		size, err := strconv.ParseInt(f[5], 10, 64)
+		size, err := strconv.ParseInt(f5, 10, 64)
 		if err != nil || size < 0 {
 			return Record{}, fmt.Errorf("trace: msr line %d: size: %w", m.line, err)
 		}
@@ -290,30 +321,34 @@ func (b *BlkReader) Next() (Record, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		f := strings.Fields(line)
-		if len(f) < 5 {
-			return Record{}, fmt.Errorf("trace: blk line %d: want 5 fields, got %d", b.line, len(f))
+		f0, rest := cutField(line)
+		_, rest = cutField(rest) // device, unused
+		f2, rest := cutField(rest)
+		f3, rest := cutField(rest)
+		f4, _ := cutField(rest)
+		if f4 == "" {
+			return Record{}, fmt.Errorf("trace: blk line %d: want 5 fields, got %d", b.line, len(strings.Fields(line)))
 		}
-		ts, err := strconv.ParseFloat(f[0], 64)
+		ts, err := strconv.ParseFloat(f0, 64)
 		if err != nil {
 			return Record{}, fmt.Errorf("trace: blk line %d: time: %w", b.line, err)
 		}
 		var op disk.Op
-		switch strings.ToUpper(f[2]) {
-		case "R", "READ":
+		switch {
+		case strings.EqualFold(f2, "R"), strings.EqualFold(f2, "READ"):
 			op = disk.OpRead
-		case "W", "WRITE":
+		case strings.EqualFold(f2, "W"), strings.EqualFold(f2, "WRITE"):
 			op = disk.OpWrite
 		default:
-			return Record{}, fmt.Errorf("trace: blk line %d: bad op %q", b.line, f[2])
+			return Record{}, fmt.Errorf("trace: blk line %d: bad op %q", b.line, f2)
 		}
-		sector, err := strconv.ParseInt(f[3], 10, 64)
+		sector, err := strconv.ParseInt(f3, 10, 64)
 		if err != nil {
 			return Record{}, fmt.Errorf("trace: blk line %d: sector: %w", b.line, err)
 		}
-		sectors, err := strconv.ParseInt(f[4], 10, 64)
+		sectors, err := strconv.ParseInt(f4, 10, 64)
 		if err != nil || sectors < 1 {
-			return Record{}, fmt.Errorf("trace: blk line %d: bad sector count %q", b.line, f[4])
+			return Record{}, fmt.Errorf("trace: blk line %d: bad sector count %q", b.line, f4)
 		}
 		if !b.haveT {
 			b.base, b.haveT = ts, true
