@@ -9,6 +9,8 @@
 //	craidbench -budget 2.0      # GB of replayed traffic per trace
 //	craidbench -trace wdev      # restrict figures to one trace
 //	craidbench -parallel 4      # concurrent simulations (default: all cores)
+//	craidbench -shards 8        # shard the mapping index (ratios unchanged)
+//	craidbench -cpuprofile cpu.pb.gz -table 2   # attach pprof evidence
 //
 // The -budget flag scales each workload so roughly that many gigabytes
 // of traffic replay per simulation (volumes and disk capacities shrink
@@ -18,7 +20,12 @@
 // The -parallel flag bounds how many independent simulation cells run
 // concurrently (each cell owns a private simulation engine, so the
 // matrix is embarrassingly parallel). Results are identical at every
-// parallelism level.
+// parallelism level, and -shards shards every cell's mapping index
+// without changing any ratio.
+//
+// The -cpuprofile and -memprofile flags write pprof profiles covering
+// the whole run, so performance PRs can attach before/after evidence
+// gathered from exactly the paper workloads.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"craid/internal/experiments"
@@ -38,22 +46,68 @@ func main() {
 	budget := flag.Float64("budget", 0.5, "replayed GB per trace per simulation")
 	traceName := flag.String("trace", "", "restrict figures to one trace")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations")
+	shards := flag.Int("shards", 0, "mapping-index shards per CRAID (0 = single tree)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
+	experiments.SetDefaultMapShards(*shards)
+
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 
 	r := runner{budget: *budget, trace: *traceName}
-	if *table == "" && *figure == "" {
+	switch {
+	case *table == "" && *figure == "":
 		r.all()
-		return
+	default:
+		if *table != "" {
+			r.table(*table)
+		}
+		if *figure != "" {
+			r.figure(*figure)
+		}
 	}
-	if *table != "" {
-		r.table(*table)
-	}
-	if *figure != "" {
-		r.figure(*figure)
-	}
+
+	stopProfiles() // flush before any exit path
 	if r.failed {
 		os.Exit(1)
+	}
+}
+
+// startProfiles begins CPU profiling and arms heap profiling per the
+// flags; the returned func stops/writes them (callable exactly once,
+// and before os.Exit, which would skip deferred writes).
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "craidbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "craidbench:", err)
+			os.Exit(1)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "craidbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "craidbench:", err)
+			}
+		}
 	}
 }
 

@@ -6,7 +6,17 @@
 //
 //	craidsim -trace wdev -strategy CRAID-5 -pc 0.008
 //	craidsim -trace cello99 -strategy RAID-5+ -budget 2
-//	craidsim -file wdev.trace -format native -strategy CRAID-5 -pc 0.01
+//	craidsim -file wdev.trace -format native -dataset-gb 4 -strategy CRAID-5 -pc 0.01
+//	craidsim -file msr.csv -format msr -volume 2 -dataset-gb 4
+//	craidsim -file msr.csv -format msr -pervolume -dataset-gb 4
+//
+// With -file, the named trace file replaces the preset generator:
+// -format picks the parser (native, msr, blk), -dataset-gb sizes the
+// simulated dataset, and for MSR multi-volume files -volume restricts
+// the replay to one DiskNumber (default: all volumes interleaved).
+// -pervolume splits an MSR file into its volumes and replays each
+// against an independent simulation in parallel, one result row per
+// volume.
 package main
 
 import (
@@ -14,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"craid/internal/disk"
 	"craid/internal/experiments"
 	"craid/internal/metrics"
 )
@@ -26,6 +37,14 @@ func main() {
 	policy := flag.String("policy", "WLRU", "monitor policy: LRU|LFUDA|GDSF|ARC|WLRU")
 	budget := flag.Float64("budget", 0.5, "replayed GB (scales the workload)")
 	bursty := flag.Bool("bursty", false, "bursty arrivals")
+	shards := flag.Int("shards", 0, "mapping-index shards (0 = single tree)")
+	file := flag.String("file", "", "replay this trace file instead of the preset")
+	format := flag.String("format", "native", "trace file format: native|msr|blk")
+	volume := flag.Int("volume", -1,
+		"MSR only: replay one DiskNumber (negative = all volumes)")
+	datasetGB := flag.Float64("dataset-gb", 4, "file traces: simulated dataset size in GB")
+	perVolume := flag.Bool("pervolume", false,
+		"MSR only: split the file into volumes and simulate each in parallel")
 	flag.Parse()
 
 	cfg := experiments.RunConfig{
@@ -35,9 +54,52 @@ func main() {
 		PCPct:     *pc,
 		Policy:    *policy,
 		Bursty:    *bursty,
+		MapShards: *shards,
 		TrackLoad: true,
 		TrackSeq:  true,
 	}
+	if *file != "" {
+		cfg.Trace = *file
+		cfg.TraceFile = *file
+		cfg.TraceFormat = *format
+		if *volume >= 0 {
+			cfg.TraceVolume = volume
+		}
+		cfg.DatasetBlocks = int64(*datasetGB * 1e9 / disk.BlockSize)
+		cfg.Scale = experiments.ScaleForBlocks(cfg.DatasetBlocks)
+	}
+
+	if *perVolume {
+		if *file == "" {
+			fmt.Fprintln(os.Stderr, "craidsim: -pervolume needs -file")
+			os.Exit(1)
+		}
+		if *volume >= 0 {
+			fmt.Fprintln(os.Stderr, "craidsim: -pervolume replays every volume; drop -volume or drop -pervolume")
+			os.Exit(1)
+		}
+		results, err := experiments.RunMSRVolumes(*file, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "craidsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d volumes, strategy %s, P_C=%.4f%%/disk\n",
+			*file, len(results), cfg.Strategy, cfg.PCPct)
+		fmt.Printf("%6s %10s %10s %10s %8s %8s\n",
+			"vol", "requests", "read(ms)", "write(ms)", "hitR", "hitW")
+		for _, vr := range results {
+			hitR, hitW := 0.0, 0.0
+			if vr.CRAID != nil {
+				hitR, hitW = vr.CRAID.HitRatio(disk.OpRead), vr.CRAID.HitRatio(disk.OpWrite)
+			}
+			fmt.Printf("%6d %10d %10.3f %10.3f %7.1f%% %7.1f%%\n",
+				vr.Volume, vr.Requests,
+				vr.ReadMean.Milliseconds(), vr.WriteMean.Milliseconds(),
+				100*hitR, 100*hitW)
+		}
+		return
+	}
+
 	res, err := experiments.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "craidsim:", err)

@@ -19,14 +19,18 @@ import (
 // granularity. The load-bearing invariants, relied on throughout
 // readPath/writePath/insertRuns:
 //
-//  1. mapcache.Table.LookupRun answers, in one O(log k) descent, either
+//  1. mapcache.Index.LookupRun answers, in one O(log k) descent, either
 //     "the run of mappings starting here that is contiguous in BOTH
 //     Orig and Cache" (a hit extent — servable with one P_C I/O) or
 //     "the gap to the next mapping" (a miss extent). The per-block
 //     loops of the original implementation — one descent plus one
 //     policy-map operation per block of every request — are gone; a
 //     256-block sequential request costs a handful of descents instead
-//     of ~512.
+//     of ~512. The index is sharded by archive-address range
+//     (Config.MapShards): results are bit-identical at every shard
+//     count (runs and gaps are stitched across shard boundaries), and
+//     the disjoint per-shard trees are what a future multi-queue
+//     controller will partition its monitor lookups over.
 //
 //  2. Batched policy traffic must be bit-identical to per-block
 //     traffic: cache.Policy.AccessRun/InsertRun are specified (and
@@ -95,6 +99,13 @@ type Config struct {
 	StripeUnit int64
 	// Level is the cache partition's redundancy (default RAID-5).
 	Level PCLevel
+	// MapShards shards the mapping index into this many contiguous
+	// archive-address ranges (default 1, the paper's single tree).
+	// Monitor behavior — hit, replacement and eviction ratios — is
+	// bit-identical at every shard count; sharding only changes the
+	// index's internal structure (shallower per-shard trees, per-shard
+	// freelists) so future concurrent monitors can partition lookups.
+	MapShards int
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +123,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CachePerDisk < c.StripeUnit {
 		c.CachePerDisk = c.StripeUnit // at least one stripe row
+	}
+	if c.MapShards < 1 {
+		c.MapShards = 1
 	}
 	return c
 }
@@ -191,7 +205,7 @@ type CRAID struct {
 
 	pa *span // archive partition
 
-	table  *mapcache.Table
+	table  mapcache.Index
 	policy cache.Policy
 
 	free freeRuns
@@ -260,11 +274,26 @@ func NewCRAID(arr *Array, cfg Config, sharedPC bool, cacheDisks []int, cacheBase
 		sharedPC:   sharedPC,
 		cacheDisks: cacheDisks,
 		cacheBase:  cacheBase,
-		table:      mapcache.New(),
 		pa:         newSpan(arr, archiveLayout, archiveDisks, archiveBase),
 	}
+	c.table = newMapIndex(cfg, archiveLayout.DataBlocks())
 	c.buildPC()
 	return c
+}
+
+// newMapIndex builds the mapping index for cfg: a single tree, or one
+// sharded into MapShards contiguous ranges covering the archive's
+// address space (the monitor's keys are archive LBAs, so the archive
+// capacity fixes the key range).
+func newMapIndex(cfg Config, archiveBlocks int64) mapcache.Index {
+	if cfg.MapShards <= 1 {
+		return mapcache.New()
+	}
+	span := (archiveBlocks + int64(cfg.MapShards) - 1) / int64(cfg.MapShards)
+	if span < 1 {
+		span = 1
+	}
+	return mapcache.NewSharded(cfg.MapShards, span)
 }
 
 // buildPC (re)creates the cache partition layout, allocator and policy
@@ -633,7 +662,10 @@ func (c *CRAID) SetMappingLog(w io.Writer) { c.table.SetLog(w) }
 // copies are reinstated (they are the only ones differing from the
 // archive), clean entries start cold, exactly as §4.2 prescribes. It
 // must be called on a fresh controller before any I/O; it returns the
-// number of recovered mappings.
+// number of recovered mappings. The log carries no index geometry, so
+// a log written under any MapShards setting recovers into a controller
+// configured with any other — the index rebuilds its own shards as the
+// mappings are re-inserted.
 func (c *CRAID) Recover(r io.Reader) (int, error) {
 	if c.table.Len() != 0 || c.next != 0 {
 		return 0, fmt.Errorf("core: Recover on a non-fresh controller")

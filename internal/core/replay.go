@@ -7,28 +7,130 @@ import (
 	"craid/internal/trace"
 )
 
+// Replay tuning. The ring holds replayRingDepth batches of up to
+// replayBatchSize pre-parsed records, so resident memory is bounded at
+// depth × batch records (~256 KiB) regardless of trace length, while
+// the reader goroutine stays far enough ahead that the simulation
+// never stalls on parsing.
+const (
+	replayBatchSize = 1024
+	replayRingDepth = 4
+)
+
+// replayBatch is one ring slot: records plus the terminal error (io.EOF
+// or a parse failure) hit while filling it, if any.
+type replayBatch struct {
+	recs []trace.Record
+	err  error
+}
+
+// recordSource streams pre-parsed batches from a reader goroutine to
+// the simulation goroutine. Exhausted batch slices return to the free
+// ring, so steady-state replay recycles the same depth×size records.
+type recordSource struct {
+	batches chan replayBatch
+	free    chan []trace.Record
+	quit    chan struct{}
+
+	cur replayBatch
+	pos int
+	err error // first non-EOF error from the reader
+}
+
+// startRecordSource launches the reader goroutine pumping r's records
+// into the ring. The caller must invoke stop() when done (idempotent
+// with respect to a reader that already finished).
+func startRecordSource(r trace.Reader) *recordSource {
+	s := &recordSource{
+		batches: make(chan replayBatch, replayRingDepth),
+		free:    make(chan []trace.Record, replayRingDepth),
+		quit:    make(chan struct{}),
+	}
+	for i := 0; i < replayRingDepth; i++ {
+		s.free <- make([]trace.Record, 0, replayBatchSize)
+	}
+	go func() {
+		for {
+			var buf []trace.Record
+			select {
+			case buf = <-s.free:
+			case <-s.quit:
+				return
+			}
+			buf = buf[:0]
+			var err error
+			for len(buf) < cap(buf) {
+				var rec trace.Record
+				rec, err = r.Next()
+				if err != nil {
+					break
+				}
+				buf = append(buf, rec)
+			}
+			select {
+			case s.batches <- replayBatch{recs: buf, err: err}:
+			case <-s.quit:
+				return
+			}
+			if err != nil {
+				return // EOF or parse error: the stream is over
+			}
+		}
+	}()
+	return s
+}
+
+// next returns the next record, refilling from the ring when the
+// current batch drains. ok=false means the stream ended — by EOF, or by
+// the error left in s.err.
+func (s *recordSource) next() (trace.Record, bool) {
+	for {
+		if s.pos < len(s.cur.recs) {
+			rec := s.cur.recs[s.pos]
+			s.pos++
+			return rec, true
+		}
+		if s.cur.err != nil {
+			if s.cur.err != io.EOF {
+				s.err = s.cur.err
+			}
+			return trace.Record{}, false
+		}
+		if s.cur.recs != nil {
+			s.free <- s.cur.recs
+		}
+		s.cur = <-s.batches
+		s.pos = 0
+	}
+}
+
+// stop terminates the reader goroutine.
+func (s *recordSource) stop() { close(s.quit) }
+
 // Replay feeds a trace into vol, submitting each record at its recorded
 // time, and runs the engine until all I/O completes. It returns the
 // number of requests replayed. Records must be time-ordered (all
 // readers in internal/trace and the generators in internal/workload
 // produce ordered streams).
 //
-// The trace is pumped lazily — the next record is scheduled from inside
-// the previous submission event — so arbitrarily long traces replay in
-// constant memory.
+// Parsing runs off the simulation path: a reader goroutine pre-parses
+// records into a bounded ring of batches (see replayBatchSize /
+// replayRingDepth), and the simulation pumps records out of the current
+// batch — so multi-GB traces replay in constant memory without the
+// event loop stalling on the parser between events, and a slow reader
+// only ever blocks the simulation when the whole ring has drained.
 func Replay(eng *sim.Engine, vol Volume, r trace.Reader) (int64, error) {
-	var count int64
-	var pumpErr error
+	src := startRecordSource(r)
+	defer src.stop()
 
+	var count int64
 	var pump func(rec trace.Record)
 	schedule := func() {
-		rec, err := r.Next()
-		if err == io.EOF {
-			return
-		}
-		if err != nil {
-			pumpErr = err
-			eng.Stop()
+		rec, ok := src.next()
+		if !ok {
+			if src.err != nil {
+				eng.Stop()
+			}
 			return
 		}
 		at := rec.Time
@@ -45,5 +147,5 @@ func Replay(eng *sim.Engine, vol Volume, r trace.Reader) (int64, error) {
 
 	schedule()
 	eng.Run()
-	return count, pumpErr
+	return count, src.err
 }

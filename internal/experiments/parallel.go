@@ -25,6 +25,21 @@ func SetParallelism(n int) {
 // Parallelism returns the current RunAll worker bound.
 func Parallelism() int { return parallelism }
 
+// defaultMapShards is applied to cells whose RunConfig.MapShards is 0
+// (0 itself defers to core's single-shard default). The table/figure
+// entry points build their RunConfigs internally, so cmd/craidbench
+// threads its -shards flag through here.
+var defaultMapShards = 0
+
+// SetDefaultMapShards sets the mapping-index shard count used by cells
+// that don't specify one. Call before RunAll, not concurrently with it.
+func SetDefaultMapShards(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultMapShards = n
+}
+
 // RunAll executes every config, fanning the cells out over a bounded
 // worker pool. Successful results are deterministic regardless of
 // worker count: results[i] always corresponds to cfgs[i]. Once any

@@ -14,7 +14,11 @@
 package experiments
 
 import (
+	"bufio"
 	"fmt"
+	"io"
+	"os"
+	"strings"
 
 	"craid/internal/core"
 	"craid/internal/disk"
@@ -24,6 +28,26 @@ import (
 	"craid/internal/trace"
 	"craid/internal/workload"
 )
+
+// newFileReader builds the parser for cfg's trace file format.
+func newFileReader(r io.Reader, cfg RunConfig) (trace.Reader, error) {
+	switch strings.ToLower(cfg.TraceFormat) {
+	case "", "native":
+		return trace.NewNativeReader(r), nil
+	case "msr":
+		m := trace.NewMSRReader(r)
+		if cfg.TraceVolume != nil {
+			if *cfg.TraceVolume < 0 {
+				return nil, fmt.Errorf("experiments: negative TraceVolume %d", *cfg.TraceVolume)
+			}
+			m.Volume = *cfg.TraceVolume
+		}
+		return m, nil
+	case "blk", "srcmap":
+		return trace.NewBlkReader(r), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown trace format %q", cfg.TraceFormat)
+}
 
 // Strategy names the six allocation policies of the paper's §5.
 type Strategy string
@@ -75,6 +99,23 @@ func ScaleFor(traceName string, budgetGB float64) float64 {
 	return budgetGB / total
 }
 
+// ScaleForBlocks returns the smallest volume scale (capped at paper
+// scale 1.0) at which the testbed archive holds a dataset of the given
+// block count with ~2x headroom — the natural scale for replaying a
+// trace file whose footprint is known in blocks rather than via a
+// workload preset.
+func ScaleForBlocks(blocks int64) float64 {
+	total := float64(disk.CheetahConfig("hdd").CapacityBlocks) * TestbedDisks
+	s := 2 * float64(blocks) / total
+	if s > 1 {
+		s = 1
+	}
+	if s < 1e-5 {
+		s = 1e-5
+	}
+	return s
+}
+
 // PCSizes returns the paper's cache-partition sweep (% per disk,
 // Fig. 4/6 x-axes) for a trace.
 func PCSizes(trace string) []float64 {
@@ -101,6 +142,22 @@ type RunConfig struct {
 	Strategy Strategy
 	PCPct    float64 // cache size, % per disk (CRAID variants)
 	Policy   string  // monitor policy; default WLRU (paper §5.1)
+
+	// TraceFile replays a real trace file instead of the Trace preset.
+	// TraceFormat selects the parser: "native" (default), "msr", or
+	// "blk" (SRCMap/blkparse). DatasetBlocks sizes the simulated
+	// dataset and is required with TraceFile (presets derive it from
+	// the generator). TraceVolume, when non-nil, restricts an MSR file
+	// to one DiskNumber; nil replays all volumes interleaved.
+	TraceFile     string
+	TraceFormat   string
+	TraceVolume   *int
+	DatasetBlocks int64
+
+	// MapShards shards the CRAID mapping index by archive-address
+	// range (0 = core's default single shard). Monitor ratios are
+	// bit-identical at every value.
+	MapShards int
 
 	Instant  bool  // instant-service devices (§5.1 policy experiments)
 	PCBlocks int64 // Instant mode: direct P_C capacity override
@@ -137,22 +194,53 @@ type RunResult struct {
 
 // Run executes one simulation to completion.
 func Run(cfg RunConfig) (RunResult, error) {
+	if cfg.TraceFile != "" && cfg.Scale == 0 && cfg.DatasetBlocks > 0 {
+		// File traces can derive their geometry from the dataset size.
+		cfg.Scale = ScaleForBlocks(cfg.DatasetBlocks)
+	}
 	if cfg.Scale <= 0 {
 		return RunResult{}, fmt.Errorf("experiments: scale must be positive")
 	}
-	params, err := workload.Preset(cfg.Trace)
-	if err != nil {
-		return RunResult{}, err
+	var rd trace.Reader
+	var dataset int64
+	if cfg.TraceFile != "" {
+		if cfg.DatasetBlocks <= 0 {
+			return RunResult{}, fmt.Errorf("experiments: file trace %q needs DatasetBlocks", cfg.TraceFile)
+		}
+		if cfg.Bursty {
+			// Burstiness is a generator knob; a real trace's arrival
+			// pattern is whatever was recorded.
+			return RunResult{}, fmt.Errorf("experiments: Bursty does not apply to file traces")
+		}
+		f, err := os.Open(cfg.TraceFile)
+		if err != nil {
+			return RunResult{}, err
+		}
+		defer f.Close()
+		rd, err = newFileReader(bufio.NewReaderSize(f, 1<<20), cfg)
+		if err != nil {
+			return RunResult{}, err
+		}
+		if cfg.Duration > 0 {
+			rd = trace.Window(rd, 0, cfg.Duration)
+		}
+		dataset = cfg.DatasetBlocks
+	} else {
+		params, err := workload.Preset(cfg.Trace)
+		if err != nil {
+			return RunResult{}, err
+		}
+		params = params.Scaled(cfg.Scale)
+		if cfg.Duration > 0 {
+			params = params.WithDuration(cfg.Duration)
+		}
+		if cfg.Bursty {
+			params = params.WithBursts(12, 300*sim.Microsecond, 0.4)
+		}
+		gen := workload.New(params)
+		rd = gen
+		dataset = gen.DatasetBlocks()
 	}
-	params = params.Scaled(cfg.Scale)
-	if cfg.Duration > 0 {
-		params = params.WithDuration(cfg.Duration)
-	}
-	if cfg.Bursty {
-		params = params.WithBursts(12, 300*sim.Microsecond, 0.4)
-	}
-	gen := workload.New(params)
-	dataset := gen.DatasetBlocks()
 
 	eng := sim.NewEngine()
 	vol, arr, err := buildVolume(eng, cfg, dataset)
@@ -175,7 +263,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 		}
 	}
 
-	n, err := core.Replay(eng, vol, trace.Clamp(gen, vol.DataBlocks()))
+	n, err := core.Replay(eng, vol, trace.Clamp(rd, vol.DataBlocks()))
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -265,12 +353,17 @@ func buildVolume(eng *sim.Engine, cfg RunConfig, dataset int64) (core.Volume, *c
 		return raid.NewSpreadLayout(inner, dataset), nil
 	}
 
+	shards := cfg.MapShards
+	if shards == 0 {
+		shards = defaultMapShards
+	}
 	ccfg := core.Config{
 		Policy:       cfg.Policy,
 		CachePerDisk: pcPerDisk,
 		ParityGroup:  TestbedParityGroup,
 		StripeUnit:   TestbedStripeUnit,
 		Level:        cfg.PCLevel,
+		MapShards:    shards,
 	}
 	if cfg.Instant && cfg.PCBlocks > 0 {
 		// Policy-quality experiments size P_C directly in blocks.

@@ -1,7 +1,7 @@
 // Package mapcache implements CRAID's mapping cache (paper §4.2): an
-// in-memory balanced search tree translating block addresses in the
-// archive partition (P_A) to their cached copies in the cache partition
-// (P_C), with a dirty flag per entry.
+// in-memory balanced search structure translating block addresses in
+// the archive partition (P_A) to their cached copies in the cache
+// partition (P_C), with a dirty flag per entry.
 //
 // The paper specifies a tree-based structure with O(log k) lookups and
 // quantifies memory as ~0.58% of the cache partition size (4-byte LBAs,
@@ -11,6 +11,17 @@
 // dirty cached copies — the only ones that differ from the original
 // data — can be located and recovered, while clean entries are simply
 // invalidated.
+//
+// The index is sharded by contiguous archive-address range: shard i of
+// an n-shard table owns [i*span, (i+1)*span) (the last shard is
+// unbounded above), each with a private AVL tree and node freelist.
+// Sharding changes nothing observable — every operation, including the
+// run APIs, behaves exactly as on a single tree (property-tested) — but
+// it bounds each tree's height by its shard's population and gives a
+// future multi-queue controller disjoint structures to lock or own per
+// queue. Run operations that span a shard boundary are stitched: a run
+// contiguous in both Orig and Cache across the boundary is reported
+// whole, and a gap crossing shards is summed until the next mapping.
 package mapcache
 
 import (
@@ -19,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -29,34 +41,124 @@ type Mapping struct {
 	Dirty bool  // cached copy differs from the original
 }
 
-// node is an AVL tree node keyed by Orig.
-type node struct {
-	m           Mapping
-	left, right *node
-	height      int8
+// Index is the mapping-cache contract the CRAID monitor programs
+// against: point and run-granularity translation updates, ordered
+// iteration, and the §4.2 dirty-log hooks. Table is the tree-backed
+// implementation; alternatives (ART, B+-tree, a lock-per-shard
+// concurrent table) only need to satisfy this interface.
+type Index interface {
+	// Len returns the number of mappings; Bytes their memory footprint
+	// per the paper's accounting.
+	Len() int
+	Bytes() int64
+
+	// Lookup returns the mapping for orig. LookupRun additionally
+	// reports, in one descent, the contiguous hit run or miss gap
+	// starting at orig (see Table.LookupRun for the exact contract).
+	Lookup(orig int64) (Mapping, bool)
+	LookupRun(orig, max int64) (Mapping, int64, bool)
+
+	// Insert adds or replaces one mapping; InsertRun inserts the n
+	// consecutive translations orig+i → cache+i.
+	Insert(m Mapping)
+	InsertRun(orig, cache, n int64, dirty bool)
+
+	// Remove deletes the mapping for orig; RemoveRun deletes every
+	// mapping in [orig, orig+n), returning how many existed.
+	Remove(orig int64) bool
+	RemoveRun(orig, n int64) int64
+
+	// SetDirty and SetDirtyRun update dirty flags, logging transitions.
+	SetDirty(orig int64, dirty bool) bool
+	SetDirtyRun(orig, n int64, dirty bool) int64
+
+	// Walk visits all mappings in ascending Orig order until fn
+	// returns false. DirtyMappings returns the dirty subset, ascending.
+	Walk(fn func(Mapping) bool)
+	DirtyMappings() []Mapping
+
+	// Clear removes all mappings.
+	Clear()
+
+	// SetLog directs persistent logging of dirty-state transitions to
+	// w (nil disables). The log format is shard-agnostic: a log written
+	// by any Index recovers into any other via Recover.
+	SetLog(w io.Writer)
 }
 
-// Table is the mapping cache. The zero value is an empty table ready to
-// use. Not safe for concurrent use (CRAID's controller is event-driven
-// and single-threaded, like a real controller's interrupt context).
+// Table is the sharded mapping cache. The zero value is an empty
+// single-shard table ready to use. Not safe for concurrent use (CRAID's
+// controller is event-driven and single-threaded, like a real
+// controller's interrupt context); the sharding exists so a future
+// multi-queue controller can partition requests by address range and
+// own one shard per queue.
 type Table struct {
-	root *node
-	size int
-	log  io.Writer // optional persistent dirty log
-
-	// freelist of removed nodes, chained through right: the monitor
-	// continuously evicts and re-inserts mappings, so steady-state
-	// churn allocates nothing.
-	free *node
-
-	// scratch for the last insert descent (replacement detection
-	// without a second Lookup descent when logging is enabled).
-	replaced Mapping
-	existed  bool
+	shards []shard
+	span   int64     // addresses per shard; 0 with a single shard
+	size   int       // total mappings across shards
+	log    io.Writer // optional persistent dirty log
 }
 
-// New returns an empty table.
+var _ Index = (*Table)(nil)
+
+// New returns an empty single-shard table.
 func New() *Table { return &Table{} }
+
+// NewSharded returns an empty table of n shards, shard i owning
+// addresses [i*span, (i+1)*span) and the last shard unbounded above.
+// span must be positive when n > 1; n < 1 is clamped to 1.
+func NewSharded(n int, span int64) *Table {
+	if n < 1 {
+		n = 1
+	}
+	if n > 1 && span < 1 {
+		panic("mapcache: NewSharded needs a positive span for n > 1 shards")
+	}
+	return &Table{shards: make([]shard, n), span: span}
+}
+
+// Shards returns the shard count.
+func (t *Table) Shards() int {
+	if len(t.shards) == 0 {
+		return 1
+	}
+	return len(t.shards)
+}
+
+// init materializes the single shard of a zero-value Table.
+func (t *Table) init() {
+	if len(t.shards) == 0 {
+		t.shards = make([]shard, 1)
+	}
+}
+
+// idx returns the shard index owning orig.
+func (t *Table) idx(orig int64) int {
+	if len(t.shards) == 1 || orig < t.span {
+		return 0
+	}
+	i := int(orig / t.span)
+	if i >= len(t.shards) {
+		i = len(t.shards) - 1
+	}
+	return i
+}
+
+// bound returns the first address beyond shard i's range.
+func (t *Table) bound(i int) int64 {
+	if i >= len(t.shards)-1 {
+		return math.MaxInt64
+	}
+	return int64(i+1) * t.span
+}
+
+// capRun limits max to not cross the boundary at bound from orig.
+func capRun(orig, max, bound int64) int64 {
+	if bound != math.MaxInt64 && bound-orig < max {
+		return bound - orig
+	}
+	return max
+}
 
 // SetLog directs persistent logging of dirty-state transitions to w.
 // Passing nil disables logging.
@@ -75,28 +177,24 @@ func (t *Table) Bytes() int64 {
 
 // Lookup returns the mapping for orig.
 func (t *Table) Lookup(orig int64) (Mapping, bool) {
-	n := t.root
-	for n != nil {
-		switch {
-		case orig < n.m.Orig:
-			n = n.left
-		case orig > n.m.Orig:
-			n = n.right
-		default:
-			return n.m, true
-		}
+	if len(t.shards) == 0 {
+		return Mapping{}, false
 	}
-	return Mapping{}, false
+	return t.shards[t.idx(orig)].lookup(orig)
 }
 
 // Insert adds or replaces the mapping for m.Orig.
 func (t *Table) Insert(m Mapping) {
-	t.existed = false
-	t.root = t.insert(t.root, m)
+	t.init()
+	s := &t.shards[t.idx(m.Orig)]
+	s.existed = false
+	before := s.size
+	s.root = s.insert(s.root, m)
+	t.size += s.size - before
 	switch {
 	case m.Dirty:
 		t.appendLog(logInsert, m)
-	case t.existed && t.replaced.Dirty:
+	case s.existed && s.replaced.Dirty:
 		// A clean copy replaced a dirty one: the dirty state is gone.
 		t.appendLog(logClean, Mapping{Orig: m.Orig})
 	}
@@ -113,41 +211,78 @@ func (t *Table) InsertRun(orig, cache, n int64, dirty bool) {
 
 // Remove deletes the mapping for orig, reporting whether it existed.
 func (t *Table) Remove(orig int64) bool {
+	t.init()
+	s := &t.shards[t.idx(orig)]
 	var removed bool
-	t.root, removed = t.remove(t.root, orig)
+	s.root, removed = s.remove(s.root, orig)
 	if removed {
+		s.size--
 		t.size--
 		t.appendLog(logRemove, Mapping{Orig: orig})
 	}
 	return removed
 }
 
+// RemoveRun deletes every mapping in [orig, orig+n), returning how many
+// existed — equivalent to a loop of Remove over the range, but existing
+// keys are discovered by successor walking so sparse ranges don't pay a
+// descent per absent address.
+func (t *Table) RemoveRun(orig, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	t.init()
+	end := orig + n
+	var removed int64
+	for orig < end {
+		i := t.idx(orig)
+		segEnd := end
+		if b := t.bound(i); b < segEnd {
+			segEnd = b
+		}
+		removed += t.shards[i].removeRun(t, orig, segEnd)
+		orig = segEnd
+	}
+	t.size -= int(removed)
+	return removed
+}
+
 // SetDirty updates the dirty flag for orig, reporting whether the entry
 // exists. Transitions are logged so dirty blocks are recoverable.
 func (t *Table) SetDirty(orig int64, dirty bool) bool {
-	n := t.root
-	for n != nil {
-		switch {
-		case orig < n.m.Orig:
-			n = n.left
-		case orig > n.m.Orig:
-			n = n.right
-		default:
-			if n.m.Dirty != dirty {
-				n.m.Dirty = dirty
-				if dirty {
-					t.appendLog(logInsert, n.m)
-				} else {
-					t.appendLog(logClean, Mapping{Orig: orig})
-				}
-			}
-			return true
-		}
+	if len(t.shards) == 0 {
+		return false
 	}
-	return false
+	return t.shards[t.idx(orig)].setDirty(t, orig, dirty)
 }
 
-// LookupRun inspects the run starting at orig in a single descent.
+// SetDirtyRun updates the dirty flag of every existing mapping in
+// [orig, orig+n) — equivalent to a loop of SetDirty — using one descent
+// per touched shard plus successor walking. It returns how many
+// mappings were found. Transitions are logged so dirty blocks stay
+// recoverable.
+func (t *Table) SetDirtyRun(orig, n int64, dirty bool) int64 {
+	if n <= 0 {
+		return 0
+	}
+	t.init()
+	end := orig + n
+	var found int64
+	for orig < end {
+		i := t.idx(orig)
+		segEnd := end
+		if b := t.bound(i); b < segEnd {
+			segEnd = b
+		}
+		found += t.shards[i].setDirtyRun(t, orig, segEnd, dirty)
+		orig = segEnd
+	}
+	return found
+}
+
+// LookupRun inspects the run starting at orig in a single descent per
+// touched shard (one descent total unless the run or gap crosses a
+// shard boundary, which the capped segment loop stitches seamlessly).
 //
 // If orig is mapped it returns its mapping, ok=true, and n = the length
 // (capped at max) of the contiguous run of mappings starting at orig
@@ -158,174 +293,60 @@ func (t *Table) SetDirty(orig int64, dirty bool) bool {
 // consecutive unmapped addresses starting at orig (capped at max), i.e.
 // the gap to the next mapping.
 //
-// The run is discovered by walking in-order successors from the initial
-// descent's search path, so a whole extent costs one O(log k) descent
-// plus O(n) amortized pointer chasing instead of n descents.
+// Within a shard the run is discovered by walking in-order successors
+// from the initial descent's search path, so a whole extent costs one
+// O(log k) descent plus O(n) amortized pointer chasing instead of n
+// descents.
 func (t *Table) LookupRun(orig, max int64) (m Mapping, n int64, ok bool) {
 	if max <= 0 {
 		return Mapping{}, 0, false
 	}
-	// Descend to orig, stacking the pending in-order successors (the
-	// nodes where the search went left).
-	var buf [48]*node // fits the AVL height of ~2^33 entries
-	stack := buf[:0]
-	cur := t.root
-	for cur != nil {
-		switch {
-		case orig < cur.m.Orig:
-			stack = append(stack, cur)
-			cur = cur.left
-		case orig > cur.m.Orig:
-			cur = cur.right
-		default:
-			goto found
-		}
-	}
-	// orig is unmapped; the successor (if any) bounds the gap.
-	if len(stack) == 0 {
+	if len(t.shards) == 0 {
 		return Mapping{}, max, false
 	}
-	if gap := stack[len(stack)-1].m.Orig - orig; gap < max {
-		return Mapping{}, gap, false
-	}
-	return Mapping{}, max, false
-
-found:
-	m = cur.m
-	n = 1
-	prev := cur.m
-	for n < max {
-		// Advance to the in-order successor: leftmost of the right
-		// subtree, else the nearest stacked ancestor.
-		next := cur.right
-		for next != nil {
-			stack = append(stack, next)
-			next = next.left
-		}
-		if len(stack) == 0 {
-			break
-		}
-		cur = stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if cur.m.Orig != prev.Orig+1 || cur.m.Cache != prev.Cache+1 {
-			break
-		}
-		prev = cur.m
-		n++
-	}
-	return m, n, true
-}
-
-// SetDirtyRun updates the dirty flag of every existing mapping in
-// [orig, orig+n) — equivalent to a loop of SetDirty — using one descent
-// plus successor walking. It returns how many mappings were found.
-// Transitions are logged so dirty blocks stay recoverable.
-func (t *Table) SetDirtyRun(orig, n int64, dirty bool) int64 {
-	if n <= 0 {
-		return 0
-	}
-	end := orig + n
-	var buf [48]*node
-	stack := buf[:0]
-	cur := t.root
-	for cur != nil {
-		switch {
-		case orig < cur.m.Orig:
-			stack = append(stack, cur)
-			cur = cur.left
-		case orig > cur.m.Orig:
-			cur = cur.right
-		default:
-			stack = append(stack, cur)
-			cur = nil
-		}
-	}
-	var found int64
-	for len(stack) > 0 {
-		cur = stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if cur.m.Orig >= end {
-			break
-		}
-		found++
-		if cur.m.Dirty != dirty {
-			cur.m.Dirty = dirty
-			if dirty {
-				t.appendLog(logInsert, cur.m)
-			} else {
-				t.appendLog(logClean, Mapping{Orig: cur.m.Orig})
-			}
-		}
-		for next := cur.right; next != nil; next = next.left {
-			stack = append(stack, next)
-		}
-	}
-	return found
-}
-
-// RemoveRun deletes every mapping in [orig, orig+n), returning how many
-// existed — equivalent to a loop of Remove over the range, but existing
-// keys are discovered by successor walking so sparse ranges don't pay a
-// descent per absent address.
-func (t *Table) RemoveRun(orig, n int64) int64 {
-	var removed int64
-	end := orig + n
-	for orig < end {
-		// Collect the next batch of present keys (removal rebalances
-		// the tree, invalidating any in-flight iterator).
-		var keys [64]int64
-		got := 0
-		var buf [48]*node
-		stack := buf[:0]
-		cur := t.root
-		for cur != nil {
-			switch {
-			case orig < cur.m.Orig:
-				stack = append(stack, cur)
-				cur = cur.left
-			case orig > cur.m.Orig:
-				cur = cur.right
-			default:
-				stack = append(stack, cur)
-				cur = nil
-			}
-		}
-		for len(stack) > 0 && got < len(keys) {
-			cur = stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if cur.m.Orig >= end {
+	i := t.idx(orig)
+	bound := t.bound(i)
+	m, n, ok = t.shards[i].lookupRun(orig, capRun(orig, max, bound))
+	if ok {
+		// The run filled its shard segment exactly: it may continue in
+		// the next shard — contiguous iff the next shard's first
+		// address is mapped with the expected cache successor.
+		for n < max && orig+n == bound {
+			i++
+			b2 := t.bound(i)
+			m2, n2, ok2 := t.shards[i].lookupRun(bound, capRun(bound, max-n, b2))
+			if !ok2 || m2.Cache != m.Cache+n {
 				break
 			}
-			keys[got] = cur.m.Orig
-			got++
-			for next := cur.right; next != nil; next = next.left {
-				stack = append(stack, next)
-			}
+			n += n2
+			bound = b2
 		}
-		if got == 0 {
+		return m, n, true
+	}
+	// The gap reached the shard boundary: keep summing gaps until a
+	// mapping bounds it or max is exhausted.
+	for n < max && orig+n == bound {
+		i++
+		b2 := t.bound(i)
+		_, g, ok2 := t.shards[i].lookupRun(bound, capRun(bound, max-n, b2))
+		if ok2 {
 			break
 		}
-		for _, k := range keys[:got] {
-			if t.Remove(k) {
-				removed++
-			}
-		}
-		orig = keys[got-1] + 1
+		n += g
+		bound = b2
 	}
-	return removed
+	return Mapping{}, n, false
 }
 
-// Walk visits all mappings in ascending Orig order. Returning false
-// from fn stops the walk.
+// Walk visits all mappings in ascending Orig order (shards own
+// contiguous address ranges, so shard order is address order).
+// Returning false from fn stops the walk.
 func (t *Table) Walk(fn func(Mapping) bool) {
-	var walk func(n *node) bool
-	walk = func(n *node) bool {
-		if n == nil {
-			return true
+	for i := range t.shards {
+		if !t.shards[i].walk(fn) {
+			return
 		}
-		return walk(n.left) && fn(n.m) && walk(n.right)
 	}
-	walk(t.root)
 }
 
 // DirtyMappings returns all dirty entries in ascending Orig order.
@@ -342,127 +363,11 @@ func (t *Table) DirtyMappings() []Mapping {
 
 // Clear removes all mappings.
 func (t *Table) Clear() {
-	t.root = nil
+	for i := range t.shards {
+		t.shards[i].root = nil
+		t.shards[i].size = 0
+	}
 	t.size = 0
-}
-
-// --- AVL machinery ---
-
-func height(n *node) int8 {
-	if n == nil {
-		return 0
-	}
-	return n.height
-}
-
-func fix(n *node) *node {
-	n.height = 1 + max8(height(n.left), height(n.right))
-	bf := height(n.left) - height(n.right)
-	switch {
-	case bf > 1:
-		if height(n.left.left) < height(n.left.right) {
-			n.left = rotateLeft(n.left)
-		}
-		return rotateRight(n)
-	case bf < -1:
-		if height(n.right.right) < height(n.right.left) {
-			n.right = rotateRight(n.right)
-		}
-		return rotateLeft(n)
-	}
-	return n
-}
-
-func rotateRight(n *node) *node {
-	l := n.left
-	n.left = l.right
-	l.right = n
-	n.height = 1 + max8(height(n.left), height(n.right))
-	l.height = 1 + max8(height(l.left), height(l.right))
-	return l
-}
-
-func rotateLeft(n *node) *node {
-	r := n.right
-	n.right = r.left
-	r.left = n
-	n.height = 1 + max8(height(n.left), height(n.right))
-	r.height = 1 + max8(height(r.left), height(r.right))
-	return r
-}
-
-func max8(a, b int8) int8 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// newNode takes a node from the freelist, or allocates.
-func (t *Table) newNode(m Mapping) *node {
-	if f := t.free; f != nil {
-		t.free = f.right
-		f.m, f.left, f.right, f.height = m, nil, nil, 1
-		return f
-	}
-	return &node{m: m, height: 1}
-}
-
-// freeNode returns a detached node to the freelist.
-func (t *Table) freeNode(n *node) {
-	n.left, n.right = nil, t.free
-	t.free = n
-}
-
-func (t *Table) insert(n *node, m Mapping) *node {
-	if n == nil {
-		t.size++
-		return t.newNode(m)
-	}
-	switch {
-	case m.Orig < n.m.Orig:
-		n.left = t.insert(n.left, m)
-	case m.Orig > n.m.Orig:
-		n.right = t.insert(n.right, m)
-	default:
-		t.replaced, t.existed = n.m, true
-		n.m = m // replace in place
-		return n
-	}
-	return fix(n)
-}
-
-func (t *Table) remove(n *node, orig int64) (*node, bool) {
-	if n == nil {
-		return nil, false
-	}
-	var removed bool
-	switch {
-	case orig < n.m.Orig:
-		n.left, removed = t.remove(n.left, orig)
-	case orig > n.m.Orig:
-		n.right, removed = t.remove(n.right, orig)
-	default:
-		removed = true
-		if n.left == nil {
-			r := n.right
-			t.freeNode(n)
-			return r, true
-		}
-		if n.right == nil {
-			l := n.left
-			t.freeNode(n)
-			return l, true
-		}
-		// Replace with the in-order successor.
-		succ := n.right
-		for succ.left != nil {
-			succ = succ.left
-		}
-		n.m = succ.m
-		n.right, _ = t.remove(n.right, succ.m.Orig)
-	}
-	return fix(n), removed
 }
 
 // --- persistent dirty log ---
@@ -492,7 +397,10 @@ func (t *Table) appendLog(kind byte, m Mapping) {
 // Recover replays a dirty log and returns the mappings that were dirty
 // when the log ended — the blocks whose cached copies must be restored
 // after a crash (paper §4.2: clean blocks are invalidated, dirty ones
-// recovered from their logged translations).
+// recovered from their logged translations). The log carries no shard
+// geometry: a log written by a single-shard table recovers into a
+// sharded one (and vice versa), with the receiving Index rebuilding its
+// own structure as the mappings are re-inserted.
 func Recover(r io.Reader) ([]Mapping, error) {
 	br := bufio.NewReader(r)
 	dirty := make(map[int64]int64)

@@ -213,7 +213,7 @@ func TestAVLInvariantsUnderChurn(t *testing.T) {
 			t.Fatalf("Len = %d, want %d", tb.Len(), len(live))
 		}
 	}
-	checkAVL(t, tb.root, -1, 1<<62)
+	checkAVL(t, tb.shards[0].root, -1, 1<<62)
 }
 
 // Property: the table behaves exactly like a map reference model.
@@ -262,7 +262,7 @@ func TestPropertyHeightLogarithmic(t *testing.T) {
 	for i := int64(0); i < 1<<14; i++ {
 		tb.Insert(Mapping{Orig: i}) // worst case: sorted inserts
 	}
-	h := int(height(tb.root))
+	h := int(height(tb.shards[0].root))
 	if h > 21 { // 1.44 * log2(16384) ≈ 20.2
 		t.Errorf("height = %d for 16384 sorted inserts, want <= 21", h)
 	}

@@ -1,0 +1,353 @@
+package mapcache
+
+// shard is one AVL tree over a contiguous range of archive addresses,
+// with a private node freelist so steady-state churn in one shard never
+// contends with (or allocates on behalf of) another. All methods assume
+// the caller already routed the address range to this shard; run
+// operations are capped at the shard's range boundary by the Table.
+type shard struct {
+	root *node
+	size int
+
+	// freelist of removed nodes, chained through right: the monitor
+	// continuously evicts and re-inserts mappings, so steady-state
+	// churn allocates nothing.
+	free *node
+
+	// scratch for the last insert descent (replacement detection
+	// without a second lookup descent when logging is enabled).
+	replaced Mapping
+	existed  bool
+}
+
+// node is an AVL tree node keyed by Orig.
+type node struct {
+	m           Mapping
+	left, right *node
+	height      int8
+}
+
+func (s *shard) lookup(orig int64) (Mapping, bool) {
+	n := s.root
+	for n != nil {
+		switch {
+		case orig < n.m.Orig:
+			n = n.left
+		case orig > n.m.Orig:
+			n = n.right
+		default:
+			return n.m, true
+		}
+	}
+	return Mapping{}, false
+}
+
+// lookupRun is Table.LookupRun restricted to this shard: the Table caps
+// max at the shard boundary and stitches runs/gaps across shards.
+func (s *shard) lookupRun(orig, max int64) (m Mapping, n int64, ok bool) {
+	if max <= 0 {
+		return Mapping{}, 0, false
+	}
+	// Descend to orig, stacking the pending in-order successors (the
+	// nodes where the search went left).
+	var buf [48]*node // fits the AVL height of ~2^33 entries
+	stack := buf[:0]
+	cur := s.root
+	for cur != nil {
+		switch {
+		case orig < cur.m.Orig:
+			stack = append(stack, cur)
+			cur = cur.left
+		case orig > cur.m.Orig:
+			cur = cur.right
+		default:
+			goto found
+		}
+	}
+	// orig is unmapped; the successor (if any) bounds the gap.
+	if len(stack) == 0 {
+		return Mapping{}, max, false
+	}
+	if gap := stack[len(stack)-1].m.Orig - orig; gap < max {
+		return Mapping{}, gap, false
+	}
+	return Mapping{}, max, false
+
+found:
+	m = cur.m
+	n = 1
+	prev := cur.m
+	for n < max {
+		// Advance to the in-order successor: leftmost of the right
+		// subtree, else the nearest stacked ancestor.
+		next := cur.right
+		for next != nil {
+			stack = append(stack, next)
+			next = next.left
+		}
+		if len(stack) == 0 {
+			break
+		}
+		cur = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur.m.Orig != prev.Orig+1 || cur.m.Cache != prev.Cache+1 {
+			break
+		}
+		prev = cur.m
+		n++
+	}
+	return m, n, true
+}
+
+// setDirty updates the dirty flag for orig, logging transitions via t.
+func (s *shard) setDirty(t *Table, orig int64, dirty bool) bool {
+	n := s.root
+	for n != nil {
+		switch {
+		case orig < n.m.Orig:
+			n = n.left
+		case orig > n.m.Orig:
+			n = n.right
+		default:
+			if n.m.Dirty != dirty {
+				n.m.Dirty = dirty
+				if dirty {
+					t.appendLog(logInsert, n.m)
+				} else {
+					t.appendLog(logClean, Mapping{Orig: orig})
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// setDirtyRun updates the dirty flag of every existing mapping in
+// [orig, end) — the caller caps end at the shard boundary — using one
+// descent plus successor walking. It returns how many mappings were
+// found. Transitions are logged so dirty blocks stay recoverable.
+func (s *shard) setDirtyRun(t *Table, orig, end int64, dirty bool) int64 {
+	var buf [48]*node
+	stack := buf[:0]
+	cur := s.root
+	for cur != nil {
+		switch {
+		case orig < cur.m.Orig:
+			stack = append(stack, cur)
+			cur = cur.left
+		case orig > cur.m.Orig:
+			cur = cur.right
+		default:
+			stack = append(stack, cur)
+			cur = nil
+		}
+	}
+	var found int64
+	for len(stack) > 0 {
+		cur = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur.m.Orig >= end {
+			break
+		}
+		found++
+		if cur.m.Dirty != dirty {
+			cur.m.Dirty = dirty
+			if dirty {
+				t.appendLog(logInsert, cur.m)
+			} else {
+				t.appendLog(logClean, Mapping{Orig: cur.m.Orig})
+			}
+		}
+		for next := cur.right; next != nil; next = next.left {
+			stack = append(stack, next)
+		}
+	}
+	return found
+}
+
+// removeRun deletes every mapping in [orig, end), returning how many
+// existed. Existing keys are discovered by successor walking so sparse
+// ranges don't pay a descent per absent address.
+func (s *shard) removeRun(t *Table, orig, end int64) int64 {
+	var removed int64
+	for orig < end {
+		// Collect the next batch of present keys (removal rebalances
+		// the tree, invalidating any in-flight iterator).
+		var keys [64]int64
+		got := 0
+		var buf [48]*node
+		stack := buf[:0]
+		cur := s.root
+		for cur != nil {
+			switch {
+			case orig < cur.m.Orig:
+				stack = append(stack, cur)
+				cur = cur.left
+			case orig > cur.m.Orig:
+				cur = cur.right
+			default:
+				stack = append(stack, cur)
+				cur = nil
+			}
+		}
+		for len(stack) > 0 && got < len(keys) {
+			cur = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cur.m.Orig >= end {
+				break
+			}
+			keys[got] = cur.m.Orig
+			got++
+			for next := cur.right; next != nil; next = next.left {
+				stack = append(stack, next)
+			}
+		}
+		if got == 0 {
+			break
+		}
+		for _, k := range keys[:got] {
+			var ok bool
+			s.root, ok = s.remove(s.root, k)
+			if ok {
+				s.size--
+				removed++
+				t.appendLog(logRemove, Mapping{Orig: k})
+			}
+		}
+		orig = keys[got-1] + 1
+	}
+	return removed
+}
+
+// walk visits the shard's mappings in ascending Orig order. Returning
+// false from fn stops (and propagates) the early exit.
+func (s *shard) walk(fn func(Mapping) bool) bool {
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n == nil {
+			return true
+		}
+		return walk(n.left) && fn(n.m) && walk(n.right)
+	}
+	return walk(s.root)
+}
+
+// --- AVL machinery ---
+
+func height(n *node) int8 {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func fix(n *node) *node {
+	n.height = 1 + max8(height(n.left), height(n.right))
+	bf := height(n.left) - height(n.right)
+	switch {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.height = 1 + max8(height(n.left), height(n.right))
+	l.height = 1 + max8(height(l.left), height(l.right))
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.height = 1 + max8(height(n.left), height(n.right))
+	r.height = 1 + max8(height(r.left), height(r.right))
+	return r
+}
+
+func max8(a, b int8) int8 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// newNode takes a node from the shard's freelist, or allocates.
+func (s *shard) newNode(m Mapping) *node {
+	if f := s.free; f != nil {
+		s.free = f.right
+		f.m, f.left, f.right, f.height = m, nil, nil, 1
+		return f
+	}
+	return &node{m: m, height: 1}
+}
+
+// freeNode returns a detached node to the shard's freelist.
+func (s *shard) freeNode(n *node) {
+	n.left, n.right = nil, s.free
+	s.free = n
+}
+
+func (s *shard) insert(n *node, m Mapping) *node {
+	if n == nil {
+		s.size++
+		return s.newNode(m)
+	}
+	switch {
+	case m.Orig < n.m.Orig:
+		n.left = s.insert(n.left, m)
+	case m.Orig > n.m.Orig:
+		n.right = s.insert(n.right, m)
+	default:
+		s.replaced, s.existed = n.m, true
+		n.m = m // replace in place
+		return n
+	}
+	return fix(n)
+}
+
+func (s *shard) remove(n *node, orig int64) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var removed bool
+	switch {
+	case orig < n.m.Orig:
+		n.left, removed = s.remove(n.left, orig)
+	case orig > n.m.Orig:
+		n.right, removed = s.remove(n.right, orig)
+	default:
+		removed = true
+		if n.left == nil {
+			r := n.right
+			s.freeNode(n)
+			return r, true
+		}
+		if n.right == nil {
+			l := n.left
+			s.freeNode(n)
+			return l, true
+		}
+		// Replace with the in-order successor.
+		succ := n.right
+		for succ.left != nil {
+			succ = succ.left
+		}
+		n.m = succ.m
+		n.right, _ = s.remove(n.right, succ.m.Orig)
+	}
+	return fix(n), removed
+}

@@ -1,0 +1,42 @@
+package mapcache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchShardedTable is benchTable's layout (runs-of-64 separated by
+// gaps-of-64) over a sharded index.
+func benchShardedTable(shards int, blocks int64) *Table {
+	t := NewSharded(shards, (blocks+int64(shards)-1)/int64(shards))
+	var cache int64
+	for b := int64(0); b < blocks; b += 128 {
+		for i := int64(0); i < 64; i++ {
+			t.Insert(Mapping{Orig: b + i, Cache: cache})
+			cache++
+		}
+	}
+	return t
+}
+
+// BenchmarkLookupRunSharded measures the monitor's hot lookup at
+// several shard counts: the per-shard trees are shallower, so descents
+// shorten as shards grow, while the cross-boundary stitching keeps the
+// run contract intact.
+func BenchmarkLookupRunSharded(b *testing.B) {
+	const blocks = 1 << 20
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			t := benchShardedTable(shards, blocks)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				base := int64(i*256) % blocks
+				for off := int64(0); off < 256; {
+					_, n, _ := t.LookupRun(base+off, 256-off)
+					off += n
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,244 @@
+package mapcache
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestShardedCrossBoundaryRun pins the LookupRun contract across shard
+// boundaries: a run contiguous in both Orig and Cache that spans shards
+// is reported whole, and one broken exactly at the boundary is not.
+func TestShardedCrossBoundaryRun(t *testing.T) {
+	tb := NewSharded(4, 100) // shards: [0,100) [100,200) [200,300) [300,∞)
+	// A 40-mapping run straddling the 100 boundary, cache-contiguous.
+	tb.InsertRun(80, 500, 40, false)
+
+	m, n, ok := tb.LookupRun(80, 1000)
+	if !ok || n != 40 || m.Cache != 500 {
+		t.Fatalf("straddling run: got (%+v, %d, %v), want cache 500 len 40", m, n, ok)
+	}
+	// Starting mid-run, still crossing the boundary.
+	m, n, ok = tb.LookupRun(95, 1000)
+	if !ok || n != 25 || m.Cache != 515 {
+		t.Fatalf("mid-run: got (%+v, %d, %v), want cache 515 len 25", m, n, ok)
+	}
+	// max caps the walk across the boundary.
+	_, n, ok = tb.LookupRun(95, 10)
+	if !ok || n != 10 {
+		t.Fatalf("capped: got n=%d ok=%v, want 10/true", n, ok)
+	}
+
+	// A run crossing THREE boundaries.
+	tb2 := NewSharded(4, 100)
+	tb2.InsertRun(50, 0, 300, false) // [50,350) spans all four shards
+	_, n, ok = tb2.LookupRun(50, 1000)
+	if !ok || n != 300 {
+		t.Fatalf("triple-crossing run: got n=%d ok=%v, want 300/true", n, ok)
+	}
+
+	// Cache discontinuity exactly at the shard boundary breaks the run.
+	tb3 := NewSharded(4, 100)
+	tb3.InsertRun(90, 500, 10, false)  // [90,100) → cache 500..509
+	tb3.InsertRun(100, 700, 10, false) // [100,110) → cache 700 (jump)
+	_, n, ok = tb3.LookupRun(90, 1000)
+	if !ok || n != 10 {
+		t.Fatalf("cache jump at boundary: got n=%d ok=%v, want 10/true", n, ok)
+	}
+}
+
+// TestShardedCrossBoundaryGap pins the gap contract: unmapped stretches
+// crossing shard boundaries are summed until the next mapping.
+func TestShardedCrossBoundaryGap(t *testing.T) {
+	tb := NewSharded(4, 100)
+	tb.Insert(Mapping{Orig: 250, Cache: 1})
+
+	// Gap from 50 crosses two boundaries before hitting 250.
+	_, n, ok := tb.LookupRun(50, 1000)
+	if ok || n != 200 {
+		t.Fatalf("gap: got n=%d ok=%v, want 200/false", n, ok)
+	}
+	// A mapping exactly on a boundary ends the gap there.
+	tb.Insert(Mapping{Orig: 200, Cache: 2})
+	_, n, ok = tb.LookupRun(50, 1000)
+	if ok || n != 150 {
+		t.Fatalf("gap to boundary mapping: got n=%d ok=%v, want 150/false", n, ok)
+	}
+	// Gap past the last mapping runs to max.
+	_, n, ok = tb.LookupRun(251, 77)
+	if ok || n != 77 {
+		t.Fatalf("tail gap: got n=%d ok=%v, want 77/false", n, ok)
+	}
+}
+
+// TestShardedMatchesSingleShard drives identical random op sequences
+// against a single-tree table and sharded tables of several counts,
+// requiring bit-identical results from every operation — the property
+// that makes monitor ratios independent of the shard count.
+func TestShardedMatchesSingleShard(t *testing.T) {
+	const addrSpace = 1 << 12
+	for _, shards := range []int{2, 3, 7, 16} {
+		span := int64(addrSpace / shards)
+		rng := rand.New(rand.NewSource(int64(42 + shards)))
+		var logA, logB bytes.Buffer
+		ref := New()
+		ref.SetLog(&logA)
+		sh := NewSharded(shards, span)
+		sh.SetLog(&logB)
+
+		for step := 0; step < 20000; step++ {
+			orig := rng.Int63n(addrSpace)
+			n := rng.Int63n(200) + 1
+			switch rng.Intn(6) {
+			case 0:
+				cache := rng.Int63n(addrSpace)
+				dirty := rng.Intn(2) == 0
+				ref.InsertRun(orig, cache, n, dirty)
+				sh.InsertRun(orig, cache, n, dirty)
+			case 1:
+				ra, rb := ref.Remove(orig), sh.Remove(orig)
+				if ra != rb {
+					t.Fatalf("shards=%d step %d: Remove(%d) %v vs %v", shards, step, orig, ra, rb)
+				}
+			case 2:
+				ra, rb := ref.RemoveRun(orig, n), sh.RemoveRun(orig, n)
+				if ra != rb {
+					t.Fatalf("shards=%d step %d: RemoveRun(%d,%d) %d vs %d", shards, step, orig, n, ra, rb)
+				}
+			case 3:
+				dirty := rng.Intn(2) == 0
+				ra, rb := ref.SetDirtyRun(orig, n, dirty), sh.SetDirtyRun(orig, n, dirty)
+				if ra != rb {
+					t.Fatalf("shards=%d step %d: SetDirtyRun %d vs %d", shards, step, ra, rb)
+				}
+			case 4:
+				ma, na, oka := ref.LookupRun(orig, n)
+				mb, nb, okb := sh.LookupRun(orig, n)
+				if ma != mb || na != nb || oka != okb {
+					t.Fatalf("shards=%d step %d: LookupRun(%d,%d) (%+v,%d,%v) vs (%+v,%d,%v)",
+						shards, step, orig, n, ma, na, oka, mb, nb, okb)
+				}
+			case 5:
+				ma, oka := ref.Lookup(orig)
+				mb, okb := sh.Lookup(orig)
+				if ma != mb || oka != okb {
+					t.Fatalf("shards=%d step %d: Lookup(%d) mismatch", shards, step, orig)
+				}
+			}
+			if ref.Len() != sh.Len() {
+				t.Fatalf("shards=%d step %d: Len %d vs %d", shards, step, ref.Len(), sh.Len())
+			}
+		}
+
+		// Full-state equivalence: identical ordered walks and dirty sets.
+		var wa, wb []Mapping
+		ref.Walk(func(m Mapping) bool { wa = append(wa, m); return true })
+		sh.Walk(func(m Mapping) bool { wb = append(wb, m); return true })
+		if len(wa) != len(wb) {
+			t.Fatalf("shards=%d: walk lengths %d vs %d", shards, len(wa), len(wb))
+		}
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("shards=%d: walk[%d] %+v vs %+v", shards, i, wa[i], wb[i])
+			}
+		}
+		// The dirty logs are written in the same order with the same
+		// payloads: recovery is shard-count independent byte for byte.
+		if !bytes.Equal(logA.Bytes(), logB.Bytes()) {
+			t.Fatalf("shards=%d: dirty logs diverge (%d vs %d bytes)",
+				shards, logA.Len(), logB.Len())
+		}
+	}
+}
+
+// TestShardedLogRecoversAcrossShardCounts writes a dirty log with one
+// shard count and recovers it into tables of other counts: the
+// recovered dirty sets must be identical (the log carries no geometry).
+func TestShardedLogRecoversAcrossShardCounts(t *testing.T) {
+	var log bytes.Buffer
+	writer := New()
+	writer.SetLog(&log)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		orig := rng.Int63n(2048)
+		switch rng.Intn(3) {
+		case 0:
+			writer.Insert(Mapping{Orig: orig, Cache: rng.Int63n(4096), Dirty: rng.Intn(2) == 0})
+		case 1:
+			writer.Remove(orig)
+		case 2:
+			writer.SetDirty(orig, rng.Intn(2) == 0)
+		}
+	}
+	want := writer.DirtyMappings()
+
+	ms, err := Recover(bytes.NewReader(log.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4, 9} {
+		tb := NewSharded(shards, 2048/int64(shards)+1)
+		for _, m := range ms {
+			tb.Insert(m)
+		}
+		got := tb.DirtyMappings()
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: recovered %d dirty, want %d", shards, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: dirty[%d] = %+v, want %+v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardedFreelistsArePerShard verifies churn in one shard recycles
+// its own nodes without touching its neighbours' freelists.
+func TestShardedFreelistsArePerShard(t *testing.T) {
+	tb := NewSharded(2, 1000)
+	tb.InsertRun(0, 0, 10, false)      // shard 0
+	tb.InsertRun(1000, 100, 10, false) // shard 1
+	tb.RemoveRun(0, 10)                // shard 0's nodes → shard 0's freelist
+	if tb.shards[0].free == nil {
+		t.Fatal("shard 0 freelist empty after RemoveRun")
+	}
+	if tb.shards[1].free != nil {
+		t.Fatal("shard 1 freelist populated by shard 0 churn")
+	}
+	// Re-inserting into shard 0 must drain its freelist.
+	tb.InsertRun(0, 0, 10, false)
+	if tb.shards[0].free != nil {
+		t.Fatal("shard 0 freelist not reused on re-insert")
+	}
+}
+
+// TestShardedZeroAndEdgeCases covers the zero value, clamping of
+// out-of-range addresses into the last shard, and Clear.
+func TestShardedZeroAndEdgeCases(t *testing.T) {
+	var zero Table // zero value: single shard, ready to use
+	if _, n, ok := zero.LookupRun(5, 10); ok || n != 10 {
+		t.Fatalf("zero table LookupRun: n=%d ok=%v, want 10/false", n, ok)
+	}
+	zero.Insert(Mapping{Orig: 1, Cache: 2})
+	if m, ok := zero.Lookup(1); !ok || m.Cache != 2 {
+		t.Fatal("zero table lookup after insert failed")
+	}
+
+	tb := NewSharded(3, 10)
+	// Addresses beyond shards*span land in the last shard.
+	tb.Insert(Mapping{Orig: 1 << 40, Cache: 7})
+	if m, ok := tb.Lookup(1 << 40); !ok || m.Cache != 7 {
+		t.Fatal("clamped address lost")
+	}
+	if got := tb.Shards(); got != 3 {
+		t.Fatalf("Shards() = %d, want 3", got)
+	}
+	tb.Clear()
+	if tb.Len() != 0 {
+		t.Fatal("Clear left mappings")
+	}
+	if _, ok := tb.Lookup(1 << 40); ok {
+		t.Fatal("Clear left a lookup hit")
+	}
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// The fuzz targets guard the hand-rolled strings.Cut/cutField scanning
+// in the parsers: arbitrary input must never panic, loop forever, or
+// yield a record violating the invariants the simulator relies on
+// (non-negative block, count >= 1). Seeds cover well-formed lines,
+// every rejection path, and shapes that previously needed care (torn
+// fields, huge numbers, sign tricks, empty lines).
+
+// drain pulls records until EOF or the first parse error, checking
+// invariants on every successful record.
+func drain(t *testing.T, r Reader) {
+	t.Helper()
+	for i := 0; ; i++ {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			return // malformed input must error, not panic
+		}
+		if rec.Block < 0 {
+			t.Fatalf("record %d: negative block %d", i, rec.Block)
+		}
+		if rec.Count < 1 {
+			t.Fatalf("record %d: count %d < 1", i, rec.Count)
+		}
+		if i > 1<<20 {
+			t.Fatal("reader did not terminate")
+		}
+	}
+}
+
+func FuzzParseNative(f *testing.F) {
+	f.Add("0 R 100 8\n1000 W 200 16\n")
+	f.Add("# comment\n\n  5 r 0 1\n")
+	f.Add("5 X 0 1\n")                    // bad op
+	f.Add("5 R -3 1\n")                   // negative block
+	f.Add("5 R 3 0\n")                    // zero count
+	f.Add("5 R 3\n")                      // missing field
+	f.Add("5 R 3 1 extra\n")              // trailing field
+	f.Add("99999999999999999999 R 0 1\n") // overflow
+	f.Add("5\tR\t3\t1\n")                 // tabs
+	f.Fuzz(func(t *testing.T, data string) {
+		drain(t, NewNativeReader(strings.NewReader(data)))
+	})
+}
+
+func FuzzParseMSR(f *testing.F) {
+	f.Add("128166372003061629,host,0,Read,4096,4096,100\n")
+	f.Add("128166372003061629,host,3,Write,0,0,100\n")
+	f.Add("1,h,0,read,1,1\n")       // no trailing field, lowercase op
+	f.Add("1,h,0,Flush,1,1,1\n")    // bad type
+	f.Add("1,h,0,Read,-4096,1,1\n") // negative offset
+	f.Add("1,h,0,Read,1,-1,1\n")    // negative size
+	f.Add("1,h,x,Read,1,1,1\n")     // bad disk number (only when filtered)
+	f.Add("x,h,0,Read,1,1,1\n")     // bad timestamp
+	f.Add("1,h,0\n")                // short line
+	f.Add(",,,,,,\n")               // empty fields
+	f.Fuzz(func(t *testing.T, data string) {
+		drain(t, NewMSRReader(strings.NewReader(data)))
+		// The volume-filtered path parses DiskNumber too.
+		filtered := NewMSRReader(strings.NewReader(data))
+		filtered.Volume = 0
+		drain(t, filtered)
+		// And the volume enumerator shares the column scanning.
+		_, _ = MSRVolumes(strings.NewReader(data))
+	})
+}
+
+func FuzzParseBlk(f *testing.F) {
+	f.Add("0.000000 0 R 2048 8\n1.5 0 W 4096 16\n")
+	f.Add("0.1 dev READ 0 1\n")
+	f.Add("0.1 dev Q 0 1\n")   // bad op
+	f.Add("0.1 dev R -8 1\n")  // negative sector
+	f.Add("0.1 dev R 8 0\n")   // zero sectors
+	f.Add("0.1 dev R 8\n")     // short line
+	f.Add("NaN dev R 8 1\n")   // NaN time
+	f.Add("1e308 dev R 8 1\n") // huge time
+	f.Fuzz(func(t *testing.T, data string) {
+		drain(t, NewBlkReader(strings.NewReader(data)))
+	})
+}

@@ -173,8 +173,8 @@ func (n *NativeReader) Next() (Record, error) {
 			return Record{}, fmt.Errorf("trace: line %d: bad op %q", n.line, f1)
 		}
 		block, err := strconv.ParseInt(f2, 10, 64)
-		if err != nil {
-			return Record{}, fmt.Errorf("trace: line %d: block: %w", n.line, err)
+		if err != nil || block < 0 {
+			return Record{}, fmt.Errorf("trace: line %d: bad block %q", n.line, f2)
 		}
 		count, err := strconv.ParseInt(f3, 10, 64)
 		if err != nil || count < 1 {
@@ -262,8 +262,8 @@ func (m *MSRReader) Next() (Record, error) {
 			return Record{}, fmt.Errorf("trace: msr line %d: bad type %q", m.line, f3)
 		}
 		off, err := strconv.ParseInt(f4, 10, 64)
-		if err != nil {
-			return Record{}, fmt.Errorf("trace: msr line %d: offset: %w", m.line, err)
+		if err != nil || off < 0 {
+			return Record{}, fmt.Errorf("trace: msr line %d: bad offset %q", m.line, f4)
 		}
 		size, err := strconv.ParseInt(f5, 10, 64)
 		if err != nil || size < 0 {
@@ -343,8 +343,8 @@ func (b *BlkReader) Next() (Record, error) {
 			return Record{}, fmt.Errorf("trace: blk line %d: bad op %q", b.line, f2)
 		}
 		sector, err := strconv.ParseInt(f3, 10, 64)
-		if err != nil {
-			return Record{}, fmt.Errorf("trace: blk line %d: sector: %w", b.line, err)
+		if err != nil || sector < 0 {
+			return Record{}, fmt.Errorf("trace: blk line %d: bad sector %q", b.line, f3)
 		}
 		sectors, err := strconv.ParseInt(f4, 10, 64)
 		if err != nil || sectors < 1 {

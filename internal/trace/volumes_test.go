@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMSRVolumesEnumerates(t *testing.T) {
+	in := strings.NewReader(`# comment
+128166372003061629,host,3,Read,0,4096,100
+128166372003062629,host,0,Write,4096,4096,100
+
+128166372003063629,host,3,Read,8192,4096,100
+128166372003064629,host,7,Read,0,4096,100
+`)
+	vols, err := MSRVolumes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 3, 7}
+	if len(vols) != len(want) {
+		t.Fatalf("got %v, want %v", vols, want)
+	}
+	for i := range want {
+		if vols[i] != want[i] {
+			t.Fatalf("got %v, want %v (ascending)", vols, want)
+		}
+	}
+}
+
+func TestMSRVolumesRejectsMalformed(t *testing.T) {
+	if _, err := MSRVolumes(strings.NewReader("nonsense\n")); err == nil {
+		t.Fatal("malformed line did not error")
+	}
+	if _, err := MSRVolumes(strings.NewReader("1,h,x,Read,0,1,1\n")); err == nil {
+		t.Fatal("non-numeric DiskNumber did not error")
+	}
+	if _, err := MSRVolumes(strings.NewReader("1,h,-1,Read,0,1,1\n")); err == nil {
+		t.Fatal("negative DiskNumber did not error")
+	}
+}
+
+func TestMSRVolumesEmpty(t *testing.T) {
+	vols, err := MSRVolumes(strings.NewReader("# only comments\n"))
+	if err != nil || len(vols) != 0 {
+		t.Fatalf("got %v, %v; want empty, nil", vols, err)
+	}
+}
