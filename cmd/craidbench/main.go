@@ -10,6 +10,7 @@
 //	craidbench -trace wdev      # restrict figures to one trace
 //	craidbench -parallel 4      # concurrent simulations (default: all cores)
 //	craidbench -shards 8        # shard the mapping index (ratios unchanged)
+//	craidbench -workers 4       # multi-queue monitor workers per cell (ratios unchanged)
 //	craidbench -cpuprofile cpu.pb.gz -table 2   # attach pprof evidence
 //
 // The -budget flag scales each workload so roughly that many gigabytes
@@ -21,7 +22,12 @@
 // concurrently (each cell owns a private simulation engine, so the
 // matrix is embarrassingly parallel). Results are identical at every
 // parallelism level, and -shards shards every cell's mapping index
-// without changing any ratio.
+// without changing any ratio. The -workers flag additionally turns on
+// each cell's multi-queue monitor: replay batches are classified
+// concurrently against the sharded index (one worker per shard group)
+// with a sequential apply stage, so every ratio and Stats field stays
+// bit-identical to -workers 1; when -shards is left at its default,
+// -workers N implies 4×N shards so the workers have groups to own.
 //
 // The -cpuprofile and -memprofile flags write pprof profiles covering
 // the whole run, so performance PRs can attach before/after evidence
@@ -47,11 +53,13 @@ func main() {
 	traceName := flag.String("trace", "", "restrict figures to one trace")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations")
 	shards := flag.Int("shards", 0, "mapping-index shards per CRAID (0 = single tree)")
+	workers := flag.Int("workers", 0, "multi-queue monitor workers per CRAID (0 = sequential)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
 	experiments.SetDefaultMapShards(*shards)
+	experiments.SetDefaultMonitorWorkers(*workers)
 
 	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 

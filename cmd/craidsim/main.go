@@ -38,6 +38,8 @@ func main() {
 	budget := flag.Float64("budget", 0.5, "replayed GB (scales the workload)")
 	bursty := flag.Bool("bursty", false, "bursty arrivals")
 	shards := flag.Int("shards", 0, "mapping-index shards (0 = single tree)")
+	workers := flag.Int("workers", 0,
+		"multi-queue monitor workers (0 = sequential; ratios identical at any value)")
 	file := flag.String("file", "", "replay this trace file instead of the preset")
 	format := flag.String("format", "native", "trace file format: native|msr|blk")
 	volume := flag.Int("volume", -1,
@@ -48,15 +50,16 @@ func main() {
 	flag.Parse()
 
 	cfg := experiments.RunConfig{
-		Trace:     *traceName,
-		Scale:     experiments.ScaleFor(*traceName, *budget),
-		Strategy:  experiments.Strategy(*strategy),
-		PCPct:     *pc,
-		Policy:    *policy,
-		Bursty:    *bursty,
-		MapShards: *shards,
-		TrackLoad: true,
-		TrackSeq:  true,
+		Trace:          *traceName,
+		Scale:          experiments.ScaleFor(*traceName, *budget),
+		Strategy:       experiments.Strategy(*strategy),
+		PCPct:          *pc,
+		Policy:         *policy,
+		Bursty:         *bursty,
+		MapShards:      *shards,
+		MonitorWorkers: *workers,
+		TrackLoad:      true,
+		TrackSeq:       true,
 	}
 	if *file != "" {
 		cfg.Trace = *file
@@ -120,6 +123,14 @@ func main() {
 		fmt.Printf("evictions:    %d (%.2f%% dirty)  copy-ins: %d blocks  writebacks: %d blocks\n",
 			s.Evictions, 100*ratioOf(s.DirtyEvictions, s.Evictions), s.CopyIns, s.Writebacks)
 	}
+	if res.MQ.Batches > 0 {
+		mq := res.MQ
+		fmt.Printf("multi-queue:  %d batches, %d planned (%d applied, %d replanned, %d mid-record)\n",
+			mq.Batches, mq.Planned, mq.Applied, mq.Replanned, mq.SegReplans)
+	}
+	rp := res.Replay
+	fmt.Printf("replay ring:  high water %d, reader stalls %d, replay stalls %d\n",
+		rp.RingHighWater, rp.ReaderStalls, rp.ReplayStalls)
 	fmt.Printf("load balance: mean per-second cv %.3f\n", metrics.Mean(res.CVs))
 	fmt.Printf("sequential:   mean per-second fraction %.3f\n", metrics.Mean(res.SeqFracs))
 	fmt.Printf("queues:       mean %.2f, p99 %d, max %d; concurrent devices mean %.1f max %d\n",

@@ -53,10 +53,19 @@ import (
 //     the batch's allocation writes, preserving order on shared disk
 //     queues.
 //
-// The single-threading assumption stands: one CRAID (like one
-// sim.Engine) is confined to a goroutine; cross-experiment parallelism
-// lives in internal/experiments.RunAll, which runs whole simulations
-// per worker.
+//  5. Mutation stays single-threaded; classification does not. The
+//     multi-queue pipeline (plan.go) classifies whole replay batches
+//     concurrently — one worker per shard group, read-only against the
+//     sharded index — and a sequential apply stage commits every
+//     record in submission order, re-classifying inline whenever a
+//     per-shard structural version says an earlier mutation
+//     invalidated the plan. The discrete-event engine, all Stats and
+//     every device counter are therefore bit-identical to the
+//     sequential controller at any MonitorWorkers setting. Outside the
+//     plan window one CRAID (like one sim.Engine) remains confined to
+//     a goroutine; cross-experiment parallelism lives in
+//     internal/experiments.RunAll, which runs whole simulations per
+//     worker.
 
 // PCLevel selects the redundancy of the cache partition.
 type PCLevel uint8
@@ -104,8 +113,21 @@ type Config struct {
 	// Monitor behavior — hit, replacement and eviction ratios — is
 	// bit-identical at every shard count; sharding only changes the
 	// index's internal structure (shallower per-shard trees, per-shard
-	// freelists) so future concurrent monitors can partition lookups.
+	// freelists), and gives the multi-queue planner disjoint shard
+	// groups to classify concurrently.
 	MapShards int
+	// MonitorWorkers classifies replayed batches against the mapping
+	// index concurrently: the plan phase routes each record's address
+	// range to one worker per shard group (cross-shard runs split at
+	// shard boundaries and re-stitched), and the sequential apply phase
+	// commits every plan in submission order, re-classifying inline
+	// whenever an earlier mutation invalidated it. Stats, monitor
+	// ratios and per-device counters are bit-identical at every worker
+	// count. Default 1 (sequential); effective workers are capped at
+	// MapShards, so concurrency needs MapShards > 1. Only Replay
+	// batches are planned — direct Submit calls always run the
+	// sequential path.
+	MonitorWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +148,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MapShards < 1 {
 		c.MapShards = 1
+	}
+	if c.MonitorWorkers < 1 {
+		c.MonitorWorkers = 1
 	}
 	return c
 }
@@ -214,6 +239,9 @@ type CRAID struct {
 	pending []bool  // insertRuns newborn scratch, reused across calls
 	wb      []wbRun // pending dirty write-back runs, reused across calls
 	wbFree  *wbOp   // write-back op freelist
+
+	mq      *planner // multi-queue batch planner (nil until first batch)
+	mqStats MQStats
 
 	stats Stats
 }
@@ -341,70 +369,92 @@ func (c *CRAID) CacheDataBlocks() int64 { return c.pcData }
 func (c *CRAID) DataBlocks() int64 { return c.pa.layout.DataBlocks() }
 
 // Submit implements Volume, realizing the paper's Fig. 2 control flow.
+// It is submitPlanned without a plan, so the direct and the
+// multi-queue paths share one join choreography.
 func (c *CRAID) Submit(rec trace.Record, done func(sim.Time)) {
-	now := c.arr.Eng.Now()
-	j := c.arr.newJoin(c.record(rec.Op, now, done))
-	if rec.Op == disk.OpRead {
-		c.readPath(rec, j)
-	} else {
-		c.writePath(rec, j)
-	}
-	j.seal(now)
+	c.submitPlanned(rec, nil, done)
 }
 
-// readPath serves reads: hits redirect to P_C; misses are served from
-// P_A and copied into P_C in the background. Hit and miss extents are
-// discovered at run granularity — one mapping-cache descent per extent
-// instead of one per block (see the performance notes above).
+// readPath serves reads by classifying hit and miss extents inline —
+// one mapping-cache descent per extent instead of one per block (see
+// the performance notes above) — and applying each as it is found.
+// The multi-queue pipeline performs the same classification ahead of
+// time and concurrently (plan.go); both paths commit through the same
+// applyReadSeg, so their observable behavior is identical by
+// construction.
 func (c *CRAID) readPath(rec trace.Record, j *join) {
 	c.stats.ReadBlocks += rec.Count
-	b, end := rec.Block, rec.End()
+	c.classifyTail(rec, j, rec.Block)
+}
+
+// classifyTail classifies and applies [b, rec.End()) inline — one
+// LookupRun per extent, re-classifying after each application so an
+// extent's side effects (an insertion's evictions can land anywhere,
+// including later in this record) are observed. The sequential paths
+// run it for the whole record; the planner's apply stage enters it
+// mid-record when a plan goes stale against the record's own
+// mutations.
+func (c *CRAID) classifyTail(rec trace.Record, j *join, b int64) {
+	end := rec.End()
 	for b < end {
-		if m, n, ok := c.table.LookupRun(b, end-b); ok {
-			// A run of hits with contiguous cache addresses.
-			c.policy.AccessRun(b, n, rec.Count)
-			c.stats.ReadHits += n
-			c.trackSeq(c.arr.Eng.Now(), 0, m.Cache, n)
-			c.pc.read(j, m.Cache, n)
-			b += n
+		m, n, ok := c.table.LookupRun(b, end-b)
+		s := planSeg{n: n, cache: m.Cache, hit: ok}
+		if rec.Op == disk.OpRead {
+			c.applyReadSeg(j, b, s, rec.Count)
 		} else {
-			// A run of misses: serve the client from P_A; once the data
-			// is in memory, copy it into P_C in the background (B.1/B.2
-			// in Fig. 2).
-			start, cnt := b, n
-			c.trackSeq(c.arr.Eng.Now(), 1, start, cnt)
-			jb := j.branch()
-			sub := c.arr.newJoin(func(at sim.Time) {
-				jb(at)
-				c.copyIn(start, cnt, disk.OpRead)
-			})
-			c.pa.read(sub, start, cnt)
-			sub.seal(c.arr.Eng.Now())
-			b += n
+			c.applyWriteSeg(j, b, s, rec.Count)
 		}
+		b += n
 	}
+}
+
+// applyReadSeg commits one classified read extent: hits redirect to
+// P_C; misses are served from P_A and copied into P_C in the
+// background (B.1/B.2 in Fig. 2).
+func (c *CRAID) applyReadSeg(j *join, b int64, s planSeg, reqSize int64) {
+	if s.hit {
+		// A run of hits with contiguous cache addresses.
+		c.policy.AccessRun(b, s.n, reqSize)
+		c.stats.ReadHits += s.n
+		c.trackSeq(c.arr.Eng.Now(), 0, s.cache, s.n)
+		c.pc.read(j, s.cache, s.n)
+		return
+	}
+	// A run of misses: serve the client from P_A; once the data is in
+	// memory, copy it into P_C in the background.
+	start, cnt := b, s.n
+	c.trackSeq(c.arr.Eng.Now(), 1, start, cnt)
+	jb := j.branch()
+	sub := c.arr.newJoin(func(at sim.Time) {
+		jb(at)
+		c.copyIn(start, cnt, disk.OpRead)
+	})
+	c.pa.read(sub, start, cnt)
+	sub.seal(c.arr.Eng.Now())
 }
 
 // writePath serves writes: always into P_C (allocate on miss), marking
 // blocks dirty. Parity in P_C is maintained with read-modify-write.
-// Like readPath, hit and miss extents are discovered at run
-// granularity.
+// Like readPath, hit and miss extents are discovered at run granularity
+// and committed through the shared apply helper.
 func (c *CRAID) writePath(rec trace.Record, j *join) {
 	c.stats.WriteBlocks += rec.Count
-	b, end := rec.Block, rec.End()
-	for b < end {
-		if m, n, ok := c.table.LookupRun(b, end-b); ok {
-			c.policy.AccessRun(b, n, rec.Count)
-			c.table.SetDirtyRun(b, n, true)
-			c.stats.WriteHits += n
-			c.trackSeq(c.arr.Eng.Now(), 0, m.Cache, n)
-			c.pc.write(j, m.Cache, n)
-			b += n
-		} else {
-			c.insertRuns(j, b, n, true, disk.OpWrite, rec.Count)
-			b += n
-		}
+	c.classifyTail(rec, j, rec.Block)
+}
+
+// applyWriteSeg commits one classified write extent: hits are
+// overwritten in place (marked dirty); misses allocate fresh cache
+// slots via insertRuns.
+func (c *CRAID) applyWriteSeg(j *join, b int64, s planSeg, reqSize int64) {
+	if s.hit {
+		c.policy.AccessRun(b, s.n, reqSize)
+		c.table.SetDirtyRun(b, s.n, true)
+		c.stats.WriteHits += s.n
+		c.trackSeq(c.arr.Eng.Now(), 0, s.cache, s.n)
+		c.pc.write(j, s.cache, s.n)
+		return
 	}
+	c.insertRuns(j, b, s.n, true, disk.OpWrite, reqSize)
 }
 
 // copyIn inserts [b, b+n) into P_C as clean copies (background; the

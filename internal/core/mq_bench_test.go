@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"craid/internal/disk"
+	"craid/internal/raid"
+	"craid/internal/sim"
+	"craid/internal/trace"
+)
+
+// mqBenchCRAID is benchCRAID with sharding and monitor workers — a
+// cache big enough that the hot set stays resident, so the benchmark
+// exercises the planner's fast path (hit classification), which is
+// where the multi-queue monitor earns its keep.
+func mqBenchCRAID(eng *sim.Engine, shards, workers int) *CRAID {
+	arr := nullArray(eng, 10, 1<<30)
+	disks := make([]int, 10)
+	for i := range disks {
+		disks[i] = i
+	}
+	paLayout := raid.NewRAID5(10, 10, 400_000, 32)
+	return NewCRAID(arr, Config{
+		Policy:         "LRU",
+		CachePerDisk:   65536,
+		ParityGroup:    10,
+		StripeUnit:     32,
+		MapShards:      shards,
+		MonitorWorkers: workers,
+	}, true, disks, 0, paLayout, disks, 65536)
+}
+
+// mqBenchTrace is a read-heavy extent workload over a working set that
+// fits P_C: after one warm pass everything hits, so plans validate and
+// the concurrent classification is the measured cost.
+func mqBenchTrace(n int) []trace.Record {
+	const workingSet = 500_000 // blocks; < pcData (9 × 65536)
+	recs := make([]trace.Record, n)
+	var cursor int64
+	for i := range recs {
+		op := disk.OpRead
+		if i%10 == 0 {
+			op = disk.OpWrite
+		}
+		recs[i] = trace.Record{
+			Time:  sim.Time(i) * sim.Microsecond,
+			Op:    op,
+			Block: (cursor * 977) % workingSet,
+			Count: 64,
+		}
+		cursor++
+	}
+	return recs
+}
+
+// BenchmarkReplayMultiQueue measures whole-replay wall clock through
+// ReplayWith at several monitor-worker counts (shards fixed at 64).
+// workers=1 is the sequential controller; higher counts plan batches
+// concurrently. On a single-core host the workers time-share, so the
+// expected win there is bounded at ~0; the benchmark exists to measure
+// the scaling on real multi-core hosts and to keep the concurrent path
+// under the bench-smoke CI job.
+func BenchmarkReplayMultiQueue(b *testing.B) {
+	recs := mqBenchTrace(100_000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng := sim.NewEngine()
+				c := mqBenchCRAID(eng, 64, workers)
+				// Warm pass: populate P_C so the measured pass hits.
+				if _, err := Replay(eng, c, trace.NewSlice(recs)); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				n, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != int64(len(recs)) {
+					b.Fatalf("replayed %d of %d", n, len(recs))
+				}
+			}
+			b.ReportMetric(float64(len(recs)), "records/op")
+		})
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+
+	"craid/internal/disk"
+	"craid/internal/raid"
+	"craid/internal/sim"
+	"craid/internal/trace"
+)
+
+// newMQCRAID is newShardedCRAID with a monitor-worker count.
+func newMQCRAID(eng *sim.Engine, cachePerDisk int64, shards, workers int) (*CRAID, *Array) {
+	arr := nullArray(eng, 4, 100000)
+	disks := []int{0, 1, 2, 3}
+	paLayout := raid.NewRAID5(4, 4, 4096, 4)
+	c := NewCRAID(arr, Config{
+		Policy:         "WLRU",
+		CachePerDisk:   cachePerDisk,
+		ParityGroup:    4,
+		StripeUnit:     4,
+		MapShards:      shards,
+		MonitorWorkers: workers,
+	}, true, disks, 0, paLayout, disks, cachePerDisk)
+	return c, arr
+}
+
+// mqOutcome is everything the acceptance criteria pin: the full Stats
+// struct, per-device I/O totals, the index population, and the
+// response-time distributions (histogram fingerprints: count, mean,
+// p50, p99, max — TestMonitorWorkersLatencyHistogramsIdentical
+// additionally compares full bucket contents).
+type mqOutcome struct {
+	stats    Stats
+	reads    int64
+	writes   int64
+	maps     int
+	readLat  string
+	writeLat string
+}
+
+func replayMQ(t *testing.T, recs []trace.Record, cachePerDisk int64, shards, workers int, cfg ReplayConfig) (mqOutcome, MQStats) {
+	t.Helper()
+	eng := sim.NewEngine()
+	c, arr := newMQCRAID(eng, cachePerDisk, shards, workers)
+	n, _, err := ReplayWith(eng, c, trace.NewSlice(recs), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(recs)) {
+		t.Fatalf("replayed %d of %d", n, len(recs))
+	}
+	r, w := ioTotals(arr)
+	return mqOutcome{
+		stats: *c.Stats(), reads: r, writes: w, maps: c.table.Len(),
+		readLat:  c.ReadLatency().String(),
+		writeLat: c.WriteLatency().String(),
+	}, *c.MQ()
+}
+
+// TestMonitorWorkersLatencyHistogramsIdentical pins the strongest form
+// of the determinism contract: the full response-time histograms —
+// every bucket, not just summary statistics — are bit-identical
+// between the sequential and the multi-queue controller.
+func TestMonitorWorkersLatencyHistogramsIdentical(t *testing.T) {
+	recs := randomWorkload(17, 3000, 12000)
+	eng1 := sim.NewEngine()
+	ref, _ := newMQCRAID(eng1, 64, 1, 1)
+	if _, _, err := ReplayWith(eng1, ref, trace.NewSlice(recs), ReplayConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	eng2 := sim.NewEngine()
+	mq, _ := newMQCRAID(eng2, 64, 16, 8)
+	if _, _, err := ReplayWith(eng2, mq, trace.NewSlice(recs), ReplayConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if !mq.ReadLatency().Equal(ref.ReadLatency()) {
+		t.Errorf("read histograms diverged: %v vs %v", mq.ReadLatency(), ref.ReadLatency())
+	}
+	if !mq.WriteLatency().Equal(ref.WriteLatency()) {
+		t.Errorf("write histograms diverged: %v vs %v", mq.WriteLatency(), ref.WriteLatency())
+	}
+}
+
+// TestMonitorWorkersStatsBitIdentical is the PR's acceptance property:
+// Stats, monitor ratios and per-device counters are bit-identical
+// between the sequential controller and the multi-queue pipeline at
+// every shards × workers combination, on random workloads that mix
+// hits, misses, evictions and cross-shard extents. Run it with -race:
+// the plan phase is the only concurrent code touching the index.
+func TestMonitorWorkersStatsBitIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23} {
+		recs := randomWorkload(seed, 4000, 12000)
+		ref, _ := replayMQ(t, recs, 64, 1, 1, ReplayConfig{})
+		for _, shards := range []int{1, 2, 5, 16} {
+			for _, workers := range []int{1, 2, 8} {
+				got, _ := replayMQ(t, recs, 64, shards, workers, ReplayConfig{})
+				if got != ref {
+					t.Errorf("seed %d shards=%d workers=%d: outcome diverged\n got %+v\nwant %+v",
+						seed, shards, workers, got, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestMonitorWorkersBatchSizeInvariant pins that the plan/apply split
+// is insensitive to how Replay batches the stream: any batch size and
+// ring depth produce the sequential controller's outcome.
+func TestMonitorWorkersBatchSizeInvariant(t *testing.T) {
+	recs := randomWorkload(11, 3000, 12000)
+	ref, _ := replayMQ(t, recs, 64, 1, 1, ReplayConfig{})
+	for _, cfg := range []ReplayConfig{
+		{BatchSize: 16, RingDepth: 1},
+		{BatchSize: 100, RingDepth: 2},
+		{BatchSize: 1024, RingDepth: 4},
+	} {
+		got, _ := replayMQ(t, recs, 64, 16, 8, cfg)
+		if got != ref {
+			t.Errorf("cfg %+v: outcome diverged\n got %+v\nwant %+v", cfg, got, ref)
+		}
+	}
+}
+
+// TestPlannerFastPathApplies proves the concurrent fast path actually
+// runs (plans validated and applied without re-classification), not
+// just the replan fallback: after warming a cache big enough to hold
+// the whole working set, hit traffic mutates nothing structural, so
+// plans stay valid.
+func TestPlannerFastPathApplies(t *testing.T) {
+	const span = 6000
+	// pcData = 3 data disks × 4096 blocks = 12288 > span: nothing evicts.
+	warm := make([]trace.Record, 0, span/8)
+	for b := int64(0); b < span; b += 8 {
+		warm = append(warm, trace.Record{
+			Time: sim.Time(len(warm)) * sim.Microsecond, Op: disk.OpWrite, Block: b, Count: 8,
+		})
+	}
+	hot := randomWorkload(3, 2000, span)
+	base := warm[len(warm)-1].Time + sim.Microsecond
+	for i := range hot {
+		hot[i].Time += base
+	}
+	recs := append(append([]trace.Record{}, warm...), hot...)
+
+	ref, _ := replayMQ(t, recs, 4096, 1, 1, ReplayConfig{})
+	got, mq := replayMQ(t, recs, 4096, 16, 8, ReplayConfig{})
+	if got != ref {
+		t.Errorf("outcome diverged\n got %+v\nwant %+v", got, ref)
+	}
+	if mq.Batches == 0 || mq.Planned == 0 {
+		t.Fatalf("planner never ran: %+v", mq)
+	}
+	if mq.Applied == 0 {
+		t.Errorf("no plan survived validation — the fast path is untested: %+v", mq)
+	}
+	// The warm phase inserts (structural), so some replans must occur
+	// too: both paths are exercised in one replay.
+	if mq.Replanned == 0 {
+		t.Errorf("no plan was invalidated — the fallback path is untested: %+v", mq)
+	}
+	if mq.Applied+mq.Replanned != mq.Planned {
+		t.Errorf("planned %d but applied %d + replanned %d", mq.Planned, mq.Applied, mq.Replanned)
+	}
+}
+
+// TestPlannerDisabledWhenNotConcurrent pins the degradation contract:
+// one worker, or a single-shard index, plans nothing (Submit runs the
+// sequential path directly).
+func TestPlannerDisabledWhenNotConcurrent(t *testing.T) {
+	recs := randomWorkload(2, 500, 4000)
+	for _, tc := range []struct{ shards, workers int }{{16, 1}, {1, 8}} {
+		_, mq := replayMQ(t, recs, 64, tc.shards, tc.workers, ReplayConfig{})
+		if mq.Batches != 0 || mq.Planned != 0 || mq.Applied != 0 || mq.Replanned != 0 {
+			t.Errorf("shards=%d workers=%d: planner ran: %+v", tc.shards, tc.workers, mq)
+		}
+	}
+}
+
+// TestSubmitDirectBypassesPlanner pins that direct Submit calls on a
+// multi-queue-configured controller behave sequentially and still
+// match the reference (expansion tests and examples drive Submit
+// directly).
+func TestSubmitDirectBypassesPlanner(t *testing.T) {
+	eng := sim.NewEngine()
+	c, _ := newMQCRAID(eng, 64, 16, 8)
+	eng2 := sim.NewEngine()
+	ref, _ := newMQCRAID(eng2, 64, 1, 1)
+	for i := int64(0); i < 300; i++ {
+		op := disk.OpRead
+		if i%3 == 0 {
+			op = disk.OpWrite
+		}
+		submitAndRun(eng, c, op, i*37%4000, 1+i%16)
+		submitAndRun(eng2, ref, op, i*37%4000, 1+i%16)
+	}
+	if *c.Stats() != *ref.Stats() {
+		t.Errorf("direct Submit diverged\n got %+v\nwant %+v", *c.Stats(), *ref.Stats())
+	}
+	if got := *c.MQ(); got != (MQStats{}) {
+		t.Errorf("direct Submit engaged the planner: %+v", got)
+	}
+}

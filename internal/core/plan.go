@@ -1,0 +1,398 @@
+package core
+
+import (
+	"sync"
+
+	"craid/internal/disk"
+	"craid/internal/sim"
+	"craid/internal/trace"
+)
+
+// Multi-queue monitor: concurrent per-shard classification with a
+// deterministic apply stage.
+//
+// The monitor's hot path is classification — LookupRun descents over
+// the mapping index deciding, extent by extent, whether a request hits
+// P_C. PR 2 sharded the index by archive-address range precisely so
+// this work could leave the single-threaded event loop; this file is
+// the payoff. Replay hands the planner whole batches of pre-parsed
+// records, and the pipeline runs in two phases:
+//
+//   - plan: the batch's address ranges are routed to one worker per
+//     shard *group* (contiguous runs of shards; cross-group requests
+//     are split at the boundary and re-stitched afterwards, reusing
+//     the same contract Table.LookupRun applies across shard
+//     boundaries). Workers only read the index — lookupRun is pure —
+//     so the phase is race-free by construction and runs between apply
+//     steps, when no mutation is possible.
+//
+//   - apply: the simulation commits records strictly in submission
+//     order through the same applyReadSeg/applyWriteSeg helpers the
+//     sequential path uses. A plan is trusted only if every shard it
+//     classified against still has the structural version observed at
+//     plan time (mapcache.Index.ShardVersion); otherwise the record is
+//     re-classified inline, which *is* the sequential path. Hits
+//     mutate nothing structural (dirty-flag flips are version-exempt),
+//     so hit-dominated steady state — the regime the paper's monitor
+//     converges to — applies almost every plan; misses, evictions and
+//     background copy-ins bump versions and surgically invalidate only
+//     the plans that could have observed them.
+//
+// Determinism follows: the apply stage performs, in the same order,
+// exactly the operations the sequential controller performs — either
+// by replaying a plan proven equal to what inline classification would
+// return, or by doing that inline classification. Stats, monitor
+// ratios, device counters and event timing are bit-identical at every
+// worker count (property-tested in mq_test.go).
+
+// planSeg is one classified extent: a hit run of n blocks cached
+// contiguously from cache, or a miss gap of n blocks (cache unused).
+type planSeg struct {
+	n     int64
+	cache int64
+	hit   bool
+}
+
+// shardStamp records the structural version one plan observed for one
+// shard; the plan is valid while every stamped shard still reports it.
+type shardStamp struct {
+	shard int
+	ver   uint64
+}
+
+// recordPlan is the planner's verdict for one record: its
+// classification into hit/miss extents, and the version stamps that
+// gate replaying it. Both slices alias planner arenas valid until the
+// next planBatch call.
+type recordPlan struct {
+	segs   []planSeg
+	stamps []shardStamp
+}
+
+// MQStats counts multi-queue planner activity. Deliberately separate
+// from Stats: Stats is bit-identical at every MonitorWorkers setting,
+// while these counters describe how the pipeline got there (a
+// sequential controller plans nothing at all).
+type MQStats struct {
+	Batches    int64 // record batches classified by the planner
+	Planned    int64 // records the planner classified ahead of apply
+	Applied    int64 // plans still valid at apply time (descents skipped)
+	Replanned  int64 // plans invalidated by earlier mutations (inline reclassification)
+	SegReplans int64 // applied plans that went stale mid-record (tail finished inline)
+}
+
+// MQ returns the multi-queue pipeline counters.
+func (c *CRAID) MQ() *MQStats { return &c.mqStats }
+
+// batchPlanner is implemented by volumes whose Submit can be split
+// into a concurrent plan phase and a sequential apply phase; Replay
+// feeds whole ring batches through it.
+type batchPlanner interface {
+	// planBatch classifies recs ahead of submission; the returned
+	// plans (nil when planning is disabled) parallel recs and stay
+	// valid until the next planBatch call.
+	planBatch(recs []trace.Record) []recordPlan
+	// submitPlanned is Submit carrying the record's plan (nil = none).
+	submitPlanned(rec trace.Record, p *recordPlan, done func(sim.Time))
+}
+
+var _ batchPlanner = (*CRAID)(nil)
+
+// planBatch implements batchPlanner: it classifies the whole batch
+// concurrently, one worker per shard group. Returns nil (sequential
+// submission) when MonitorWorkers or the shard count make concurrency
+// pointless.
+func (c *CRAID) planBatch(recs []trace.Record) []recordPlan {
+	if c.cfg.MonitorWorkers <= 1 || len(recs) == 0 {
+		return nil
+	}
+	if c.mq == nil {
+		c.mq = newPlanner(c)
+	}
+	if c.mq.workers <= 1 {
+		return nil // fewer shards than it takes to go concurrent
+	}
+	c.mqStats.Batches++
+	c.mqStats.Planned += int64(len(recs))
+	return c.mq.plan(recs)
+}
+
+// submitPlanned implements batchPlanner — and carries the one join
+// choreography both submission paths share (Submit delegates here
+// with p = nil): commit p's classification when it is still provably
+// current, else classify inline.
+func (c *CRAID) submitPlanned(rec trace.Record, p *recordPlan, done func(sim.Time)) {
+	now := c.arr.Eng.Now()
+	j := c.arr.newJoin(c.record(rec.Op, now, done))
+	switch {
+	case p != nil && c.planValid(p):
+		c.mqStats.Applied++
+		c.applyPlan(rec, p, j)
+	default:
+		if p != nil {
+			// An earlier record in the batch — or a background copy-in
+			// or write-back completing before this record's submission
+			// time — structurally changed a shard this plan read.
+			// Reclassifying inline is exactly the sequential path, so
+			// the outcome is the one the sequential controller
+			// produces.
+			c.mqStats.Replanned++
+		}
+		if rec.Op == disk.OpRead {
+			c.readPath(rec, j)
+		} else {
+			c.writePath(rec, j)
+		}
+	}
+	j.seal(now)
+}
+
+// planValid reports whether every shard p classified against is
+// structurally unchanged since plan time.
+func (c *CRAID) planValid(p *recordPlan) bool {
+	for _, st := range p.stamps {
+		if c.table.ShardVersion(st.shard) != st.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// applyPlan commits a validated plan in extent order through the same
+// helpers the sequential classification loop uses.
+//
+// The plan is re-validated before every extent after the first: the
+// sequential loop re-classifies after each extent it applies, and an
+// extent's own side effects can reach forward into the record — a
+// write miss's insertions evict victims chosen by the policy, which
+// can remove a mapping the plan classified as a later hit of this
+// very record. When that happens the stamped shard's version has
+// moved, and the remainder of the record finishes inline, exactly as
+// the sequential controller classifies it.
+func (c *CRAID) applyPlan(rec trace.Record, p *recordPlan, j *join) {
+	if rec.Op == disk.OpRead {
+		c.stats.ReadBlocks += rec.Count
+	} else {
+		c.stats.WriteBlocks += rec.Count
+	}
+	b := rec.Block
+	for i, s := range p.segs {
+		if i > 0 && !c.planValid(p) {
+			c.mqStats.SegReplans++
+			c.classifyTail(rec, j, b)
+			return
+		}
+		if rec.Op == disk.OpRead {
+			c.applyReadSeg(j, b, s, rec.Count)
+		} else {
+			c.applyWriteSeg(j, b, s, rec.Count)
+		}
+		b += s.n
+	}
+}
+
+// planner fans a batch's classification out over shard groups. All
+// scratch (task lists, per-worker seg arenas, the stitched plan/seg/
+// stamp arenas) is retained across batches, so steady-state planning
+// allocates nothing beyond amortized arena growth.
+type planner struct {
+	c       *CRAID
+	workers int
+
+	groupStart []int   // group g owns shards [groupStart[g], groupStart[g+1])
+	groupOf    []int   // shard index -> group index
+	groupEnd   []int64 // first archive address beyond group g
+
+	tasks   [][]planTask // per group, in record order
+	taskOut [][]segRange // per group, parallel to tasks: segs produced
+	arenas  [][]planSeg  // per group: worker-local classification scratch
+	cursor  []int        // per group: next unconsumed task during stitch
+
+	plans  []recordPlan
+	segs   []planSeg // stitched segments, all records
+	stamps []shardStamp
+	spans  []planSpan // per-record offsets into segs/stamps
+}
+
+// planSpan locates one record's plan inside the shared stitch arenas;
+// pointers are bound only after the arenas stop growing (append may
+// relocate their backing arrays).
+type planSpan struct {
+	segOff, segN, stOff, stN int
+}
+
+// planTask is one sub-range of one record, confined to a single shard
+// group.
+type planTask struct {
+	rec  int32
+	b, n int64
+}
+
+// segRange locates one task's classification inside its group arena.
+type segRange struct {
+	off, cnt int32
+}
+
+// newPlanner sizes a planner for c's current index geometry and worker
+// budget. The geometry (shard count and bounds) is fixed at NewCRAID —
+// Expand and Recover rebuild contents, never the shard layout — so one
+// planner serves the controller's lifetime.
+func newPlanner(c *CRAID) *planner {
+	shards := c.table.Shards()
+	workers := c.cfg.MonitorWorkers
+	if workers > shards {
+		workers = shards
+	}
+	p := &planner{c: c, workers: workers}
+	if workers <= 1 {
+		return p
+	}
+	// Shards carry roughly equal address spans, so contiguous
+	// equal-count groups spread the address space evenly.
+	p.groupStart = make([]int, workers+1)
+	p.groupOf = make([]int, shards)
+	p.groupEnd = make([]int64, workers)
+	for g := 0; g < workers; g++ {
+		p.groupStart[g] = g * shards / workers
+	}
+	p.groupStart[workers] = shards
+	for g := 0; g < workers; g++ {
+		for s := p.groupStart[g]; s < p.groupStart[g+1]; s++ {
+			p.groupOf[s] = g
+		}
+		p.groupEnd[g] = c.table.ShardBound(p.groupStart[g+1] - 1)
+	}
+	p.tasks = make([][]planTask, workers)
+	p.taskOut = make([][]segRange, workers)
+	p.arenas = make([][]planSeg, workers)
+	p.cursor = make([]int, workers)
+	return p
+}
+
+// plan classifies the batch: split, classify concurrently, stitch.
+func (p *planner) plan(recs []trace.Record) []recordPlan {
+	p.split(recs)
+	var wg sync.WaitGroup
+	for g := 1; g < p.workers; g++ {
+		if len(p.tasks[g]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p.classify(g)
+		}(g)
+	}
+	p.classify(0) // the submitting goroutine is worker 0
+	wg.Wait()
+	return p.stitch(recs)
+}
+
+// split routes each record's address range to its shard groups,
+// cutting at group boundaries. A record's tasks land in consecutive
+// groups, and within each group tasks are appended in record order —
+// the two invariants stitch relies on.
+func (p *planner) split(recs []trace.Record) {
+	for g := 0; g < p.workers; g++ {
+		p.tasks[g] = p.tasks[g][:0]
+	}
+	for i := range recs {
+		b, end := recs[i].Block, recs[i].End()
+		if b >= end {
+			continue
+		}
+		g := p.groupOf[p.c.table.ShardOf(b)]
+		for b < end {
+			n := end - b
+			if bound := p.groupEnd[g]; bound-b < n {
+				n = bound - b
+			}
+			p.tasks[g] = append(p.tasks[g], planTask{rec: int32(i), b: b, n: n})
+			b += n
+			g++
+		}
+	}
+}
+
+// classify runs group g's tasks against the index, read-only. Each
+// task's extents land in the group's private arena (the shard-local
+// scratch), located by taskOut.
+func (p *planner) classify(g int) {
+	segs := p.arenas[g][:0]
+	out := p.taskOut[g][:0]
+	table := p.c.table
+	for _, t := range p.tasks[g] {
+		off := len(segs)
+		b, end := t.b, t.b+t.n
+		for b < end {
+			m, n, ok := table.LookupRun(b, end-b)
+			segs = append(segs, planSeg{n: n, cache: m.Cache, hit: ok})
+			b += n
+		}
+		out = append(out, segRange{off: int32(off), cnt: int32(len(segs) - off)})
+	}
+	p.arenas[g] = segs
+	p.taskOut[g] = out
+}
+
+// stitch reassembles each record's plan from its per-group fragments,
+// merging extents across group boundaries exactly as Table.LookupRun
+// merges them across shard boundaries: adjacent hit runs fuse iff the
+// cache addresses continue, adjacent gaps always fuse. Within one
+// fragment extents are already maximal, so the merge only ever fires
+// at a boundary. Stamps cover every shard the classification read.
+func (p *planner) stitch(recs []trace.Record) []recordPlan {
+	if cap(p.plans) < len(recs) {
+		p.plans = make([]recordPlan, len(recs))
+	}
+	p.plans = p.plans[:len(recs)]
+	p.segs = p.segs[:0]
+	p.stamps = p.stamps[:0]
+	for g := range p.cursor {
+		p.cursor[g] = 0
+	}
+	if cap(p.spans) < len(recs) {
+		p.spans = make([]planSpan, len(recs))
+	}
+	p.spans = p.spans[:len(recs)]
+
+	table := p.c.table
+	for i := range recs {
+		b, end := recs[i].Block, recs[i].End()
+		segOff, stOff := len(p.segs), len(p.stamps)
+		if b < end {
+			s0, s1 := table.ShardOf(b), table.ShardOf(end-1)
+			for g := p.groupOf[s0]; g <= p.groupOf[s1]; g++ {
+				k := p.cursor[g]
+				p.cursor[g]++
+				out := p.taskOut[g][k]
+				frag := p.arenas[g][out.off : out.off+out.cnt]
+				for _, s := range frag {
+					if n := len(p.segs); n > segOff {
+						last := &p.segs[n-1]
+						if last.hit && s.hit && s.cache == last.cache+last.n {
+							last.n += s.n
+							continue
+						}
+						if !last.hit && !s.hit {
+							last.n += s.n
+							continue
+						}
+					}
+					p.segs = append(p.segs, s)
+				}
+			}
+			for s := s0; s <= s1; s++ {
+				p.stamps = append(p.stamps, shardStamp{shard: s, ver: table.ShardVersion(s)})
+			}
+		}
+		p.spans[i] = planSpan{segOff, len(p.segs) - segOff, stOff, len(p.stamps) - stOff}
+	}
+	for i, sp := range p.spans {
+		p.plans[i] = recordPlan{
+			segs:   p.segs[sp.segOff : sp.segOff+sp.segN],
+			stamps: p.stamps[sp.stOff : sp.stOff+sp.stN],
+		}
+	}
+	return p.plans
+}

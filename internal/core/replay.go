@@ -2,20 +2,61 @@ package core
 
 import (
 	"io"
+	"sync/atomic"
 
 	"craid/internal/sim"
 	"craid/internal/trace"
 )
 
-// Replay tuning. The ring holds replayRingDepth batches of up to
-// replayBatchSize pre-parsed records, so resident memory is bounded at
-// depth × batch records (~256 KiB) regardless of trace length, while
-// the reader goroutine stays far enough ahead that the simulation
-// never stalls on parsing.
+// Replay ring defaults. The ring holds RingDepth batches of up to
+// BatchSize pre-parsed records, so resident memory is bounded at
+// depth × batch records (~256 KiB at the defaults) regardless of trace
+// length, while the reader goroutine stays far enough ahead that the
+// simulation never stalls on parsing.
 const (
 	replayBatchSize = 1024
 	replayRingDepth = 4
 )
+
+// ReplayConfig tunes the replay pipeline; zero fields take the
+// defaults above. Oversized simulations (wide MSR hosts, very fast
+// instant-mode replays) can trade resident memory for headroom here
+// and read the effect off ReplayStats.
+type ReplayConfig struct {
+	// BatchSize is the record capacity of one ring slot — and the unit
+	// the multi-queue planner classifies concurrently.
+	BatchSize int
+	// RingDepth is the number of slots the reader may fill ahead of
+	// the simulation.
+	RingDepth int
+}
+
+func (c ReplayConfig) withDefaults() ReplayConfig {
+	if c.BatchSize < 1 {
+		c.BatchSize = replayBatchSize
+	}
+	if c.RingDepth < 1 {
+		c.RingDepth = replayRingDepth
+	}
+	return c
+}
+
+// ReplayStats reports what the replay pipeline did: throughput shape
+// and back-pressure on both ends of the ring. ReaderStalls counts the
+// reader finding the ring full (the simulation is the bottleneck — the
+// healthy steady state); ReplayStalls counts the simulation finding it
+// empty after at least one batch was consumed (parsing is the
+// bottleneck — consider a deeper ring, bigger batches, or a per-volume
+// split; the initial pipeline-filling wait is exempt). RingHighWater
+// is the most filled batches resident at once, bounded by the ring
+// depth.
+type ReplayStats struct {
+	Records       int64
+	Batches       int64
+	RingHighWater int
+	ReaderStalls  int64
+	ReplayStalls  int64
+}
 
 // replayBatch is one ring slot: records plus the terminal error (io.EOF
 // or a parse failure) hit while filling it, if any.
@@ -32,30 +73,55 @@ type recordSource struct {
 	free    chan []trace.Record
 	quit    chan struct{}
 
-	cur replayBatch
-	pos int
+	// Cross-goroutine counters; atomics because the simulation
+	// goroutine reads them while the reader may still be running.
+	// resident counts filled batches handed off but not yet consumed —
+	// tracked explicitly rather than via len(batches), which misses a
+	// send handed directly to an already-blocked receiver.
+	readerStalls atomic.Int64
+	resident     atomic.Int64
+	highWater    atomic.Int64
+
+	cur     cursorBatch
+	stats   ReplayStats // consumer-side fields, final values via snapshot
+	onBatch func(recs []trace.Record)
+
 	err error // first non-EOF error from the reader
+}
+
+// cursorBatch is the batch the simulation is currently draining.
+type cursorBatch struct {
+	replayBatch
+	pos int
 }
 
 // startRecordSource launches the reader goroutine pumping r's records
 // into the ring. The caller must invoke stop() when done (idempotent
 // with respect to a reader that already finished).
-func startRecordSource(r trace.Reader) *recordSource {
+func startRecordSource(r trace.Reader, cfg ReplayConfig) *recordSource {
 	s := &recordSource{
-		batches: make(chan replayBatch, replayRingDepth),
-		free:    make(chan []trace.Record, replayRingDepth),
+		batches: make(chan replayBatch, cfg.RingDepth),
+		free:    make(chan []trace.Record, cfg.RingDepth),
 		quit:    make(chan struct{}),
 	}
-	for i := 0; i < replayRingDepth; i++ {
-		s.free <- make([]trace.Record, 0, replayBatchSize)
+	for i := 0; i < cfg.RingDepth; i++ {
+		s.free <- make([]trace.Record, 0, cfg.BatchSize)
 	}
 	go func() {
 		for {
 			var buf []trace.Record
 			select {
 			case buf = <-s.free:
-			case <-s.quit:
-				return
+			default:
+				// Ring full: every slot is parsed and waiting. This is
+				// back-pressure working — block until the simulation
+				// frees a slot (or the replay stops).
+				s.readerStalls.Add(1)
+				select {
+				case buf = <-s.free:
+				case <-s.quit:
+					return
+				}
 			}
 			buf = buf[:0]
 			var err error
@@ -67,8 +133,23 @@ func startRecordSource(r trace.Reader) *recordSource {
 				}
 				buf = append(buf, rec)
 			}
+			// Count the filled batch as resident before handing it
+			// off: incrementing after the send races a direct handoff
+			// to an already-blocked receiver (the consumer could
+			// decrement first and the high-water mark under-report).
+			occ := s.resident.Add(1)
+			if depth := int64(cap(s.batches)); occ > depth {
+				// The reader itself holds the +1 while blocked on a
+				// full ring; occupancy is the full depth.
+				occ = depth
+			}
 			select {
 			case s.batches <- replayBatch{recs: buf, err: err}:
+				// The reader is highWater's only writer, so a plain
+				// load-compare-store max is race-free.
+				if occ > s.highWater.Load() {
+					s.highWater.Store(occ)
+				}
 			case <-s.quit:
 				return
 			}
@@ -81,71 +162,132 @@ func startRecordSource(r trace.Reader) *recordSource {
 }
 
 // next returns the next record, refilling from the ring when the
-// current batch drains. ok=false means the stream ended — by EOF, or by
-// the error left in s.err.
-func (s *recordSource) next() (trace.Record, bool) {
+// current batch drains (announcing each fresh batch via onBatch before
+// any of its records are returned). ok=false means the stream ended —
+// by EOF, or by the error left in s.err.
+func (s *recordSource) next() (trace.Record, int, bool) {
 	for {
-		if s.pos < len(s.cur.recs) {
-			rec := s.cur.recs[s.pos]
-			s.pos++
-			return rec, true
+		if s.cur.pos < len(s.cur.recs) {
+			rec := s.cur.recs[s.cur.pos]
+			idx := s.cur.pos
+			s.cur.pos++
+			s.stats.Records++
+			return rec, idx, true
 		}
 		if s.cur.err != nil {
 			if s.cur.err != io.EOF {
 				s.err = s.cur.err
 			}
-			return trace.Record{}, false
+			return trace.Record{}, 0, false
 		}
 		if s.cur.recs != nil {
 			s.free <- s.cur.recs
 		}
-		s.cur = <-s.batches
-		s.pos = 0
+		select {
+		case s.cur.replayBatch = <-s.batches:
+		default:
+			// Ring drained. Waiting for the very first batch is the
+			// pipeline filling, not the parser falling behind — only
+			// count a stall once a batch has actually been consumed.
+			if s.stats.Batches > 0 {
+				s.stats.ReplayStalls++
+			}
+			s.cur.replayBatch = <-s.batches
+		}
+		s.resident.Add(-1)
+		s.cur.pos = 0
+		if len(s.cur.recs) > 0 {
+			s.stats.Batches++
+			if s.onBatch != nil {
+				s.onBatch(s.cur.recs)
+			}
+		}
 	}
 }
 
 // stop terminates the reader goroutine.
 func (s *recordSource) stop() { close(s.quit) }
 
-// Replay feeds a trace into vol, submitting each record at its recorded
-// time, and runs the engine until all I/O completes. It returns the
-// number of requests replayed. Records must be time-ordered (all
-// readers in internal/trace and the generators in internal/workload
-// produce ordered streams).
+// snapshot folds the reader-side counters into the consumer-side stats.
+func (s *recordSource) snapshot() ReplayStats {
+	st := s.stats
+	st.ReaderStalls = s.readerStalls.Load()
+	st.RingHighWater = int(s.highWater.Load())
+	return st
+}
+
+// Replay feeds a trace into vol with the default pipeline tuning; see
+// ReplayWith.
+func Replay(eng *sim.Engine, vol Volume, r trace.Reader) (int64, error) {
+	n, _, err := ReplayWith(eng, vol, r, ReplayConfig{})
+	return n, err
+}
+
+// ReplayWith feeds a trace into vol, submitting each record at its
+// recorded time, and runs the engine until all I/O completes. It
+// returns the number of requests replayed and the pipeline's
+// back-pressure statistics. Records must be time-ordered (all readers
+// in internal/trace and the generators in internal/workload produce
+// ordered streams).
 //
 // Parsing runs off the simulation path: a reader goroutine pre-parses
-// records into a bounded ring of batches (see replayBatchSize /
-// replayRingDepth), and the simulation pumps records out of the current
-// batch — so multi-GB traces replay in constant memory without the
-// event loop stalling on the parser between events, and a slow reader
-// only ever blocks the simulation when the whole ring has drained.
-func Replay(eng *sim.Engine, vol Volume, r trace.Reader) (int64, error) {
-	src := startRecordSource(r)
+// records into a bounded ring of batches (cfg), and the simulation
+// pumps records out of the current batch — so multi-GB traces replay
+// in constant memory without the event loop stalling on the parser
+// between events, and a slow reader only ever blocks the simulation
+// when the whole ring has drained.
+//
+// Volumes implementing batchPlanner (CRAID with MonitorWorkers > 1)
+// additionally get each whole batch handed to their plan phase the
+// moment it leaves the ring: classification against the mapping index
+// runs concurrently, one worker per shard group, while submission —
+// the apply stage — stays strictly in record order, so results are
+// bit-identical to a sequential replay.
+func ReplayWith(eng *sim.Engine, vol Volume, r trace.Reader, cfg ReplayConfig) (int64, ReplayStats, error) {
+	src := startRecordSource(r, cfg.withDefaults())
 	defer src.stop()
 
-	var count int64
-	var pump func(rec trace.Record)
+	bp, _ := vol.(batchPlanner)
+	var plans []recordPlan
+	if bp != nil {
+		src.onBatch = func(recs []trace.Record) {
+			plans = bp.planBatch(recs)
+		}
+	}
+
+	var pump func(rec trace.Record, p *recordPlan)
 	schedule := func() {
-		rec, ok := src.next()
+		rec, idx, ok := src.next()
 		if !ok {
 			if src.err != nil {
 				eng.Stop()
 			}
 			return
 		}
+		var p *recordPlan
+		if plans != nil {
+			p = &plans[idx]
+		}
 		at := rec.Time
 		if at < eng.Now() {
 			at = eng.Now() // tolerate tiny reordering from parsers
 		}
-		eng.Schedule(at, func() { pump(rec) })
+		eng.Schedule(at, func() { pump(rec, p) })
 	}
-	pump = func(rec trace.Record) {
-		count++
-		vol.Submit(rec, nil)
+	pump = func(rec trace.Record, p *recordPlan) {
+		if bp != nil {
+			bp.submitPlanned(rec, p, nil)
+		} else {
+			vol.Submit(rec, nil)
+		}
 		schedule()
 	}
 
 	schedule()
 	eng.Run()
-	return count, src.err
+	// Every record next() hands out is pumped before the stream can
+	// end (the error path only stops the engine after the last pump),
+	// so the source's count is the replayed count.
+	st := src.snapshot()
+	return st.Records, st, src.err
 }

@@ -166,3 +166,94 @@ func (e *errorThenStream) Next() (trace.Record, error) {
 	}
 	return rec, err
 }
+
+// TestReplayWithStatsShape pins the deterministic parts of
+// ReplayStats: record and batch counts follow the configured batch
+// size, and the high-water mark stays within the ring.
+func TestReplayWithStatsShape(t *testing.T) {
+	recs := make([]trace.Record, 100)
+	for i := range recs {
+		recs[i] = trace.Record{Op: disk.OpRead, Block: int64(i % 50), Count: 1}
+	}
+	eng := sim.NewEngine()
+	c, _ := newTestCRAID(eng, 64)
+	cfg := ReplayConfig{BatchSize: 8, RingDepth: 2}
+	n, st, err := ReplayWith(eng, c, trace.NewSlice(recs), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 || st.Records != 100 {
+		t.Fatalf("records: n=%d stats=%d, want 100", n, st.Records)
+	}
+	if want := int64(13); st.Batches != want { // ceil(100/8)
+		t.Fatalf("batches = %d, want %d", st.Batches, want)
+	}
+	if st.RingHighWater < 1 || st.RingHighWater > cfg.RingDepth {
+		t.Fatalf("ring high water %d outside [1, %d]", st.RingHighWater, cfg.RingDepth)
+	}
+	if st.ReaderStalls < 0 || st.ReplayStalls < 0 {
+		t.Fatalf("negative stall counters: %+v", st)
+	}
+}
+
+// stallReader yields the first batch instantly, then blocks batch 2
+// on a gate the consumer opens only after fully draining batch 1 — so
+// the simulation is at the empty ring, deterministically, when the
+// parser resumes. That is the "parser is the bottleneck" case
+// ReplayStalls is specified to count (the pipeline-filling wait for
+// the very first batch is exempt).
+type stallReader struct {
+	inner trace.Reader
+	gate  chan struct{}
+	n     int
+}
+
+func (s *stallReader) Next() (trace.Record, error) {
+	s.n++
+	if s.n == replayBatchSize+1 {
+		<-s.gate
+	}
+	return s.inner.Next()
+}
+
+// gateVolume opens the gate once batch 1's last record is submitted.
+type gateVolume struct {
+	Volume
+	gate chan struct{}
+	n    int
+}
+
+func (g *gateVolume) Submit(rec trace.Record, done func(sim.Time)) {
+	g.Volume.Submit(rec, done)
+	g.n++
+	if g.n == replayBatchSize {
+		close(g.gate)
+	}
+}
+
+func TestReplayWithSlowParserCountsStalls(t *testing.T) {
+	recs := make([]trace.Record, 2*replayBatchSize)
+	for i := range recs {
+		recs[i] = trace.Record{Op: disk.OpWrite, Block: int64(i % 100), Count: 1}
+	}
+	eng := sim.NewEngine()
+	c, _ := newTestCRAID(eng, 64)
+	gate := make(chan struct{})
+	n, st, err := ReplayWith(eng, &gateVolume{Volume: c, gate: gate},
+		&stallReader{inner: trace.NewSlice(recs), gate: gate}, ReplayConfig{})
+	if err != nil || n != int64(len(recs)) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if st.ReplayStalls < 1 {
+		t.Errorf("stalled parser produced no replay stalls: %+v", st)
+	}
+}
+
+// TestReplayDefaultsUnchanged pins that the zero ReplayConfig keeps
+// the documented defaults.
+func TestReplayDefaultsUnchanged(t *testing.T) {
+	cfg := ReplayConfig{}.withDefaults()
+	if cfg.BatchSize != replayBatchSize || cfg.RingDepth != replayRingDepth {
+		t.Fatalf("defaults = %+v, want {%d %d}", cfg, replayBatchSize, replayRingDepth)
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import "testing"
+
+// TestMonitorWorkersCellEquivalence pins the worker knob at the
+// experiment level: a cell simulated with the multi-queue monitor
+// reports exactly the sequential cell's Stats, ratios and request
+// count — on both generated and instant-device workloads — and its
+// planner actually ran.
+func TestMonitorWorkersCellEquivalence(t *testing.T) {
+	base := RunConfig{
+		Trace: "wdev", Scale: QuickScale, Strategy: CRAID5,
+		PCPct: 0.008, MapShards: 16,
+	}
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg := base
+		cfg.MonitorWorkers = workers
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got.CRAID != *ref.CRAID {
+			t.Errorf("workers=%d: stats diverged\n got %+v\nwant %+v", workers, *got.CRAID, *ref.CRAID)
+		}
+		if got.Requests != ref.Requests {
+			t.Errorf("workers=%d: %d requests, want %d", workers, got.Requests, ref.Requests)
+		}
+		if got.ReadMean != ref.ReadMean || got.WriteMean != ref.WriteMean {
+			t.Errorf("workers=%d: latency diverged: %v/%v vs %v/%v",
+				workers, got.ReadMean, got.WriteMean, ref.ReadMean, ref.WriteMean)
+		}
+		if got.MQ.Batches == 0 || got.MQ.Planned == 0 {
+			t.Errorf("workers=%d: planner never ran: %+v", workers, got.MQ)
+		}
+	}
+}
+
+// TestMonitorWorkersDefaultShards pins the convenience defaulting:
+// workers without explicit shards still go concurrent (buildVolume
+// gives each worker shard groups to own).
+func TestMonitorWorkersDefaultShards(t *testing.T) {
+	cfg := RunConfig{
+		Trace: "wdev", Scale: QuickScale, Strategy: CRAID5,
+		PCPct: 0.008, MonitorWorkers: 4,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MQ.Batches == 0 {
+		t.Fatalf("planner never ran despite MonitorWorkers=4: %+v", res.MQ)
+	}
+
+	// An explicit single-tree request is honored, not silently
+	// re-sharded: the monitor degrades to sequential instead.
+	cfg.MapShards = 1
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MQ.Batches != 0 {
+		t.Fatalf("explicit MapShards=1 still planned: %+v", res.MQ)
+	}
+}

@@ -40,6 +40,24 @@ func SetDefaultMapShards(n int) {
 	defaultMapShards = n
 }
 
+// defaultMonitorWorkers is applied to cells whose
+// RunConfig.MonitorWorkers is 0 (0 itself defers to core's sequential
+// monitor). cmd/craidbench and cmd/craidsim thread their -workers
+// flags through here.
+var defaultMonitorWorkers = 0
+
+// SetDefaultMonitorWorkers sets the multi-queue monitor worker count
+// used by cells that don't specify one. Call before RunAll, not
+// concurrently with it. Whole-cell parallelism (SetParallelism) and
+// in-cell monitor concurrency compose: each cell's planner spawns its
+// own workers.
+func SetDefaultMonitorWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultMonitorWorkers = n
+}
+
 // RunAll executes every config, fanning the cells out over a bounded
 // worker pool. Successful results are deterministic regardless of
 // worker count: results[i] always corresponds to cfgs[i]. Once any

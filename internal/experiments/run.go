@@ -158,6 +158,17 @@ type RunConfig struct {
 	// range (0 = core's default single shard). Monitor ratios are
 	// bit-identical at every value.
 	MapShards int
+	// MonitorWorkers classifies replay batches concurrently against
+	// the sharded index, one worker per shard group (0 = core's
+	// default sequential monitor; effective workers are capped at the
+	// shard count). Stats and ratios are bit-identical at every value.
+	MonitorWorkers int
+
+	// ReplayBatch and ReplayRing tune the replay pipeline's
+	// pre-parsed record ring (0 = core defaults: 1024 × 4). The batch
+	// is also the unit the multi-queue planner classifies at once.
+	ReplayBatch int
+	ReplayRing  int
 
 	Instant  bool  // instant-service devices (§5.1 policy experiments)
 	PCBlocks int64 // Instant mode: direct P_C capacity override
@@ -180,6 +191,12 @@ type RunResult struct {
 	WriteMean, WriteP99 sim.Time
 
 	CRAID *core.Stats // nil for the plain baselines
+
+	// Replay reports the pipeline's back-pressure counters; MQ the
+	// multi-queue planner's activity (zero for sequential monitors and
+	// the plain baselines).
+	Replay core.ReplayStats
+	MQ     core.MQStats
 
 	CVs      []float64 // per-second coefficient of variation (if tracked)
 	SeqFracs []float64 // per-second sequential fractions (if tracked)
@@ -263,7 +280,8 @@ func Run(cfg RunConfig) (RunResult, error) {
 		}
 	}
 
-	n, err := core.Replay(eng, vol, trace.Clamp(rd, vol.DataBlocks()))
+	n, rst, err := core.ReplayWith(eng, vol, trace.Clamp(rd, vol.DataBlocks()),
+		core.ReplayConfig{BatchSize: cfg.ReplayBatch, RingDepth: cfg.ReplayRing})
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -271,6 +289,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 	res := RunResult{
 		Cfg:       cfg,
 		Requests:  n,
+		Replay:    rst,
 		ReadMean:  vol.ReadLatency().Mean(),
 		ReadP99:   vol.ReadLatency().Percentile(0.99),
 		WriteMean: vol.WriteLatency().Mean(),
@@ -278,6 +297,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 	if c, ok := vol.(*core.CRAID); ok {
 		res.CRAID = c.Stats()
+		res.MQ = *c.MQ()
 	}
 	if arr.Load != nil {
 		res.CVs = arr.Load.CVs()
@@ -357,13 +377,27 @@ func buildVolume(eng *sim.Engine, cfg RunConfig, dataset int64) (core.Volume, *c
 	if shards == 0 {
 		shards = defaultMapShards
 	}
+	workers := cfg.MonitorWorkers
+	if workers == 0 {
+		workers = defaultMonitorWorkers
+	}
+	if workers > 1 && shards == 0 {
+		// No shard count requested anywhere: concurrency needs
+		// disjoint shard groups to own, so give each worker a few
+		// shards of headroom (ratios are bit-identical at every shard
+		// count, so this changes nothing observable). An explicit
+		// single-tree request (MapShards/-shards 1) is honored — the
+		// planner then degrades to the sequential monitor.
+		shards = 4 * workers
+	}
 	ccfg := core.Config{
-		Policy:       cfg.Policy,
-		CachePerDisk: pcPerDisk,
-		ParityGroup:  TestbedParityGroup,
-		StripeUnit:   TestbedStripeUnit,
-		Level:        cfg.PCLevel,
-		MapShards:    shards,
+		Policy:         cfg.Policy,
+		CachePerDisk:   pcPerDisk,
+		ParityGroup:    TestbedParityGroup,
+		StripeUnit:     TestbedStripeUnit,
+		Level:          cfg.PCLevel,
+		MapShards:      shards,
+		MonitorWorkers: workers,
 	}
 	if cfg.Instant && cfg.PCBlocks > 0 {
 		// Policy-quality experiments size P_C directly in blocks.

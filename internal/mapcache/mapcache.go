@@ -84,14 +84,37 @@ type Index interface {
 	// w (nil disables). The log format is shard-agnostic: a log written
 	// by any Index recovers into any other via Recover.
 	SetLog(w io.Writer)
+
+	// Shards, ShardOf and ShardBound expose the address-range sharding
+	// geometry so a concurrent planner can route lookups: ShardOf(orig)
+	// is the shard owning orig, ShardBound(i) the first address beyond
+	// shard i's range (math.MaxInt64 for the last shard). A single-tree
+	// index reports one shard covering everything.
+	Shards() int
+	ShardOf(orig int64) int
+	ShardBound(i int) int64
+
+	// ShardVersion returns a counter bumped on every *structural*
+	// mutation of shard i — Insert, Remove, RemoveRun, Clear: anything
+	// that can change which addresses are mapped or where they point.
+	// SetDirty/SetDirtyRun are exempt: they flip flags on existing
+	// entries without moving a single Orig→Cache translation, so every
+	// LookupRun classification (run boundaries and cache addresses)
+	// made at version v remains exact while the version stays v. A
+	// planner snapshots versions with its read-only lookups and
+	// re-validates before trusting a plan.
+	ShardVersion(i int) uint64
 }
 
 // Table is the sharded mapping cache. The zero value is an empty
-// single-shard table ready to use. Not safe for concurrent use (CRAID's
-// controller is event-driven and single-threaded, like a real
-// controller's interrupt context); the sharding exists so a future
-// multi-queue controller can partition requests by address range and
-// own one shard per queue.
+// single-shard table ready to use. Mutations are single-threaded
+// (CRAID's apply stage is event-driven and sequential, like a real
+// controller's interrupt context), but the lookup path — Lookup,
+// LookupRun, Len, ShardOf/ShardBound/ShardVersion — is pure and safe
+// for any number of concurrent readers *while no mutation runs*: the
+// multi-queue controller's plan phase partitions a batch by address
+// range and classifies shard groups in parallel between apply steps,
+// which is exactly that window.
 type Table struct {
 	shards []shard
 	span   int64     // addresses per shard; 0 with a single shard
@@ -152,6 +175,28 @@ func (t *Table) bound(i int) int64 {
 	return int64(i+1) * t.span
 }
 
+// ShardOf returns the shard index owning orig.
+func (t *Table) ShardOf(orig int64) int {
+	if len(t.shards) == 0 {
+		return 0
+	}
+	return t.idx(orig)
+}
+
+// ShardBound returns the first address beyond shard i's range
+// (math.MaxInt64 for the last shard).
+func (t *Table) ShardBound(i int) int64 { return t.bound(i) }
+
+// ShardVersion returns shard i's structural-mutation counter (see
+// Index.ShardVersion). A zero-value Table reports version 0 for its
+// not-yet-materialized single shard.
+func (t *Table) ShardVersion(i int) uint64 {
+	if i < 0 || i >= len(t.shards) {
+		return 0
+	}
+	return t.shards[i].ver
+}
+
 // capRun limits max to not cross the boundary at bound from orig.
 func capRun(orig, max, bound int64) int64 {
 	if bound != math.MaxInt64 && bound-orig < max {
@@ -188,6 +233,7 @@ func (t *Table) Insert(m Mapping) {
 	t.init()
 	s := &t.shards[t.idx(m.Orig)]
 	s.existed = false
+	s.ver++
 	before := s.size
 	s.root = s.insert(s.root, m)
 	t.size += s.size - before
@@ -216,6 +262,7 @@ func (t *Table) Remove(orig int64) bool {
 	var removed bool
 	s.root, removed = s.remove(s.root, orig)
 	if removed {
+		s.ver++
 		s.size--
 		t.size--
 		t.appendLog(logRemove, Mapping{Orig: orig})
@@ -366,6 +413,7 @@ func (t *Table) Clear() {
 	for i := range t.shards {
 		t.shards[i].root = nil
 		t.shards[i].size = 0
+		t.shards[i].ver++
 	}
 	t.size = 0
 }

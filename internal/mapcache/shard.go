@@ -9,6 +9,12 @@ type shard struct {
 	root *node
 	size int
 
+	// ver counts structural mutations (insert/remove/clear) of this
+	// shard — see Index.ShardVersion for the exact contract. Written
+	// only by the (single-threaded) mutating path; planners read it
+	// between mutations, never concurrently with one.
+	ver uint64
+
 	// freelist of removed nodes, chained through right: the monitor
 	// continuously evicts and re-inserts mappings, so steady-state
 	// churn allocates nothing.
@@ -210,6 +216,7 @@ func (s *shard) removeRun(t *Table, orig, end int64) int64 {
 			var ok bool
 			s.root, ok = s.remove(s.root, k)
 			if ok {
+				s.ver++
 				s.size--
 				removed++
 				t.appendLog(logRemove, Mapping{Orig: k})

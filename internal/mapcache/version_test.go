@@ -1,0 +1,107 @@
+package mapcache
+
+import (
+	"math"
+	"testing"
+)
+
+// versions snapshots every shard's structural version.
+func versions(t *Table) []uint64 {
+	out := make([]uint64, t.Shards())
+	for i := range out {
+		out[i] = t.ShardVersion(i)
+	}
+	return out
+}
+
+// TestShardVersionStructuralOnly pins the ShardVersion contract the
+// concurrent planner trusts: structural mutations (Insert, Remove,
+// RemoveRun, Clear) bump the owning shard's version — and only its —
+// while dirty-flag updates and every read-only operation leave all
+// versions untouched.
+func TestShardVersionStructuralOnly(t *testing.T) {
+	tb := NewSharded(4, 100)
+
+	v0 := versions(tb)
+	tb.Insert(Mapping{Orig: 150, Cache: 1}) // shard 1
+	v1 := versions(tb)
+	if v1[1] <= v0[1] {
+		t.Fatalf("Insert did not bump shard 1: %v -> %v", v0, v1)
+	}
+	for _, i := range []int{0, 2, 3} {
+		if v1[i] != v0[i] {
+			t.Fatalf("Insert into shard 1 bumped shard %d: %v -> %v", i, v0, v1)
+		}
+	}
+
+	// Dirty-flag traffic is version-exempt: it moves no translation.
+	tb.SetDirty(150, true)
+	tb.SetDirtyRun(150, 1, false)
+	if got := versions(tb); got[1] != v1[1] {
+		t.Fatalf("SetDirty bumped shard 1: %v -> %v", v1, got)
+	}
+
+	// Read-only traffic too.
+	tb.Lookup(150)
+	tb.LookupRun(150, 10)
+	tb.Len()
+	tb.Walk(func(Mapping) bool { return true })
+	if got := versions(tb); got[1] != v1[1] {
+		t.Fatalf("read-only ops bumped shard 1: %v -> %v", v1, got)
+	}
+
+	tb.Remove(150)
+	v2 := versions(tb)
+	if v2[1] <= v1[1] {
+		t.Fatalf("Remove did not bump shard 1: %v -> %v", v1, v2)
+	}
+
+	// RemoveRun bumps exactly the shards it removed from.
+	tb.InsertRun(95, 0, 10, false) // spans shards 0 and 1
+	v3 := versions(tb)
+	if n := tb.RemoveRun(95, 10); n != 10 {
+		t.Fatalf("RemoveRun removed %d, want 10", n)
+	}
+	v4 := versions(tb)
+	if v4[0] <= v3[0] || v4[1] <= v3[1] {
+		t.Fatalf("RemoveRun did not bump shards 0 and 1: %v -> %v", v3, v4)
+	}
+	if v4[2] != v3[2] || v4[3] != v3[3] {
+		t.Fatalf("RemoveRun bumped untouched shards: %v -> %v", v3, v4)
+	}
+
+	tb.Clear()
+	v5 := versions(tb)
+	for i := range v5 {
+		if v5[i] <= v4[i] {
+			t.Fatalf("Clear did not bump shard %d: %v -> %v", i, v4, v5)
+		}
+	}
+}
+
+// TestShardGeometryAccessors pins ShardOf/ShardBound against the
+// documented ownership ranges, including the zero-value single-shard
+// table.
+func TestShardGeometryAccessors(t *testing.T) {
+	var zero Table
+	if zero.Shards() != 1 || zero.ShardOf(12345) != 0 || zero.ShardBound(0) != math.MaxInt64 {
+		t.Fatalf("zero table: shards=%d of=%d bound=%d",
+			zero.Shards(), zero.ShardOf(12345), zero.ShardBound(0))
+	}
+	if zero.ShardVersion(0) != 0 {
+		t.Fatalf("zero table: version %d, want 0", zero.ShardVersion(0))
+	}
+
+	tb := NewSharded(3, 50)
+	for _, tc := range []struct {
+		orig int64
+		want int
+	}{{0, 0}, {49, 0}, {50, 1}, {99, 1}, {100, 2}, {1 << 40, 2}} {
+		if got := tb.ShardOf(tc.orig); got != tc.want {
+			t.Errorf("ShardOf(%d) = %d, want %d", tc.orig, got, tc.want)
+		}
+	}
+	if tb.ShardBound(0) != 50 || tb.ShardBound(1) != 100 || tb.ShardBound(2) != math.MaxInt64 {
+		t.Errorf("bounds: %d %d %d", tb.ShardBound(0), tb.ShardBound(1), tb.ShardBound(2))
+	}
+}

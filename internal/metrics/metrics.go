@@ -158,6 +158,26 @@ func (h *LatencyHist) String() string {
 		h.count, h.Mean(), h.Percentile(0.5), h.Percentile(0.99), h.max)
 }
 
+// Equal reports whether h and o hold bit-identical distributions —
+// the same samples, bucket for bucket. Determinism property tests use
+// it to pin that two simulations produced the same latency stream.
+func (h *LatencyHist) Equal(o *LatencyHist) bool {
+	if h.count != o.count || h.sum != o.sum || h.max != o.max {
+		return false
+	}
+	for b, n := range h.buckets {
+		if o.buckets[b] != n {
+			return false
+		}
+	}
+	for b, n := range o.buckets {
+		if h.buckets[b] != n {
+			return false
+		}
+	}
+	return true
+}
+
 // LoadTracker accumulates per-disk I/O volume into fixed time intervals
 // and reports, per interval, the coefficient of variation of the
 // per-disk load — the paper's uniformity metric (§5.3): cv = σ/µ of MB

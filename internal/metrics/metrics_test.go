@@ -295,3 +295,28 @@ func BenchmarkLatencyHistAdd(b *testing.B) {
 		h.Add(sim.Time(i%1000000 + 1))
 	}
 }
+
+func TestLatencyHistEqual(t *testing.T) {
+	a, b := NewLatencyHist(), NewLatencyHist()
+	if !a.Equal(b) {
+		t.Fatal("empty histograms must be equal")
+	}
+	for _, v := range []sim.Time{1, 5, 5, 1000, 123456} {
+		a.Add(v)
+		b.Add(v)
+	}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("identical sample streams must compare equal")
+	}
+	b.Add(7)
+	if a.Equal(b) || b.Equal(a) {
+		t.Fatal("diverged histograms compared equal")
+	}
+	// Same count, different placement.
+	c, d := NewLatencyHist(), NewLatencyHist()
+	c.Add(10)
+	d.Add(20)
+	if c.Equal(d) {
+		t.Fatal("different samples compared equal")
+	}
+}

@@ -54,11 +54,12 @@ func FuzzParseNative(f *testing.F) {
 
 func FuzzParseMSR(f *testing.F) {
 	f.Add("128166372003061629,host,0,Read,4096,4096,100\n")
-	f.Add("128166372003061629,host,3,Write,0,0,100\n")
+	f.Add("128166372003061629,host,3,Write,0,512,100\n")
 	f.Add("1,h,0,read,1,1\n")       // no trailing field, lowercase op
 	f.Add("1,h,0,Flush,1,1,1\n")    // bad type
 	f.Add("1,h,0,Read,-4096,1,1\n") // negative offset
 	f.Add("1,h,0,Read,1,-1,1\n")    // negative size
+	f.Add("1,h,0,Write,0,0,100\n")  // zero size
 	f.Add("1,h,x,Read,1,1,1\n")     // bad disk number (only when filtered)
 	f.Add("x,h,0,Read,1,1,1\n")     // bad timestamp
 	f.Add("1,h,0\n")                // short line

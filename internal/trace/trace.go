@@ -266,8 +266,14 @@ func (m *MSRReader) Next() (Record, error) {
 			return Record{}, fmt.Errorf("trace: msr line %d: bad offset %q", m.line, f4)
 		}
 		size, err := strconv.ParseInt(f5, 10, 64)
-		if err != nil || size < 0 {
+		if err != nil {
 			return Record{}, fmt.Errorf("trace: msr line %d: size: %w", m.line, err)
+		}
+		if size < 1 {
+			// A request must transfer at least one byte: a zero or
+			// negative size would otherwise round up to a phantom
+			// one-block access and skew every per-block ratio.
+			return Record{}, fmt.Errorf("trace: msr line %d: non-positive size %d", m.line, size)
 		}
 		if !m.haveT {
 			m.base, m.haveT = ft, true
@@ -275,9 +281,6 @@ func (m *MSRReader) Next() (Record, error) {
 		block := off / disk.BlockSize
 		end := (off + size + disk.BlockSize - 1) / disk.BlockSize
 		count := end - block
-		if count < 1 {
-			count = 1
-		}
 		return Record{
 			Time:  sim.Time(ft-m.base) * 100, // FILETIME tick = 100 ns
 			Op:    op,

@@ -101,6 +101,28 @@ func TestMSRReader(t *testing.T) {
 	}
 }
 
+// TestMSRRejectsNonPositiveSize pins that a zero- or negative-size MSR
+// record is a parse error, not a phantom one-block request silently
+// fed to the controller.
+func TestMSRRejectsNonPositiveSize(t *testing.T) {
+	for _, in := range []string{
+		"0,srv,0,Read,4096,0,1",
+		"0,srv,0,Write,4096,-512,1",
+	} {
+		if _, err := ReadAll(NewMSRReader(strings.NewReader(in))); err == nil {
+			t.Errorf("%q: parsed without error, want non-positive-size rejection", in)
+		}
+	}
+	// A 1-byte request is the smallest legal transfer: one block.
+	got, err := ReadAll(NewMSRReader(strings.NewReader("0,srv,0,Read,4096,1,1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Block != 1 || got[0].Count != 1 {
+		t.Errorf("1-byte request = %+v, want block 1 count 1", got[0])
+	}
+}
+
 func TestMSRUnalignedExtent(t *testing.T) {
 	// Offset 6144 size 4096 spans blocks 1..2 (bytes 6144-10239).
 	in := "0,srv,0,Read,6144,4096,1"
