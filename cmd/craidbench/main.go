@@ -11,6 +11,7 @@
 //	craidbench -parallel 4      # concurrent simulations (default: all cores)
 //	craidbench -shards 8        # shard the mapping index (ratios unchanged)
 //	craidbench -workers 4       # multi-queue monitor workers per cell (ratios unchanged)
+//	craidbench -workers 4 -lookahead 1   # overlap planning with apply (ratios unchanged)
 //	craidbench -cpuprofile cpu.pb.gz -table 2   # attach pprof evidence
 //
 // The -budget flag scales each workload so roughly that many gigabytes
@@ -28,6 +29,9 @@
 // with a sequential apply stage, so every ratio and Stats field stays
 // bit-identical to -workers 1; when -shards is left at its default,
 // -workers N implies 4×N shards so the workers have groups to own.
+// The -lookahead flag moves each cell's plan phase onto its own
+// pipeline stage, classifying batch k+1 while batch k commits — same
+// guarantee: every table is byte-identical at any -lookahead value.
 //
 // The -cpuprofile and -memprofile flags write pprof profiles covering
 // the whole run, so performance PRs can attach before/after evidence
@@ -54,12 +58,14 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations")
 	shards := flag.Int("shards", 0, "mapping-index shards per CRAID (0 = single tree)")
 	workers := flag.Int("workers", 0, "multi-queue monitor workers per CRAID (0 = sequential)")
+	lookahead := flag.Int("lookahead", 0, "plan batches this far ahead of the apply stage (0 = plan between batches)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
 	experiments.SetParallelism(*parallel)
 	experiments.SetDefaultMapShards(*shards)
 	experiments.SetDefaultMonitorWorkers(*workers)
+	experiments.SetDefaultPlanLookahead(*lookahead)
 
 	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 

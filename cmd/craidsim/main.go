@@ -6,6 +6,7 @@
 //
 //	craidsim -trace wdev -strategy CRAID-5 -pc 0.008
 //	craidsim -trace cello99 -strategy RAID-5+ -budget 2
+//	craidsim -trace wdev -shards 16 -workers 4 -lookahead 1 -maplog dirty.log
 //	craidsim -file wdev.trace -format native -dataset-gb 4 -strategy CRAID-5 -pc 0.01
 //	craidsim -file msr.csv -format msr -volume 2 -dataset-gb 4
 //	craidsim -file msr.csv -format msr -pervolume -dataset-gb 4
@@ -16,7 +17,14 @@
 // the replay to one DiskNumber (default: all volumes interleaved).
 // -pervolume splits an MSR file into its volumes and replays each
 // against an independent simulation in parallel, one result row per
-// volume.
+// volume (all volumes share one file handle via pread-style reads).
+//
+// -workers turns on the multi-queue monitor, -lookahead additionally
+// overlaps its plan phase with the apply stage, and -maplog attaches a
+// dirty-translation log written through the batched log ring; every
+// monitor ratio and Stats field is identical at any -workers/-lookahead
+// setting, and the printed plan-ring and map-log lines report how the
+// pipeline behaved.
 package main
 
 import (
@@ -40,6 +48,10 @@ func main() {
 	shards := flag.Int("shards", 0, "mapping-index shards (0 = single tree)")
 	workers := flag.Int("workers", 0,
 		"multi-queue monitor workers (0 = sequential; ratios identical at any value)")
+	lookahead := flag.Int("lookahead", 0,
+		"plan batches this far ahead of the apply stage (0 = plan between batches; ratios identical at any value)")
+	maplog := flag.String("maplog", "",
+		"write the dirty-translation log to this file through the batched log ring")
 	file := flag.String("file", "", "replay this trace file instead of the preset")
 	format := flag.String("format", "native", "trace file format: native|msr|blk")
 	volume := flag.Int("volume", -1,
@@ -58,6 +70,8 @@ func main() {
 		Bursty:         *bursty,
 		MapShards:      *shards,
 		MonitorWorkers: *workers,
+		PlanLookahead:  *lookahead,
+		MappingLog:     *maplog,
 		TrackLoad:      true,
 		TrackSeq:       true,
 	}
@@ -75,6 +89,10 @@ func main() {
 	if *perVolume {
 		if *file == "" {
 			fmt.Fprintln(os.Stderr, "craidsim: -pervolume needs -file")
+			os.Exit(1)
+		}
+		if *maplog != "" {
+			fmt.Fprintln(os.Stderr, "craidsim: -maplog logs one simulation; it cannot be shared by -pervolume cells")
 			os.Exit(1)
 		}
 		if *volume >= 0 {
@@ -131,6 +149,15 @@ func main() {
 	rp := res.Replay
 	fmt.Printf("replay ring:  high water %d, reader stalls %d, replay stalls %d\n",
 		rp.RingHighWater, rp.ReaderStalls, rp.ReplayStalls)
+	if rp.PlannedBatches > 0 {
+		fmt.Printf("plan ring:    %d batches planned ahead, high water %d, planner stalls %d (plan ready early), plan stalls %d (apply waited)\n",
+			rp.PlannedBatches, rp.PlanHighWater, rp.PlannerStalls, rp.PlanStalls)
+	}
+	if res.MapLog.Records > 0 {
+		ml := res.MapLog
+		fmt.Printf("map log:      %d records (%d bytes), %d ring flushes, %d ring stalls\n",
+			ml.Records, ml.Bytes, ml.Flushes, ml.Stalls)
+	}
 	fmt.Printf("load balance: mean per-second cv %.3f\n", metrics.Mean(res.CVs))
 	fmt.Printf("sequential:   mean per-second fraction %.3f\n", metrics.Mean(res.SeqFracs))
 	fmt.Printf("queues:       mean %.2f, p99 %d, max %d; concurrent devices mean %.1f max %d\n",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"craid/internal/cache"
 	"craid/internal/disk"
@@ -59,13 +60,25 @@ import (
 //     sharded index — and a sequential apply stage commits every
 //     record in submission order, re-classifying inline whenever a
 //     per-shard structural version says an earlier mutation
-//     invalidated the plan. The discrete-event engine, all Stats and
-//     every device counter are therefore bit-identical to the
-//     sequential controller at any MonitorWorkers setting. Outside the
-//     plan window one CRAID (like one sim.Engine) remains confined to
-//     a goroutine; cross-experiment parallelism lives in
+//     invalidated the plan. With Config.PlanLookahead the plan phase
+//     additionally overlaps the apply stage (batch k+1 classifies
+//     while batch k commits), serialized only by the plan gate: apply
+//     write-locks its mutating regions, planner workers classify a
+//     bounded window of tasks per read lock, and the same version
+//     stamps catch staleness.
+//     The discrete-event engine, all Stats and every device counter
+//     are therefore bit-identical to the sequential controller at any
+//     (MonitorWorkers, PlanLookahead) setting. Outside the plan
+//     pipeline one CRAID (like one sim.Engine) remains confined to a
+//     goroutine; cross-experiment parallelism lives in
 //     internal/experiments.RunAll, which runs whole simulations per
 //     worker.
+//
+//  6. Dirty-log appends never issue I/O from the apply path: the
+//     mapping log's records accumulate in memory and, when the log is
+//     a mapcache.LogRing, whole buffers flush through a background
+//     writer at apply-step boundaries — same byte stream, same
+//     recovery, no synchronous Write per translation.
 
 // PCLevel selects the redundancy of the cache partition.
 type PCLevel uint8
@@ -128,6 +141,18 @@ type Config struct {
 	// batches are planned — direct Submit calls always run the
 	// sequential path.
 	MonitorWorkers int
+	// PlanLookahead overlaps planning with application: the replay
+	// pipeline plans batch k+1 (still one worker per shard group) while
+	// the apply stage commits batch k, keeping up to this many batches
+	// planned ahead. Classification then runs against the live,
+	// mutating index, serialized at task granularity by the plan gate
+	// and validated by the same per-shard version stamps, so Stats,
+	// ratios, device counters and histograms remain bit-identical to
+	// PlanLookahead 0 at every worker count — only the MQStats
+	// applied/replanned split becomes timing-dependent. Default 0
+	// (plan between apply steps); ineffective unless MonitorWorkers
+	// and MapShards allow concurrent planning at all.
+	PlanLookahead int
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +176,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MonitorWorkers < 1 {
 		c.MonitorWorkers = 1
+	}
+	if c.PlanLookahead < 0 {
+		c.PlanLookahead = 0
 	}
 	return c
 }
@@ -242,6 +270,24 @@ type CRAID struct {
 
 	mq      *planner // multi-queue batch planner (nil until first batch)
 	mqStats MQStats
+
+	// gate serializes index mutation against lookahead classification.
+	// gated is true only while a lookahead replay's plan stage is
+	// running (set and cleared by the apply goroutine around the
+	// stage's lifetime): the planner's workers then classify a bounded
+	// window of tasks (classifyWindow) per read-side critical section,
+	// and the apply helpers write-lock their mutating regions —
+	// write-hit dirty flips and the insert/evict path. Read hits, the
+	// steady-state majority, take no lock, and outside lookahead
+	// replays every gate check is a single untaken branch.
+	gate  sync.RWMutex
+	gated bool
+
+	// logFlush, when the mapping log is a batching writer (e.g.
+	// mapcache.LogRing), is called once per apply step so the log's
+	// durability boundary is the I/O request rather than the
+	// individual translation.
+	logFlush interface{ Flush() }
 
 	stats Stats
 }
@@ -448,7 +494,15 @@ func (c *CRAID) writePath(rec trace.Record, j *join) {
 func (c *CRAID) applyWriteSeg(j *join, b int64, s planSeg, reqSize int64) {
 	if s.hit {
 		c.policy.AccessRun(b, s.n, reqSize)
-		c.table.SetDirtyRun(b, s.n, true)
+		if c.gated {
+			// Dirty flips are version-exempt but still write node
+			// fields a lookahead classification may be reading.
+			c.gate.Lock()
+			c.table.SetDirtyRun(b, s.n, true)
+			c.gate.Unlock()
+		} else {
+			c.table.SetDirtyRun(b, s.n, true)
+		}
 		c.stats.WriteHits += s.n
 		c.trackSeq(c.arr.Eng.Now(), 0, s.cache, s.n)
 		c.pc.write(j, s.cache, s.n)
@@ -464,6 +518,7 @@ func (c *CRAID) copyIn(b, n int64, byOp disk.Op) {
 	detached := c.arr.newJoin(nil)
 	c.insertRuns(detached, b, n, false, byOp, n)
 	detached.seal(c.arr.Eng.Now())
+	c.flushLog() // background inserts are an apply step of their own
 }
 
 // insertRuns allocates cache slots for the logical run [b, b+n),
@@ -474,6 +529,13 @@ func (c *CRAID) copyIn(b, n int64, byOp disk.Op) {
 // done at extent granularity: one LookupRun per sub-run, one policy
 // InsertRun per batch, one mapcache InsertRun per allocated fragment.
 func (c *CRAID) insertRuns(j *join, b, n int64, dirty bool, byOp disk.Op, reqSize int64) {
+	if c.gated {
+		// The whole body interleaves index reads with the mutations
+		// they steer (insertions, the policy's evictions); a lookahead
+		// classification must observe none of it mid-flight.
+		c.gate.Lock()
+		defer c.gate.Unlock()
+	}
 	for i := int64(0); i < n; {
 		blk := b + i
 		m, run, ok := c.table.LookupRun(blk, n-i)
@@ -613,6 +675,10 @@ func (c *CRAID) flushWritebacks() {
 // receive I/O from the moment they are added. P_A is left untouched:
 // that is the point of CRAID.
 func (c *CRAID) Expand(newDevs []disk.Device) ExpandStats {
+	if c.gated {
+		c.gate.Lock()
+		defer c.gate.Unlock()
+	}
 	st := ExpandStats{Invalidated: int64(c.table.Len())}
 	for _, m := range c.table.DirtyMappings() {
 		st.DirtyWriteback++
@@ -632,6 +698,7 @@ func (c *CRAID) Expand(newDevs []disk.Device) ExpandStats {
 		}
 	}
 	c.buildPC() // resets policy, allocator and (shared) geometry
+	c.flushLog()
 	return st
 }
 
@@ -706,7 +773,23 @@ func (c *CRAID) ExpandRetain(newDevs []disk.Device) ExpandStats {
 
 // SetMappingLog enables persistent logging of dirty translations to w
 // (paper §4.2's failure resilience). Call before any I/O.
-func (c *CRAID) SetMappingLog(w io.Writer) { c.table.SetLog(w) }
+//
+// When w batches its writes behind a Flush method — mapcache.LogRing
+// is the intended one — the controller flushes it once per apply step,
+// taking the log's backing Write off the apply hot path while keeping
+// the byte stream (and therefore crash recovery) identical to a
+// synchronous log's.
+func (c *CRAID) SetMappingLog(w io.Writer) {
+	c.table.SetLog(w)
+	c.logFlush, _ = w.(interface{ Flush() })
+}
+
+// flushLog marks an apply-step boundary for a batching mapping log.
+func (c *CRAID) flushLog() {
+	if c.logFlush != nil {
+		c.logFlush.Flush()
+	}
+}
 
 // Recover replays a dirty-translation log after a crash: dirty cached
 // copies are reinstated (they are the only ones differing from the

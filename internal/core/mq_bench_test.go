@@ -1,20 +1,25 @@
 package core
 
 import (
+	"bufio"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"craid/internal/disk"
+	"craid/internal/mapcache"
 	"craid/internal/raid"
 	"craid/internal/sim"
 	"craid/internal/trace"
 )
 
-// mqBenchCRAID is benchCRAID with sharding and monitor workers — a
-// cache big enough that the hot set stays resident, so the benchmark
-// exercises the planner's fast path (hit classification), which is
-// where the multi-queue monitor earns its keep.
-func mqBenchCRAID(eng *sim.Engine, shards, workers int) *CRAID {
+// mqBenchCRAID is benchCRAID with sharding, monitor workers and plan
+// lookahead — a cache big enough that the hot set stays resident, so
+// the benchmark exercises the planner's fast path (hit
+// classification), which is where the multi-queue monitor earns its
+// keep.
+func mqBenchCRAID(eng *sim.Engine, shards, workers, lookahead int) *CRAID {
 	arr := nullArray(eng, 10, 1<<30)
 	disks := make([]int, 10)
 	for i := range disks {
@@ -28,6 +33,7 @@ func mqBenchCRAID(eng *sim.Engine, shards, workers int) *CRAID {
 		StripeUnit:     32,
 		MapShards:      shards,
 		MonitorWorkers: workers,
+		PlanLookahead:  lookahead,
 	}, true, disks, 0, paLayout, disks, 65536)
 }
 
@@ -70,7 +76,7 @@ func BenchmarkReplayMultiQueue(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				eng := sim.NewEngine()
-				c := mqBenchCRAID(eng, 64, workers)
+				c := mqBenchCRAID(eng, 64, workers, 0)
 				// Warm pass: populate P_C so the measured pass hits.
 				if _, err := Replay(eng, c, trace.NewSlice(recs)); err != nil {
 					b.Fatal(err)
@@ -87,4 +93,136 @@ func BenchmarkReplayMultiQueue(b *testing.B) {
 			b.ReportMetric(float64(len(recs)), "records/op")
 		})
 	}
+}
+
+// BenchmarkReplayPipelined measures the overlapped pipeline: the same
+// hit-dominated workload as BenchmarkReplayMultiQueue, replayed with
+// the plan phase synchronous (lookahead=0, PR 3's pipeline) versus
+// running one batch ahead of the apply stage (lookahead=1). On a
+// single-core host the two stages time-share and the expected win is
+// ~0 (the lookahead run also pays the plan gate); the benchmark exists
+// to measure the overlap on multi-core hosts — the plan phase's whole
+// footprint hides behind apply — and to keep the gated path under the
+// bench-smoke CI job.
+func BenchmarkReplayPipelined(b *testing.B) {
+	recs := mqBenchTrace(100_000)
+	for _, tc := range []struct{ workers, lookahead int }{
+		{4, 0}, {4, 1}, {8, 0}, {8, 1},
+	} {
+		b.Run(fmt.Sprintf("workers=%d/lookahead=%d", tc.workers, tc.lookahead), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng := sim.NewEngine()
+				c := mqBenchCRAID(eng, 64, tc.workers, tc.lookahead)
+				// Warm pass: populate P_C so the measured pass hits.
+				if _, err := Replay(eng, c, trace.NewSlice(recs)); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				n, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != int64(len(recs)) {
+					b.Fatalf("replayed %d of %d", n, len(recs))
+				}
+			}
+			b.ReportMetric(float64(len(recs)), "records/op")
+		})
+	}
+}
+
+// logBenchTrace is an eviction-churn write workload: 64-block write
+// extents sweeping twice the cache capacity, so the steady state is
+// continuous dirty insertion + eviction — every record appends dirty-
+// log entries, the regime where the synchronous appendLog was the
+// apply stage's next bottleneck.
+func logBenchTrace(n int) []trace.Record {
+	const span = 1_200_000 // ~2× pcData (9 × 65536 data blocks)
+	recs := make([]trace.Record, n)
+	var cursor int64
+	for i := range recs {
+		recs[i] = trace.Record{
+			Time:  sim.Time(i) * sim.Microsecond,
+			Op:    disk.OpWrite,
+			Block: (cursor * 4099) % span,
+			Count: 64,
+		}
+		cursor++
+	}
+	return recs
+}
+
+// BenchmarkMappingLogReplay measures the dirty-log write path under
+// eviction churn: no log, a synchronous log straight to a file (one
+// 17-byte Write syscall per transition, PR 3's only option), a
+// synchronous bufio-wrapped file (userspace batching, flush syscalls
+// still inline on the apply path), and the LogRing (batching AND the
+// Write itself on a background goroutine). The file lives in the bench
+// temp dir, so the syscall cost is a real file's.
+func BenchmarkMappingLogReplay(b *testing.B) {
+	recs := logBenchTrace(20_000)
+	run := func(b *testing.B, attach func(c *CRAID) func() error) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			eng := sim.NewEngine()
+			c := mqBenchCRAID(eng, 64, 1, 0)
+			done := attach(c)
+			b.StartTimer()
+			if _, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{}); err != nil {
+				b.Fatal(err)
+			}
+			if err := done(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(recs)), "records/op")
+	}
+	logFile := func(b *testing.B) *os.File {
+		f, err := os.Create(filepath.Join(b.TempDir(), "dirty.log"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	b.Run("nolog", func(b *testing.B) {
+		run(b, func(c *CRAID) func() error { return func() error { return nil } })
+	})
+	b.Run("file-sync", func(b *testing.B) {
+		run(b, func(c *CRAID) func() error {
+			f := logFile(b)
+			c.SetMappingLog(f)
+			return f.Close
+		})
+	})
+	b.Run("bufio-sync", func(b *testing.B) {
+		run(b, func(c *CRAID) func() error {
+			f := logFile(b)
+			w := bufio.NewWriterSize(f, 32<<10)
+			c.SetMappingLog(w)
+			return func() error {
+				if err := w.Flush(); err != nil {
+					return err
+				}
+				return f.Close()
+			}
+		})
+	})
+	b.Run("ring", func(b *testing.B) {
+		run(b, func(c *CRAID) func() error {
+			f := logFile(b)
+			ring := mapcache.NewLogRing(f, 0, 0)
+			c.SetMappingLog(ring)
+			return func() error {
+				if err := ring.Close(); err != nil {
+					return err
+				}
+				return f.Close()
+			}
+		})
+	})
 }

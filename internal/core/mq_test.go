@@ -1,6 +1,7 @@
 package core
 
 import (
+	"os"
 	"testing"
 
 	"craid/internal/disk"
@@ -9,8 +10,21 @@ import (
 	"craid/internal/trace"
 )
 
-// newMQCRAID is newShardedCRAID with a monitor-worker count.
-func newMQCRAID(eng *sim.Engine, cachePerDisk int64, shards, workers int) (*CRAID, *Array) {
+// testLookahead is the PlanLookahead baseline the multi-queue tests
+// build controllers with. CI re-runs the equivalence suite with
+// CRAID_TEST_LOOKAHEAD=1 so every property here is checked with the
+// plan stage overlapping the apply stage (tests that sweep lookahead
+// explicitly override it per controller).
+func testLookahead() int {
+	if os.Getenv("CRAID_TEST_LOOKAHEAD") == "1" {
+		return 1
+	}
+	return 0
+}
+
+// newMQCRAID is newShardedCRAID with a monitor-worker count and an
+// explicit lookahead depth.
+func newMQCRAID(eng *sim.Engine, cachePerDisk int64, shards, workers, lookahead int) (*CRAID, *Array) {
 	arr := nullArray(eng, 4, 100000)
 	disks := []int{0, 1, 2, 3}
 	paLayout := raid.NewRAID5(4, 4, 4096, 4)
@@ -21,6 +35,7 @@ func newMQCRAID(eng *sim.Engine, cachePerDisk int64, shards, workers int) (*CRAI
 		StripeUnit:     4,
 		MapShards:      shards,
 		MonitorWorkers: workers,
+		PlanLookahead:  lookahead,
 	}, true, disks, 0, paLayout, disks, cachePerDisk)
 	return c, arr
 }
@@ -40,9 +55,13 @@ type mqOutcome struct {
 }
 
 func replayMQ(t *testing.T, recs []trace.Record, cachePerDisk int64, shards, workers int, cfg ReplayConfig) (mqOutcome, MQStats) {
+	return replayMQLookahead(t, recs, cachePerDisk, shards, workers, testLookahead(), cfg)
+}
+
+func replayMQLookahead(t *testing.T, recs []trace.Record, cachePerDisk int64, shards, workers, lookahead int, cfg ReplayConfig) (mqOutcome, MQStats) {
 	t.Helper()
 	eng := sim.NewEngine()
-	c, arr := newMQCRAID(eng, cachePerDisk, shards, workers)
+	c, arr := newMQCRAID(eng, cachePerDisk, shards, workers, lookahead)
 	n, _, err := ReplayWith(eng, c, trace.NewSlice(recs), cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -65,39 +84,45 @@ func replayMQ(t *testing.T, recs []trace.Record, cachePerDisk int64, shards, wor
 func TestMonitorWorkersLatencyHistogramsIdentical(t *testing.T) {
 	recs := randomWorkload(17, 3000, 12000)
 	eng1 := sim.NewEngine()
-	ref, _ := newMQCRAID(eng1, 64, 1, 1)
+	ref, _ := newMQCRAID(eng1, 64, 1, 1, 0)
 	if _, _, err := ReplayWith(eng1, ref, trace.NewSlice(recs), ReplayConfig{}); err != nil {
 		t.Fatal(err)
 	}
-	eng2 := sim.NewEngine()
-	mq, _ := newMQCRAID(eng2, 64, 16, 8)
-	if _, _, err := ReplayWith(eng2, mq, trace.NewSlice(recs), ReplayConfig{}); err != nil {
-		t.Fatal(err)
-	}
-	if !mq.ReadLatency().Equal(ref.ReadLatency()) {
-		t.Errorf("read histograms diverged: %v vs %v", mq.ReadLatency(), ref.ReadLatency())
-	}
-	if !mq.WriteLatency().Equal(ref.WriteLatency()) {
-		t.Errorf("write histograms diverged: %v vs %v", mq.WriteLatency(), ref.WriteLatency())
+	for _, lookahead := range []int{0, 1} {
+		eng2 := sim.NewEngine()
+		mq, _ := newMQCRAID(eng2, 64, 16, 8, lookahead)
+		if _, _, err := ReplayWith(eng2, mq, trace.NewSlice(recs), ReplayConfig{}); err != nil {
+			t.Fatal(err)
+		}
+		if !mq.ReadLatency().Equal(ref.ReadLatency()) {
+			t.Errorf("lookahead=%d: read histograms diverged: %v vs %v", lookahead, mq.ReadLatency(), ref.ReadLatency())
+		}
+		if !mq.WriteLatency().Equal(ref.WriteLatency()) {
+			t.Errorf("lookahead=%d: write histograms diverged: %v vs %v", lookahead, mq.WriteLatency(), ref.WriteLatency())
+		}
 	}
 }
 
 // TestMonitorWorkersStatsBitIdentical is the PR's acceptance property:
 // Stats, monitor ratios and per-device counters are bit-identical
 // between the sequential controller and the multi-queue pipeline at
-// every shards × workers combination, on random workloads that mix
-// hits, misses, evictions and cross-shard extents. Run it with -race:
-// the plan phase is the only concurrent code touching the index.
+// every shards × workers × lookahead combination, on random workloads
+// that mix hits, misses, evictions and cross-shard extents. Run it
+// with -race: under lookahead the plan stage classifies the live index
+// concurrently with the apply stage's mutations (serialized only by
+// the plan gate), so this is also the gate's race proof.
 func TestMonitorWorkersStatsBitIdentical(t *testing.T) {
 	for _, seed := range []int64{1, 7, 23} {
 		recs := randomWorkload(seed, 4000, 12000)
-		ref, _ := replayMQ(t, recs, 64, 1, 1, ReplayConfig{})
+		ref, _ := replayMQLookahead(t, recs, 64, 1, 1, 0, ReplayConfig{})
 		for _, shards := range []int{1, 2, 5, 16} {
 			for _, workers := range []int{1, 2, 8} {
-				got, _ := replayMQ(t, recs, 64, shards, workers, ReplayConfig{})
-				if got != ref {
-					t.Errorf("seed %d shards=%d workers=%d: outcome diverged\n got %+v\nwant %+v",
-						seed, shards, workers, got, ref)
+				for _, lookahead := range []int{0, 1} {
+					got, _ := replayMQLookahead(t, recs, 64, shards, workers, lookahead, ReplayConfig{})
+					if got != ref {
+						t.Errorf("seed %d shards=%d workers=%d lookahead=%d: outcome diverged\n got %+v\nwant %+v",
+							seed, shards, workers, lookahead, got, ref)
+					}
 				}
 			}
 		}
@@ -183,9 +208,9 @@ func TestPlannerDisabledWhenNotConcurrent(t *testing.T) {
 // directly).
 func TestSubmitDirectBypassesPlanner(t *testing.T) {
 	eng := sim.NewEngine()
-	c, _ := newMQCRAID(eng, 64, 16, 8)
+	c, _ := newMQCRAID(eng, 64, 16, 8, testLookahead())
 	eng2 := sim.NewEngine()
-	ref, _ := newMQCRAID(eng2, 64, 1, 1)
+	ref, _ := newMQCRAID(eng2, 64, 1, 1, 0)
 	for i := int64(0); i < 300; i++ {
 		op := disk.OpRead
 		if i%3 == 0 {

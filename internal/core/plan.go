@@ -9,7 +9,8 @@ import (
 )
 
 // Multi-queue monitor: concurrent per-shard classification with a
-// deterministic apply stage.
+// deterministic apply stage — and, with Config.PlanLookahead, a
+// pipelined planner that classifies batch k+1 while batch k commits.
 //
 // The monitor's hot path is classification — LookupRun descents over
 // the mapping index deciding, extent by extent, whether a request hits
@@ -22,28 +23,44 @@ import (
 //     shard *group* (contiguous runs of shards; cross-group requests
 //     are split at the boundary and re-stitched afterwards, reusing
 //     the same contract Table.LookupRun applies across shard
-//     boundaries). Workers only read the index — lookupRun is pure —
-//     so the phase is race-free by construction and runs between apply
-//     steps, when no mutation is possible.
+//     boundaries). Workers only read the index, and every plan carries
+//     the structural version (mapcache.Index.ShardVersion) of each
+//     shard it classified against, captured atomically with the
+//     lookups that produced it.
 //
 //   - apply: the simulation commits records strictly in submission
 //     order through the same applyReadSeg/applyWriteSeg helpers the
 //     sequential path uses. A plan is trusted only if every shard it
-//     classified against still has the structural version observed at
-//     plan time (mapcache.Index.ShardVersion); otherwise the record is
-//     re-classified inline, which *is* the sequential path. Hits
-//     mutate nothing structural (dirty-flag flips are version-exempt),
-//     so hit-dominated steady state — the regime the paper's monitor
+//     stamped still reports the stamped version; otherwise the record
+//     is re-classified inline, which *is* the sequential path. Hits
+//     mutate nothing structural (dirty flips are version-exempt), so
+//     hit-dominated steady state — the regime the paper's monitor
 //     converges to — applies almost every plan; misses, evictions and
 //     background copy-ins bump versions and surgically invalidate only
 //     the plans that could have observed them.
 //
-// Determinism follows: the apply stage performs, in the same order,
-// exactly the operations the sequential controller performs — either
-// by replaying a plan proven equal to what inline classification would
-// return, or by doing that inline classification. Stats, monitor
-// ratios, device counters and event timing are bit-identical at every
-// worker count (property-tested in mq_test.go).
+// Without lookahead the plan phase runs between apply steps, when
+// nothing can mutate the index — race-free by phase separation. With
+// PlanLookahead > 0 the planner instead runs on the replay pipeline's
+// plan stage, concurrently with the apply of the previous batch; the
+// CRAID's plan gate (craid.go) then serializes index *mutation* against
+// classification at window granularity: workers classify a window of
+// up to classifyWindow tasks per read-side critical section, so each
+// window observes a frozen index state and its stamps are exact for
+// that state, while the apply stage write-locks only its mutating
+// regions (write-hit dirty flips and the insert/evict path — read
+// hits, the steady-state majority, take no lock at all). Stale plans
+// are caught by the same stamp validation.
+//
+// Determinism follows in both modes: the apply stage performs, in the
+// same order, exactly the operations the sequential controller
+// performs — either by replaying a plan proven equal to what inline
+// classification would return, or by doing that inline classification.
+// Stats, monitor ratios, device counters and event timing are
+// bit-identical at every (workers × lookahead) setting (property-tested
+// in mq_test.go). Only the MQStats diagnostics are timing-dependent
+// under lookahead: how many plans survive validation depends on how far
+// apply had advanced when each task was classified.
 
 // planSeg is one classified extent: a hit run of n blocks cached
 // contiguously from cache, or a miss gap of n blocks (cache unused).
@@ -62,17 +79,20 @@ type shardStamp struct {
 
 // recordPlan is the planner's verdict for one record: its
 // classification into hit/miss extents, and the version stamps that
-// gate replaying it. Both slices alias planner arenas valid until the
-// next planBatch call.
+// gate replaying it. Both slices alias one of the planner's stitch
+// arenas, valid until that arena's slot of the plan ring is reused —
+// after lookahead+1 further planBatch calls.
 type recordPlan struct {
 	segs   []planSeg
 	stamps []shardStamp
 }
 
 // MQStats counts multi-queue planner activity. Deliberately separate
-// from Stats: Stats is bit-identical at every MonitorWorkers setting,
-// while these counters describe how the pipeline got there (a
-// sequential controller plans nothing at all).
+// from Stats: Stats is bit-identical at every MonitorWorkers and
+// PlanLookahead setting, while these counters describe how the
+// pipeline got there (a sequential controller plans nothing at all,
+// and under lookahead the applied/replanned split depends on replay
+// timing).
 type MQStats struct {
 	Batches    int64 // record batches classified by the planner
 	Planned    int64 // records the planner classified ahead of apply
@@ -90,10 +110,20 @@ func (c *CRAID) MQ() *MQStats { return &c.mqStats }
 type batchPlanner interface {
 	// planBatch classifies recs ahead of submission; the returned
 	// plans (nil when planning is disabled) parallel recs and stay
-	// valid until the next planBatch call.
+	// valid until planDepth()+1 further planBatch calls.
 	planBatch(recs []trace.Record) []recordPlan
 	// submitPlanned is Submit carrying the record's plan (nil = none).
 	submitPlanned(rec trace.Record, p *recordPlan, done func(sim.Time))
+	// planDepth reports how many batches the replay pipeline should
+	// plan ahead of the apply stage (0 = plan synchronously between
+	// batches, the race-free-by-phase-separation mode).
+	planDepth() int
+	// setLookahead brackets a lookahead replay: while active, the
+	// volume must serialize its index mutations against the concurrent
+	// classification (the plan gate). Called from the apply goroutine
+	// strictly before the plan stage starts and strictly after it
+	// exits.
+	setLookahead(active bool)
 }
 
 var _ batchPlanner = (*CRAID)(nil)
@@ -101,7 +131,9 @@ var _ batchPlanner = (*CRAID)(nil)
 // planBatch implements batchPlanner: it classifies the whole batch
 // concurrently, one worker per shard group. Returns nil (sequential
 // submission) when MonitorWorkers or the shard count make concurrency
-// pointless.
+// pointless. Under lookahead it runs on the replay pipeline's plan
+// stage goroutine; the planner's scratch is owned by whichever
+// goroutine calls it, never both.
 func (c *CRAID) planBatch(recs []trace.Record) []recordPlan {
 	if c.cfg.MonitorWorkers <= 1 || len(recs) == 0 {
 		return nil
@@ -116,6 +148,29 @@ func (c *CRAID) planBatch(recs []trace.Record) []recordPlan {
 	c.mqStats.Planned += int64(len(recs))
 	return c.mq.plan(recs)
 }
+
+// planDepth implements batchPlanner: the configured lookahead, but only
+// when the planner can actually go concurrent — otherwise planBatch
+// returns nil plans and a plan stage would be pure overhead.
+func (c *CRAID) planDepth() int {
+	if c.cfg.PlanLookahead <= 0 || c.cfg.MonitorWorkers <= 1 {
+		return 0
+	}
+	w := c.cfg.MonitorWorkers
+	if s := c.table.Shards(); w > s {
+		w = s
+	}
+	if w <= 1 {
+		return 0
+	}
+	return c.cfg.PlanLookahead
+}
+
+// setLookahead implements batchPlanner: it engages the plan gate.
+// Written by the apply goroutine before the plan stage spawns and
+// after it is joined, so both the apply helpers and the planner's
+// workers read a stable value.
+func (c *CRAID) setLookahead(active bool) { c.gated = active }
 
 // submitPlanned implements batchPlanner — and carries the one join
 // choreography both submission paths share (Submit delegates here
@@ -132,9 +187,10 @@ func (c *CRAID) submitPlanned(rec trace.Record, p *recordPlan, done func(sim.Tim
 		if p != nil {
 			// An earlier record in the batch — or a background copy-in
 			// or write-back completing before this record's submission
-			// time — structurally changed a shard this plan read.
-			// Reclassifying inline is exactly the sequential path, so
-			// the outcome is the one the sequential controller
+			// time, or (under lookahead) the very apply step the plan
+			// was classified during — structurally changed a shard this
+			// plan read. Reclassifying inline is exactly the sequential
+			// path, so the outcome is the one the sequential controller
 			// produces.
 			c.mqStats.Replanned++
 		}
@@ -145,6 +201,7 @@ func (c *CRAID) submitPlanned(rec trace.Record, p *recordPlan, done func(sim.Tim
 		}
 	}
 	j.seal(now)
+	c.flushLog()
 }
 
 // planValid reports whether every shard p classified against is
@@ -191,10 +248,15 @@ func (c *CRAID) applyPlan(rec trace.Record, p *recordPlan, j *join) {
 	}
 }
 
-// planner fans a batch's classification out over shard groups. All
-// scratch (task lists, per-worker seg arenas, the stitched plan/seg/
-// stamp arenas) is retained across batches, so steady-state planning
-// allocates nothing beyond amortized arena growth.
+// planner fans a batch's classification out over shard groups. The
+// split/classify scratch (task lists, per-group seg and stamp arenas)
+// is retained across batches and fully consumed by stitch before
+// plan() returns; the stitched outputs a batch's plans alias live in a
+// small ring of planDepth+1 arenas, so the plans of the batch the
+// apply stage is draining stay intact while the plan stage classifies
+// the next batch (the "double-buffered arenas" of lookahead 1).
+// Steady-state planning allocates nothing beyond amortized arena
+// growth.
 type planner struct {
 	c       *CRAID
 	workers int
@@ -203,15 +265,22 @@ type planner struct {
 	groupOf    []int   // shard index -> group index
 	groupEnd   []int64 // first archive address beyond group g
 
-	tasks   [][]planTask // per group, in record order
-	taskOut [][]segRange // per group, parallel to tasks: segs produced
-	arenas  [][]planSeg  // per group: worker-local classification scratch
-	cursor  []int        // per group: next unconsumed task during stitch
+	tasks   [][]planTask   // per group, in record order
+	taskOut [][]taskResult // per group, parallel to tasks: segs + stamps produced
+	arenas  [][]planSeg    // per group: worker-local classification scratch
+	stArena [][]shardStamp // per group: worker-local version stamps
+	cursor  []int          // per group: next unconsumed task during stitch
 
+	out []planOut // stitched plan arenas, rotated per batch
+	cur int
+}
+
+// planOut is one batch's stitched plan storage.
+type planOut struct {
 	plans  []recordPlan
-	segs   []planSeg // stitched segments, all records
+	segs   []planSeg
 	stamps []shardStamp
-	spans  []planSpan // per-record offsets into segs/stamps
+	spans  []planSpan
 }
 
 // planSpan locates one record's plan inside the shared stitch arenas;
@@ -228,9 +297,12 @@ type planTask struct {
 	b, n int64
 }
 
-// segRange locates one task's classification inside its group arena.
-type segRange struct {
-	off, cnt int32
+// taskResult locates one task's classification inside its group
+// arenas: the extents produced, and the version stamps of the shards
+// they were read from.
+type taskResult struct {
+	off, cnt     int32
+	stOff, stCnt int32
 }
 
 // newPlanner sizes a planner for c's current index geometry and worker
@@ -263,14 +335,20 @@ func newPlanner(c *CRAID) *planner {
 		p.groupEnd[g] = c.table.ShardBound(p.groupStart[g+1] - 1)
 	}
 	p.tasks = make([][]planTask, workers)
-	p.taskOut = make([][]segRange, workers)
+	p.taskOut = make([][]taskResult, workers)
 	p.arenas = make([][]planSeg, workers)
+	p.stArena = make([][]shardStamp, workers)
 	p.cursor = make([]int, workers)
+	p.out = make([]planOut, c.cfg.PlanLookahead+1)
 	return p
 }
 
 // plan classifies the batch: split, classify concurrently, stitch.
 func (p *planner) plan(recs []trace.Record) []recordPlan {
+	p.cur++
+	if p.cur >= len(p.out) {
+		p.cur = 0
+	}
 	p.split(recs)
 	var wg sync.WaitGroup
 	for g := 1; g < p.workers; g++ {
@@ -283,7 +361,7 @@ func (p *planner) plan(recs []trace.Record) []recordPlan {
 			p.classify(g)
 		}(g)
 	}
-	p.classify(0) // the submitting goroutine is worker 0
+	p.classify(0) // the planning goroutine is worker 0
 	wg.Wait()
 	return p.stitch(recs)
 }
@@ -315,23 +393,63 @@ func (p *planner) split(recs []trace.Record) {
 }
 
 // classify runs group g's tasks against the index, read-only. Each
-// task's extents land in the group's private arena (the shard-local
-// scratch), located by taskOut.
+// task's extents and shard stamps land in the group's private arenas,
+// located by taskOut.
+//
+// Under lookahead (c.gated) every task is classified inside one
+// read-side critical section of the plan gate: all index mutation is
+// write-gated while lookahead is active, so within the section the
+// shard state is frozen — the stamps captured here are exact for every
+// lookup of the task, which is what lets the apply stage trust a plan
+// whose stamps still match. Without lookahead no mutator can run at
+// all during the plan phase, and the same code runs lock-free.
+// classifyWindow is how many tasks one read-side critical section of
+// the plan gate classifies: large enough that gate traffic vanishes
+// from the profile, small enough that the apply stage's write lock
+// never waits long (a window's lookups are a few dozen tree descents).
+const classifyWindow = 32
+
 func (p *planner) classify(g int) {
 	segs := p.arenas[g][:0]
+	stamps := p.stArena[g][:0]
 	out := p.taskOut[g][:0]
-	table := p.c.table
-	for _, t := range p.tasks[g] {
-		off := len(segs)
-		b, end := t.b, t.b+t.n
-		for b < end {
-			m, n, ok := table.LookupRun(b, end-b)
-			segs = append(segs, planSeg{n: n, cache: m.Cache, hit: ok})
-			b += n
+	c := p.c
+	table := c.table
+	gated := c.gated
+	tasks := p.tasks[g]
+	for start := 0; start < len(tasks); start += classifyWindow {
+		win := tasks[start:]
+		if len(win) > classifyWindow {
+			win = win[:classifyWindow]
 		}
-		out = append(out, segRange{off: int32(off), cnt: int32(len(segs) - off)})
+		if gated {
+			c.gate.RLock()
+		}
+		// Within one critical section the index is frozen (all mutation
+		// is write-gated while lookahead is active), so every stamp
+		// below is exact for every lookup of its window.
+		for _, t := range win {
+			off, stOff := len(segs), len(stamps)
+			for s, s1 := table.ShardOf(t.b), table.ShardOf(t.b+t.n-1); s <= s1; s++ {
+				stamps = append(stamps, shardStamp{shard: s, ver: table.ShardVersion(s)})
+			}
+			b, end := t.b, t.b+t.n
+			for b < end {
+				m, n, ok := table.LookupRun(b, end-b)
+				segs = append(segs, planSeg{n: n, cache: m.Cache, hit: ok})
+				b += n
+			}
+			out = append(out, taskResult{
+				off: int32(off), cnt: int32(len(segs) - off),
+				stOff: int32(stOff), stCnt: int32(len(stamps) - stOff),
+			})
+		}
+		if gated {
+			c.gate.RUnlock()
+		}
 	}
 	p.arenas[g] = segs
+	p.stArena[g] = stamps
 	p.taskOut[g] = out
 }
 
@@ -340,26 +458,30 @@ func (p *planner) classify(g int) {
 // merges them across shard boundaries: adjacent hit runs fuse iff the
 // cache addresses continue, adjacent gaps always fuse. Within one
 // fragment extents are already maximal, so the merge only ever fires
-// at a boundary. Stamps cover every shard the classification read.
+// at a boundary. Stamps concatenate per fragment — tasks partition the
+// record's shard span without overlap, in ascending shard order — so a
+// record's plan covers every shard its classification read, each at
+// the version it was read.
 func (p *planner) stitch(recs []trace.Record) []recordPlan {
-	if cap(p.plans) < len(recs) {
-		p.plans = make([]recordPlan, len(recs))
+	o := &p.out[p.cur]
+	if cap(o.plans) < len(recs) {
+		o.plans = make([]recordPlan, len(recs))
 	}
-	p.plans = p.plans[:len(recs)]
-	p.segs = p.segs[:0]
-	p.stamps = p.stamps[:0]
+	o.plans = o.plans[:len(recs)]
+	o.segs = o.segs[:0]
+	o.stamps = o.stamps[:0]
 	for g := range p.cursor {
 		p.cursor[g] = 0
 	}
-	if cap(p.spans) < len(recs) {
-		p.spans = make([]planSpan, len(recs))
+	if cap(o.spans) < len(recs) {
+		o.spans = make([]planSpan, len(recs))
 	}
-	p.spans = p.spans[:len(recs)]
+	o.spans = o.spans[:len(recs)]
 
 	table := p.c.table
 	for i := range recs {
 		b, end := recs[i].Block, recs[i].End()
-		segOff, stOff := len(p.segs), len(p.stamps)
+		segOff, stOff := len(o.segs), len(o.stamps)
 		if b < end {
 			s0, s1 := table.ShardOf(b), table.ShardOf(end-1)
 			for g := p.groupOf[s0]; g <= p.groupOf[s1]; g++ {
@@ -368,8 +490,8 @@ func (p *planner) stitch(recs []trace.Record) []recordPlan {
 				out := p.taskOut[g][k]
 				frag := p.arenas[g][out.off : out.off+out.cnt]
 				for _, s := range frag {
-					if n := len(p.segs); n > segOff {
-						last := &p.segs[n-1]
+					if n := len(o.segs); n > segOff {
+						last := &o.segs[n-1]
 						if last.hit && s.hit && s.cache == last.cache+last.n {
 							last.n += s.n
 							continue
@@ -379,20 +501,18 @@ func (p *planner) stitch(recs []trace.Record) []recordPlan {
 							continue
 						}
 					}
-					p.segs = append(p.segs, s)
+					o.segs = append(o.segs, s)
 				}
-			}
-			for s := s0; s <= s1; s++ {
-				p.stamps = append(p.stamps, shardStamp{shard: s, ver: table.ShardVersion(s)})
+				o.stamps = append(o.stamps, p.stArena[g][out.stOff:out.stOff+out.stCnt]...)
 			}
 		}
-		p.spans[i] = planSpan{segOff, len(p.segs) - segOff, stOff, len(p.stamps) - stOff}
+		o.spans[i] = planSpan{segOff, len(o.segs) - segOff, stOff, len(o.stamps) - stOff}
 	}
-	for i, sp := range p.spans {
-		p.plans[i] = recordPlan{
-			segs:   p.segs[sp.segOff : sp.segOff+sp.segN],
-			stamps: p.stamps[sp.stOff : sp.stOff+sp.stN],
+	for i, sp := range o.spans {
+		o.plans[i] = recordPlan{
+			segs:   o.segs[sp.segOff : sp.segOff+sp.segN],
+			stamps: o.stamps[sp.stOff : sp.stOff+sp.stN],
 		}
 	}
-	return p.plans
+	return o.plans
 }

@@ -42,20 +42,36 @@ func (c ReplayConfig) withDefaults() ReplayConfig {
 }
 
 // ReplayStats reports what the replay pipeline did: throughput shape
-// and back-pressure on both ends of the ring. ReaderStalls counts the
-// reader finding the ring full (the simulation is the bottleneck — the
-// healthy steady state); ReplayStalls counts the simulation finding it
-// empty after at least one batch was consumed (parsing is the
-// bottleneck — consider a deeper ring, bigger batches, or a per-volume
-// split; the initial pipeline-filling wait is exempt). RingHighWater
-// is the most filled batches resident at once, bounded by the ring
-// depth.
+// and back-pressure at each stage boundary.
+//
+// Reader ↔ ring: ReaderStalls counts the reader finding the ring full
+// (the simulation is the bottleneck — the healthy steady state);
+// ReplayStalls counts the ring's consumer finding it empty after at
+// least one batch was consumed (parsing is the bottleneck — consider a
+// deeper ring, bigger batches, or a per-volume split; the initial
+// pipeline-filling wait is exempt). RingHighWater is the most filled
+// batches resident at once, bounded by the ring depth.
+//
+// Planner ↔ apply (populated only when the volume planned ahead,
+// i.e. Config.PlanLookahead > 0 with an effective multi-queue
+// planner): PlannerStalls counts plans that were ready before the
+// apply stage asked for them (planning is hidden — the healthy
+// overlapped state); PlanStalls counts the apply stage finding the
+// plan ring empty after its first planned batch (planning or parsing
+// is the bottleneck — more workers, or bigger batches, amortize it
+// better). PlanHighWater is the most planned batches resident at once,
+// bounded by the lookahead depth.
 type ReplayStats struct {
 	Records       int64
 	Batches       int64
 	RingHighWater int
 	ReaderStalls  int64
 	ReplayStalls  int64
+
+	PlannedBatches int64
+	PlanHighWater  int
+	PlannerStalls  int64
+	PlanStalls     int64
 }
 
 // replayBatch is one ring slot: records plus the terminal error (io.EOF
@@ -66,33 +82,24 @@ type replayBatch struct {
 }
 
 // recordSource streams pre-parsed batches from a reader goroutine to
-// the simulation goroutine. Exhausted batch slices return to the free
-// ring, so steady-state replay recycles the same depth×size records.
+// its consumer — the simulation goroutine, or a plan stage sitting in
+// between. Exhausted batch slices return to the free ring, so
+// steady-state replay recycles the same depth×size records.
 type recordSource struct {
 	batches chan replayBatch
 	free    chan []trace.Record
 	quit    chan struct{}
 
-	// Cross-goroutine counters; atomics because the simulation
-	// goroutine reads them while the reader may still be running.
+	// Cross-goroutine counters; atomics because producer and consumer
+	// may live on different goroutines than the final snapshot reader.
 	// resident counts filled batches handed off but not yet consumed —
 	// tracked explicitly rather than via len(batches), which misses a
 	// send handed directly to an already-blocked receiver.
 	readerStalls atomic.Int64
 	resident     atomic.Int64
 	highWater    atomic.Int64
-
-	cur     cursorBatch
-	stats   ReplayStats // consumer-side fields, final values via snapshot
-	onBatch func(recs []trace.Record)
-
-	err error // first non-EOF error from the reader
-}
-
-// cursorBatch is the batch the simulation is currently draining.
-type cursorBatch struct {
-	replayBatch
-	pos int
+	taken        atomic.Int64 // filled batches taken by the consumer
+	replayStalls atomic.Int64
 }
 
 // startRecordSource launches the reader goroutine pumping r's records
@@ -161,59 +168,185 @@ func startRecordSource(r trace.Reader, cfg ReplayConfig) *recordSource {
 	return s
 }
 
-// next returns the next record, refilling from the ring when the
-// current batch drains (announcing each fresh batch via onBatch before
-// any of its records are returned). ok=false means the stream ended —
-// by EOF, or by the error left in s.err.
-func (s *recordSource) next() (trace.Record, int, bool) {
-	for {
-		if s.cur.pos < len(s.cur.recs) {
-			rec := s.cur.recs[s.cur.pos]
-			idx := s.cur.pos
-			s.cur.pos++
-			s.stats.Records++
-			return rec, idx, true
-		}
-		if s.cur.err != nil {
-			if s.cur.err != io.EOF {
-				s.err = s.cur.err
-			}
-			return trace.Record{}, 0, false
-		}
-		if s.cur.recs != nil {
-			s.free <- s.cur.recs
+// take pops the next filled batch, blocking until one is ready and
+// counting a stall when the ring is empty after the pipeline has
+// already delivered a batch (the first wait is the pipeline filling,
+// not the parser falling behind). ok=false only during teardown.
+func (s *recordSource) take() (b replayBatch, ok bool) {
+	select {
+	case b = <-s.batches:
+	default:
+		if s.taken.Load() > 0 {
+			s.replayStalls.Add(1)
 		}
 		select {
-		case s.cur.replayBatch = <-s.batches:
-		default:
-			// Ring drained. Waiting for the very first batch is the
-			// pipeline filling, not the parser falling behind — only
-			// count a stall once a batch has actually been consumed.
-			if s.stats.Batches > 0 {
-				s.stats.ReplayStalls++
-			}
-			s.cur.replayBatch = <-s.batches
-		}
-		s.resident.Add(-1)
-		s.cur.pos = 0
-		if len(s.cur.recs) > 0 {
-			s.stats.Batches++
-			if s.onBatch != nil {
-				s.onBatch(s.cur.recs)
-			}
+		case b = <-s.batches:
+		case <-s.quit:
+			return replayBatch{}, false
 		}
 	}
+	s.resident.Add(-1)
+	s.taken.Add(1)
+	return b, true
 }
 
 // stop terminates the reader goroutine.
 func (s *recordSource) stop() { close(s.quit) }
 
-// snapshot folds the reader-side counters into the consumer-side stats.
-func (s *recordSource) snapshot() ReplayStats {
-	st := s.stats
-	st.ReaderStalls = s.readerStalls.Load()
-	st.RingHighWater = int(s.highWater.Load())
-	return st
+// plannedBatch pairs one ring batch with its lookahead plans.
+type plannedBatch struct {
+	replayBatch
+	plans []recordPlan
+}
+
+// planStage is the lookahead pipeline stage: a goroutine that takes
+// batches off the record ring, classifies each through the volume's
+// planner, and hands (batch, plans) pairs through a bounded plan ring
+// to the apply stage — so batch k+1 is being planned (and k+2 parsed)
+// while the simulation commits batch k. With depth d the channel
+// buffers d-1 planned batches: one more is always at the rendezvous or
+// under classification, so at most d batches are planned ahead, and
+// the planner's d+1 stitch arenas are never reused while a consumer
+// can still read them.
+type planStage struct {
+	out  chan plannedBatch
+	done chan struct{}
+
+	resident      atomic.Int64
+	highWater     atomic.Int64
+	plannerStalls atomic.Int64
+	planned       atomic.Int64
+	taken         atomic.Int64
+	planStalls    atomic.Int64
+}
+
+// startPlanStage launches the planning goroutine between src and the
+// apply stage. The caller must stop src and then wait on done before
+// disengaging the volume's plan gate.
+func startPlanStage(src *recordSource, bp batchPlanner, depth int) *planStage {
+	ps := &planStage{
+		out:  make(chan plannedBatch, depth-1),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(ps.done)
+		defer close(ps.out)
+		for {
+			b, ok := src.take()
+			if !ok {
+				return
+			}
+			var plans []recordPlan
+			if len(b.recs) > 0 {
+				plans = bp.planBatch(b.recs)
+				ps.planned.Add(1)
+			}
+			occ := ps.resident.Add(1)
+			if depth := int64(cap(ps.out)) + 1; occ > depth {
+				occ = depth // the stage holds the +1 while blocked
+			}
+			select {
+			case ps.out <- plannedBatch{replayBatch: b, plans: plans}:
+				if occ > ps.highWater.Load() {
+					ps.highWater.Store(occ)
+				}
+			default:
+				// The plan was ready before apply wanted it: the
+				// overlapped steady state. Record it, then block until
+				// the apply stage drains batch k.
+				ps.plannerStalls.Add(1)
+				select {
+				case ps.out <- plannedBatch{replayBatch: b, plans: plans}:
+					if occ > ps.highWater.Load() {
+						ps.highWater.Store(occ)
+					}
+				case <-src.quit:
+					return
+				}
+			}
+			if b.err != nil {
+				return // terminal batch delivered: the stream is over
+			}
+		}
+	}()
+	return ps
+}
+
+// take pops the next planned batch for the apply stage, counting a
+// stall when the plan ring is empty after the first planned batch.
+func (ps *planStage) take() (replayBatch, []recordPlan, bool) {
+	var pb plannedBatch
+	var ok bool
+	select {
+	case pb, ok = <-ps.out:
+	default:
+		if ps.taken.Load() > 0 {
+			ps.planStalls.Add(1)
+		}
+		pb, ok = <-ps.out
+	}
+	if !ok {
+		return replayBatch{}, nil, false
+	}
+	ps.resident.Add(-1)
+	ps.taken.Add(1)
+	return pb.replayBatch, pb.plans, true
+}
+
+// batchCursor drains batches one record at a time on the simulation
+// goroutine, recycling drained record slices through the free ring and
+// announcing each fresh batch to the synchronous planner when no plan
+// stage is interposed.
+type batchCursor struct {
+	take    func() (replayBatch, []recordPlan, bool)
+	free    chan []trace.Record
+	onBatch func(recs []trace.Record) []recordPlan // sync-mode planning
+
+	cur     replayBatch
+	plans   []recordPlan
+	pos     int
+	records int64
+	batches int64
+	err     error // first non-EOF error from the reader
+}
+
+// next returns the next record and its plan (nil when the record was
+// not planned). ok=false means the stream ended — by EOF, teardown, or
+// the error left in err.
+func (cu *batchCursor) next() (trace.Record, *recordPlan, bool) {
+	for {
+		if cu.pos < len(cu.cur.recs) {
+			rec := cu.cur.recs[cu.pos]
+			var p *recordPlan
+			if cu.plans != nil {
+				p = &cu.plans[cu.pos]
+			}
+			cu.pos++
+			cu.records++
+			return rec, p, true
+		}
+		if cu.cur.err != nil {
+			if cu.cur.err != io.EOF {
+				cu.err = cu.cur.err
+			}
+			return trace.Record{}, nil, false
+		}
+		if cu.cur.recs != nil {
+			cu.free <- cu.cur.recs
+		}
+		b, plans, ok := cu.take()
+		if !ok {
+			return trace.Record{}, nil, false
+		}
+		cu.cur, cu.pos = b, 0
+		cu.plans = plans
+		if len(b.recs) > 0 {
+			cu.batches++
+			if cu.onBatch != nil {
+				cu.plans = cu.onBatch(b.recs)
+			}
+		}
+	}
 }
 
 // Replay feeds a trace into vol with the default pipeline tuning; see
@@ -241,32 +374,50 @@ func Replay(eng *sim.Engine, vol Volume, r trace.Reader) (int64, error) {
 // additionally get each whole batch handed to their plan phase the
 // moment it leaves the ring: classification against the mapping index
 // runs concurrently, one worker per shard group, while submission —
-// the apply stage — stays strictly in record order, so results are
+// the apply stage — stays strictly in record order. With
+// Config.PlanLookahead > 0 the plan phase moves onto its own pipeline
+// stage and classifies batch k+1 while batch k is being applied,
+// under the volume's plan gate; in every mode the results are
 // bit-identical to a sequential replay.
 func ReplayWith(eng *sim.Engine, vol Volume, r trace.Reader, cfg ReplayConfig) (int64, ReplayStats, error) {
 	src := startRecordSource(r, cfg.withDefaults())
-	defer src.stop()
 
 	bp, _ := vol.(batchPlanner)
-	var plans []recordPlan
+	cu := &batchCursor{free: src.free}
+	var ps *planStage
 	if bp != nil {
-		src.onBatch = func(recs []trace.Record) {
-			plans = bp.planBatch(recs)
+		if depth := bp.planDepth(); depth > 0 {
+			bp.setLookahead(true)
+			ps = startPlanStage(src, bp, depth)
+			cu.take = ps.take
+		} else {
+			cu.onBatch = bp.planBatch
 		}
 	}
+	if cu.take == nil {
+		cu.take = func() (replayBatch, []recordPlan, bool) {
+			b, ok := src.take()
+			return b, nil, ok
+		}
+	}
+	defer func() {
+		src.stop()
+		if ps != nil {
+			// The plan stage must be fully parked before the gate
+			// disengages: its workers read the gated flag.
+			<-ps.done
+			bp.setLookahead(false)
+		}
+	}()
 
 	var pump func(rec trace.Record, p *recordPlan)
 	schedule := func() {
-		rec, idx, ok := src.next()
+		rec, p, ok := cu.next()
 		if !ok {
-			if src.err != nil {
+			if cu.err != nil {
 				eng.Stop()
 			}
 			return
-		}
-		var p *recordPlan
-		if plans != nil {
-			p = &plans[idx]
 		}
 		at := rec.Time
 		if at < eng.Now() {
@@ -287,7 +438,19 @@ func ReplayWith(eng *sim.Engine, vol Volume, r trace.Reader, cfg ReplayConfig) (
 	eng.Run()
 	// Every record next() hands out is pumped before the stream can
 	// end (the error path only stops the engine after the last pump),
-	// so the source's count is the replayed count.
-	st := src.snapshot()
-	return st.Records, st, src.err
+	// so the cursor's count is the replayed count.
+	st := ReplayStats{
+		Records:       cu.records,
+		Batches:       cu.batches,
+		RingHighWater: int(src.highWater.Load()),
+		ReaderStalls:  src.readerStalls.Load(),
+		ReplayStalls:  src.replayStalls.Load(),
+	}
+	if ps != nil {
+		st.PlannedBatches = ps.planned.Load()
+		st.PlanHighWater = int(ps.highWater.Load())
+		st.PlannerStalls = ps.plannerStalls.Load()
+		st.PlanStalls = ps.planStalls.Load()
+	}
+	return st.Records, st, cu.err
 }

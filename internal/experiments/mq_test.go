@@ -1,6 +1,10 @@
 package experiments
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // TestMonitorWorkersCellEquivalence pins the worker knob at the
 // experiment level: a cell simulated with the multi-queue monitor
@@ -36,6 +40,74 @@ func TestMonitorWorkersCellEquivalence(t *testing.T) {
 		if got.MQ.Batches == 0 || got.MQ.Planned == 0 {
 			t.Errorf("workers=%d: planner never ran: %+v", workers, got.MQ)
 		}
+	}
+}
+
+// TestPlanLookaheadCellEquivalence pins the lookahead knob at the
+// experiment level: a cell whose planner runs ahead of the apply stage
+// reports exactly the synchronous cell's Stats, latencies and request
+// count, and the plan stage visibly ran (plan-side replay counters
+// populate only under lookahead).
+func TestPlanLookaheadCellEquivalence(t *testing.T) {
+	base := RunConfig{
+		Trace: "wdev", Scale: QuickScale, Strategy: CRAID5,
+		PCPct: 0.008, MapShards: 16, MonitorWorkers: 4,
+	}
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Replay.PlannedBatches != 0 {
+		t.Fatalf("synchronous cell reported a plan stage: %+v", ref.Replay)
+	}
+	cfg := base
+	cfg.PlanLookahead = 1
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got.CRAID != *ref.CRAID {
+		t.Errorf("lookahead stats diverged\n got %+v\nwant %+v", *got.CRAID, *ref.CRAID)
+	}
+	if got.Requests != ref.Requests ||
+		got.ReadMean != ref.ReadMean || got.WriteMean != ref.WriteMean {
+		t.Errorf("lookahead latencies diverged")
+	}
+	if got.Replay.PlannedBatches == 0 {
+		t.Errorf("plan stage never ran: %+v", got.Replay)
+	}
+}
+
+// TestMappingLogCell pins the batched dirty-log plumbing: a cell with
+// MappingLog set writes a recoverable ring-flushed log and reports the
+// ring's counters, without perturbing the monitor's results.
+func TestMappingLogCell(t *testing.T) {
+	base := RunConfig{
+		Trace: "wdev", Scale: QuickScale, Strategy: CRAID5,
+		PCPct: 0.008, MapShards: 16, MonitorWorkers: 4, PlanLookahead: 1,
+	}
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.MappingLog = filepath.Join(t.TempDir(), "dirty.log")
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got.CRAID != *ref.CRAID {
+		t.Errorf("logging perturbed the monitor\n got %+v\nwant %+v", *got.CRAID, *ref.CRAID)
+	}
+	if got.MapLog.Records == 0 || got.MapLog.Flushes == 0 {
+		t.Fatalf("log ring never used: %+v", got.MapLog)
+	}
+	fi, err := os.Stat(cfg.MappingLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != got.MapLog.Bytes {
+		t.Errorf("log file holds %d bytes, ring reports %d", fi.Size(), got.MapLog.Bytes)
 	}
 }
 

@@ -58,6 +58,22 @@ func SetDefaultMonitorWorkers(n int) {
 	defaultMonitorWorkers = n
 }
 
+// defaultPlanLookahead is applied to cells whose RunConfig.PlanLookahead
+// is 0 (0 itself defers to core's synchronous planning). cmd/craidbench
+// and cmd/craidsim thread their -lookahead flags through here.
+var defaultPlanLookahead = 0
+
+// SetDefaultPlanLookahead sets the plan-pipeline depth used by cells
+// that don't specify one. Call before RunAll, not concurrently with it.
+// Results are bit-identical at every value; only wall-clock and the
+// plan-side ReplayStats change.
+func SetDefaultPlanLookahead(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultPlanLookahead = n
+}
+
 // RunAll executes every config, fanning the cells out over a bounded
 // worker pool. Successful results are deterministic regardless of
 // worker count: results[i] always corresponds to cfgs[i]. Once any

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"craid/internal/trace"
@@ -18,10 +19,15 @@ type VolumeResult struct {
 // simulation built from base (TraceFile/TraceFormat/TraceVolume are
 // overridden per cell; everything else — strategy, P_C size,
 // DatasetBlocks — is taken as given, and a zero Scale is derived from
-// DatasetBlocks). Cells run concurrently under
-// RunAll's worker pool, and each cell's replay pipeline parses its own
-// volume's records off its simulation path, so a k-volume file keeps up
-// to k parsers and k simulations busy at once.
+// DatasetBlocks). Cells run concurrently under RunAll's worker pool,
+// and each cell's replay pipeline parses its own volume's records off
+// its simulation path, so a k-volume file keeps up to k parsers and k
+// simulations busy at once.
+//
+// All cells share ONE open file: the volume scan and every per-volume
+// reader work through pread-style io.ReaderAt sections of the same
+// handle (RunConfig.TraceAt), so a wide MSR host costs one descriptor
+// regardless of volume count instead of one per volume.
 //
 // Results are returned in ascending DiskNumber order.
 func RunMSRVolumes(path string, base RunConfig) ([]VolumeResult, error) {
@@ -29,8 +35,13 @@ func RunMSRVolumes(path string, base RunConfig) ([]VolumeResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	vols, err := trace.MSRVolumes(f)
-	f.Close()
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	vols, err := trace.MSRVolumes(io.NewSectionReader(f, 0, size))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: scanning %s: %w", path, err)
 	}
@@ -44,6 +55,8 @@ func RunMSRVolumes(path string, base RunConfig) ([]VolumeResult, error) {
 		c.TraceFile = path
 		c.TraceFormat = "msr"
 		c.TraceVolume = &v
+		c.TraceAt = f
+		c.TraceAtSize = size
 		if c.Trace == "" {
 			c.Trace = fmt.Sprintf("msr-vol%d", v)
 		}

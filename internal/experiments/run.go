@@ -22,6 +22,7 @@ import (
 
 	"craid/internal/core"
 	"craid/internal/disk"
+	"craid/internal/mapcache"
 	"craid/internal/metrics"
 	"craid/internal/raid"
 	"craid/internal/sim"
@@ -154,6 +155,15 @@ type RunConfig struct {
 	TraceVolume   *int
 	DatasetBlocks int64
 
+	// TraceAt, when non-nil, replaces the per-cell os.Open of
+	// TraceFile: the cell reads [0, TraceAtSize) of the shared handle
+	// through an io.SectionReader, whose ReadAt calls are pread-style
+	// and safe for any number of concurrent cells. RunMSRVolumes uses
+	// this to fan a k-volume file into k parallel simulations over ONE
+	// open file instead of k. TraceFile then only labels the run.
+	TraceAt     io.ReaderAt
+	TraceAtSize int64
+
 	// MapShards shards the CRAID mapping index by archive-address
 	// range (0 = core's default single shard). Monitor ratios are
 	// bit-identical at every value.
@@ -163,6 +173,17 @@ type RunConfig struct {
 	// default sequential monitor; effective workers are capped at the
 	// shard count). Stats and ratios are bit-identical at every value.
 	MonitorWorkers int
+	// PlanLookahead overlaps the monitor's plan phase with the apply
+	// stage: batch k+1 classifies while batch k commits (0 = core's
+	// default synchronous planning). Stats and ratios are
+	// bit-identical at every value.
+	PlanLookahead int
+
+	// MappingLog, when non-empty, attaches a persistent dirty-
+	// translation log at this path, written through a batched
+	// mapcache.LogRing so the apply path never blocks on the log
+	// device; RunResult.MapLog reports the ring's counters.
+	MappingLog string
 
 	// ReplayBatch and ReplayRing tune the replay pipeline's
 	// pre-parsed record ring (0 = core defaults: 1024 × 4). The batch
@@ -194,9 +215,11 @@ type RunResult struct {
 
 	// Replay reports the pipeline's back-pressure counters; MQ the
 	// multi-queue planner's activity (zero for sequential monitors and
-	// the plain baselines).
+	// the plain baselines); MapLog the dirty-log ring's counters (zero
+	// unless MappingLog was set).
 	Replay core.ReplayStats
 	MQ     core.MQStats
+	MapLog mapcache.LogRingStats
 
 	CVs      []float64 // per-second coefficient of variation (if tracked)
 	SeqFracs []float64 // per-second sequential fractions (if tracked)
@@ -220,7 +243,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 	var rd trace.Reader
 	var dataset int64
-	if cfg.TraceFile != "" {
+	if cfg.TraceFile != "" || cfg.TraceAt != nil {
 		if cfg.DatasetBlocks <= 0 {
 			return RunResult{}, fmt.Errorf("experiments: file trace %q needs DatasetBlocks", cfg.TraceFile)
 		}
@@ -229,12 +252,22 @@ func Run(cfg RunConfig) (RunResult, error) {
 			// pattern is whatever was recorded.
 			return RunResult{}, fmt.Errorf("experiments: Bursty does not apply to file traces")
 		}
-		f, err := os.Open(cfg.TraceFile)
-		if err != nil {
-			return RunResult{}, err
+		var src io.Reader
+		if cfg.TraceAt != nil {
+			// Shared handle: this cell's reads go through pread-style
+			// ReadAt with a private offset, so sibling cells replaying
+			// other volumes of the same file never interfere.
+			src = io.NewSectionReader(cfg.TraceAt, 0, cfg.TraceAtSize)
+		} else {
+			f, err := os.Open(cfg.TraceFile)
+			if err != nil {
+				return RunResult{}, err
+			}
+			defer f.Close()
+			src = f
 		}
-		defer f.Close()
-		rd, err = newFileReader(bufio.NewReaderSize(f, 1<<20), cfg)
+		var err error
+		rd, err = newFileReader(bufio.NewReaderSize(src, 1<<20), cfg)
 		if err != nil {
 			return RunResult{}, err
 		}
@@ -264,6 +297,25 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	var logRing *mapcache.LogRing
+	if cfg.MappingLog != "" {
+		c, ok := vol.(*core.CRAID)
+		if !ok {
+			return RunResult{}, fmt.Errorf("experiments: MappingLog needs a CRAID strategy, not %s", cfg.Strategy)
+		}
+		f, err := os.Create(cfg.MappingLog)
+		if err != nil {
+			return RunResult{}, err
+		}
+		defer f.Close()
+		logRing = mapcache.NewLogRing(f, 0, 0)
+		// Close is idempotent; the deferred call (which runs before the
+		// file's, in LIFO order) reaps the writer goroutine and flushes
+		// the tail on error paths, while the success path below closes
+		// explicitly to surface write errors.
+		defer logRing.Close()
+		c.SetMappingLog(logRing)
+	}
 	if cfg.TrackLoad {
 		arr.Load = metrics.NewLoadTracker(arr.Devices(), sim.Second)
 	}
@@ -285,11 +337,19 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	var logStats mapcache.LogRingStats
+	if logRing != nil {
+		if err := logRing.Close(); err != nil {
+			return RunResult{}, fmt.Errorf("experiments: mapping log %s: %w", cfg.MappingLog, err)
+		}
+		logStats = logRing.Stats()
+	}
 
 	res := RunResult{
 		Cfg:       cfg,
 		Requests:  n,
 		Replay:    rst,
+		MapLog:    logStats,
 		ReadMean:  vol.ReadLatency().Mean(),
 		ReadP99:   vol.ReadLatency().Percentile(0.99),
 		WriteMean: vol.WriteLatency().Mean(),
@@ -381,6 +441,10 @@ func buildVolume(eng *sim.Engine, cfg RunConfig, dataset int64) (core.Volume, *c
 	if workers == 0 {
 		workers = defaultMonitorWorkers
 	}
+	lookahead := cfg.PlanLookahead
+	if lookahead == 0 {
+		lookahead = defaultPlanLookahead
+	}
 	if workers > 1 && shards == 0 {
 		// No shard count requested anywhere: concurrency needs
 		// disjoint shard groups to own, so give each worker a few
@@ -398,6 +462,7 @@ func buildVolume(eng *sim.Engine, cfg RunConfig, dataset int64) (core.Volume, *c
 		Level:          cfg.PCLevel,
 		MapShards:      shards,
 		MonitorWorkers: workers,
+		PlanLookahead:  lookahead,
 	}
 	if cfg.Instant && cfg.PCBlocks > 0 {
 		// Policy-quality experiments size P_C directly in blocks.

@@ -1,0 +1,151 @@
+package mapcache
+
+import "io"
+
+// LogRing default geometry: 4 buffers of 32 KiB (~1927 log records per
+// buffer). One buffer is always owned by the producer; the others are
+// either in flight to the writer goroutine or waiting on the free ring.
+const (
+	logRingBufBytes = 32 << 10
+	logRingDepth    = 4
+)
+
+// LogRingStats counts the ring's activity. Records/Bytes are what the
+// Table appended; Flushes is how many buffer hand-offs reached the
+// writer goroutine; Stalls counts hand-offs that blocked because every
+// buffer was full or in flight (the underlying writer is the
+// bottleneck — consider a deeper ring or a faster log device).
+type LogRingStats struct {
+	Records int64
+	Bytes   int64
+	Flushes int64
+	Stalls  int64
+}
+
+// LogRing is a bounded asynchronous writer for the dirty-translation
+// log (paper §4.2). Table.SetLog writes one fixed-size record per dirty
+// transition; pointed at a LogRing, those records accumulate in an
+// in-memory buffer and whole buffers are handed to a background writer
+// goroutine through a bounded ring, so the apply path never issues a
+// log I/O itself — it blocks only when the ring is full, which is
+// back-pressure from a log device that cannot keep up.
+//
+// The byte stream reaching w is exactly the stream a synchronous log
+// would have written — the same records in the same order — so every
+// prefix of it (a crash that cuts the log at an arbitrary byte,
+// including mid-flush) recovers through Recover exactly as a
+// synchronously-written log cut at the same byte would. What batching
+// trades away is only freshness: records appended after the last Flush
+// that have not filled a buffer are lost with the process, the bounded
+// staleness a controller accepts when it journals per I/O batch instead
+// of per translation.
+//
+// The producer side (Write, Flush, Stats) is single-threaded, matching
+// the Table's single-threaded mutation contract. Close flushes the
+// tail, drains the writer and reports the first write error.
+type LogRing struct {
+	w      io.Writer
+	free   chan []byte
+	out    chan []byte
+	done   chan struct{}
+	cur    []byte
+	err    error // first write error, owned by the writer goroutine
+	closed bool
+	stats  LogRingStats
+}
+
+// NewLogRing wraps w in a bounded asynchronous log writer holding depth
+// in-flight buffers of bufBytes each; values < 1 take the defaults
+// (4 × 32 KiB).
+func NewLogRing(w io.Writer, bufBytes, depth int) *LogRing {
+	if bufBytes < 1 {
+		bufBytes = logRingBufBytes
+	}
+	if depth < 1 {
+		depth = logRingDepth
+	}
+	r := &LogRing{
+		w:    w,
+		free: make(chan []byte, depth+1),
+		out:  make(chan []byte, depth),
+		done: make(chan struct{}),
+	}
+	for i := 0; i < depth+1; i++ {
+		r.free <- make([]byte, 0, bufBytes)
+	}
+	r.cur = <-r.free
+	go func() {
+		defer close(r.done)
+		for buf := range r.out {
+			if _, err := r.w.Write(buf); err != nil && r.err == nil {
+				// Keep draining so the producer never wedges; like the
+				// synchronous log, the failure surfaces at Recover time
+				// (and here additionally at Close).
+				r.err = err
+			}
+			r.free <- buf[:0]
+		}
+	}()
+	return r
+}
+
+// Write implements io.Writer for Table.SetLog: p is appended to the
+// current buffer, rolling over through the ring when a buffer fills.
+// It never returns an error — write failures are asynchronous and
+// surface at Close, exactly as a synchronous log's failures surface at
+// Recover.
+func (r *LogRing) Write(p []byte) (int, error) {
+	written := len(p)
+	r.stats.Records++
+	r.stats.Bytes += int64(written)
+	for len(p) > 0 {
+		if len(r.cur) == cap(r.cur) {
+			r.handOff()
+		}
+		n := copy(r.cur[len(r.cur):cap(r.cur)], p)
+		r.cur = r.cur[:len(r.cur)+n]
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// Flush hands the current buffer to the writer goroutine. The CRAID
+// controller calls it once per apply step, so the log's durability
+// boundary is the I/O request, not the individual translation.
+func (r *LogRing) Flush() {
+	if len(r.cur) == 0 {
+		return
+	}
+	r.handOff()
+}
+
+func (r *LogRing) handOff() {
+	r.stats.Flushes++
+	select {
+	case r.out <- r.cur:
+	default:
+		// Every buffer is full or in flight: the log device is the
+		// bottleneck. Block — order must be preserved, and the ring is
+		// the bound on memory.
+		r.stats.Stalls++
+		r.out <- r.cur
+	}
+	r.cur = <-r.free
+}
+
+// Close flushes the tail, stops the writer goroutine and returns the
+// first write error it hit. Further use of the ring is invalid;
+// calling Close again just reports the same error.
+func (r *LogRing) Close() error {
+	if !r.closed {
+		r.closed = true
+		r.Flush()
+		close(r.out)
+		<-r.done
+	}
+	return r.err
+}
+
+// Stats reports the ring's counters (call from the producer side, or
+// after Close).
+func (r *LogRing) Stats() LogRingStats { return r.stats }

@@ -1,0 +1,164 @@
+package mapcache
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// driveLog applies a deterministic mutation workload to a fresh table
+// logging into w, calling stepDone at pseudo-random "apply step"
+// boundaries the way the controller flushes per I/O request.
+func driveLog(t *testing.T, w interface {
+	Write([]byte) (int, error)
+}, shards int, span int64, steps int, seed int64, stepDone func()) {
+	t.Helper()
+	var tb *Table
+	if shards > 1 {
+		tb = NewSharded(shards, span)
+	} else {
+		tb = New()
+	}
+	tb.SetLog(w)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < steps; i++ {
+		orig := rng.Int63n(4000)
+		switch rng.Intn(5) {
+		case 0:
+			tb.InsertRun(orig, rng.Int63n(10000), 1+rng.Int63n(16), rng.Intn(2) == 0)
+		case 1:
+			tb.RemoveRun(orig, 1+rng.Int63n(16))
+		case 2:
+			tb.SetDirtyRun(orig, 1+rng.Int63n(16), true)
+		case 3:
+			tb.SetDirtyRun(orig, 1+rng.Int63n(16), false)
+		case 4:
+			tb.Insert(Mapping{Orig: orig, Cache: rng.Int63n(10000), Dirty: rng.Intn(2) == 0})
+		}
+		if rng.Intn(3) == 0 {
+			stepDone()
+		}
+	}
+	stepDone()
+}
+
+// TestLogRingStreamIdentical pins the core contract: the byte stream a
+// LogRing delivers is exactly the stream a synchronous log writes —
+// same records, same order — across buffer rollovers and arbitrary
+// flush boundaries.
+func TestLogRingStreamIdentical(t *testing.T) {
+	for _, shards := range []int{1, 5} {
+		var syncBuf bytes.Buffer
+		driveLog(t, &syncBuf, shards, 1000, 400, 42, func() {})
+
+		var ringBuf bytes.Buffer
+		// Tiny buffers force mid-step rollovers.
+		ring := NewLogRing(&ringBuf, 3*recordSize, 2)
+		driveLog(t, ring, shards, 1000, 400, 42, ring.Flush)
+		if err := ring.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		if !bytes.Equal(syncBuf.Bytes(), ringBuf.Bytes()) {
+			t.Fatalf("shards=%d: ring stream diverged from synchronous stream (%d vs %d bytes)",
+				shards, ringBuf.Len(), syncBuf.Len())
+		}
+		st := ring.Stats()
+		if st.Records == 0 || st.Flushes == 0 || st.Bytes != int64(syncBuf.Len()) {
+			t.Fatalf("shards=%d: implausible ring stats %+v for %d log bytes", shards, st, syncBuf.Len())
+		}
+	}
+}
+
+// TestLogRingCrashCutRecovery is the batched-flush recovery property: a
+// log written through the ring and cut at an arbitrary byte — including
+// mid-record, the torn tail of a flush that was interrupted — recovers
+// exactly the mappings a synchronously-written log cut at the same byte
+// recovers.
+func TestLogRingCrashCutRecovery(t *testing.T) {
+	var syncBuf bytes.Buffer
+	driveLog(t, &syncBuf, 4, 1100, 300, 7, func() {})
+
+	var ringBuf bytes.Buffer
+	ring := NewLogRing(&ringBuf, 64, 3)
+	driveLog(t, ring, 4, 1100, 300, 7, ring.Flush)
+	if err := ring.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	total := syncBuf.Len()
+	cuts := []int{0, 1, recordSize - 1, recordSize, total / 3, total/3 + 5, total - 1, total}
+	for _, cut := range cuts {
+		want, err := Recover(bytes.NewReader(syncBuf.Bytes()[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: sync recover: %v", cut, err)
+		}
+		got, err := Recover(bytes.NewReader(ringBuf.Bytes()[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: ring recover: %v", cut, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("cut %d: recovered %d mappings, want %d (contents diverged)", cut, len(got), len(want))
+		}
+	}
+}
+
+// errAfterWriter fails every Write after the first n bytes, simulating
+// a log device that dies mid-stream.
+type errAfterWriter struct {
+	n       int
+	written int
+}
+
+func (w *errAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, errors.New("log device gone")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestLogRingCloseReportsWriteError pins that asynchronous write
+// failures surface at Close (the producer's Write never fails, like the
+// best-effort synchronous log) and that a failing device cannot wedge
+// the producer.
+func TestLogRingCloseReportsWriteError(t *testing.T) {
+	ring := NewLogRing(&errAfterWriter{n: 2 * recordSize}, recordSize, 2)
+	rec := make([]byte, recordSize)
+	for i := 0; i < 50; i++ {
+		if _, err := ring.Write(rec); err != nil {
+			t.Fatalf("producer Write failed: %v", err)
+		}
+		ring.Flush()
+	}
+	if err := ring.Close(); err == nil {
+		t.Fatal("Close reported no error from a dead log device")
+	}
+	if err := ring.Close(); err == nil {
+		t.Fatal("second Close lost the error")
+	}
+}
+
+// TestLogRingStallCounting pins that a writer slower than the producer
+// shows up in Stalls rather than in unbounded memory.
+func TestLogRingStallCounting(t *testing.T) {
+	var sink bytes.Buffer
+	ring := NewLogRing(&sink, recordSize, 1) // depth 1: third hand-off must stall
+	rec := make([]byte, recordSize)
+	for i := 0; i < 64; i++ {
+		ring.Write(rec)
+		ring.Flush()
+	}
+	if err := ring.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := ring.Stats()
+	if st.Flushes != 64 {
+		t.Fatalf("expected 64 flushes, got %+v", st)
+	}
+	if sink.Len() != 64*recordSize {
+		t.Fatalf("sink holds %d bytes, want %d", sink.Len(), 64*recordSize)
+	}
+}

@@ -120,6 +120,12 @@ type Table struct {
 	span   int64     // addresses per shard; 0 with a single shard
 	size   int       // total mappings across shards
 	log    io.Writer // optional persistent dirty log
+
+	// logRec is appendLog's encode scratch. A local array would escape
+	// to the heap at the io.Writer call — one allocation per logged
+	// transition on the apply path; Write contracts not to retain the
+	// slice, so reusing one buffer is safe.
+	logRec [recordSize]byte
 }
 
 var _ Index = (*Table)(nil)
@@ -433,7 +439,7 @@ func (t *Table) appendLog(kind byte, m Mapping) {
 	if t.log == nil {
 		return
 	}
-	var rec [recordSize]byte
+	rec := &t.logRec
 	rec[0] = kind
 	binary.LittleEndian.PutUint64(rec[1:9], uint64(m.Orig))
 	binary.LittleEndian.PutUint64(rec[9:17], uint64(m.Cache))

@@ -110,13 +110,41 @@ func (r *RAID0) Locate(block int64) PBA {
 // ParityOf implements Layout; RAID-0 has no parity.
 func (r *RAID0) ParityOf(int64) (PBA, bool) { return PBA{Disk: -1}, false }
 
-// ForEachExtent implements Layout.
+// ForEachExtent implements Layout, walking whole stripe rows: the row
+// geometry is computed once per row and units advance disk by disk,
+// instead of re-deriving (row, disk) from scratch for every unit as
+// the reference per-unit path does.
 func (r *RAID0) ForEachExtent(block, count int64, fn func(Extent)) {
-	forEachUnitRun(r, block, count, fn)
+	checkBlock(r, block, count)
+	for count > 0 {
+		u := block / r.unit
+		off := block % r.unit
+		row := u / int64(r.disks)
+		base := row * r.unit
+		for d := int(u % int64(r.disks)); d < r.disks && count > 0; d++ {
+			n := r.unit - off
+			if n > count {
+				n = count
+			}
+			fn(Extent{
+				Logical: block,
+				Data:    PBA{Disk: d, Block: base + off},
+				Parity:  PBA{Disk: -1},
+				Count:   n,
+			})
+			block += n
+			count -= n
+			off = 0
+		}
+	}
 }
 
 // forEachUnitRun splits [block, block+count) at stripe-unit boundaries;
-// within one unit data is contiguous on a single disk.
+// within one unit data is contiguous on a single disk. It is the
+// reference implementation of ForEachExtent — one Locate/ParityOf
+// chain per unit — kept for the property tests that pin the
+// row-batched walks against it (it showed in whole-experiment profiles
+// once the monitor left the critical path).
 func forEachUnitRun(l Layout, block, count int64, fn func(Extent)) {
 	checkBlock(l, block, count)
 	unit := l.StripeUnitBlocks()
@@ -255,9 +283,65 @@ func (r *RAID5) ParityOf(block int64) (PBA, bool) {
 	return PBA{Disk: grp.firstDisk + pp, Block: row*r.unit + off}, true
 }
 
-// ForEachExtent implements Layout.
+// ForEachExtent implements Layout; see forEachRowRun.
 func (r *RAID5) ForEachExtent(block, count int64, fn func(Extent)) {
-	forEachUnitRun(r, block, count, fn)
+	checkBlock(r, block, count)
+	r.forEachRowRun(block, count, 0, 0, fn)
+}
+
+// groupOfData returns the index of the group owning data slot idx of a
+// row.
+func (r *RAID5) groupOfData(idx int64) int {
+	for i := range r.groups {
+		g := &r.groups[i]
+		if idx < g.firstData+int64(g.size-1) {
+			return i
+		}
+	}
+	panic("raid: unit index out of range") // unreachable: caller range-checked
+}
+
+// forEachRowRun emits exactly the extents forEachUnitRun emits, but
+// batches the unit→(disk,block) mapping per stripe row: the row base
+// and each group's parity rotation are computed once per row, and the
+// data disk advances slot by slot — no per-unit locateUnit scan, no
+// per-unit div/mod chain. logOff/diskOff relocate the emitted extents,
+// letting RAID5Plus walk a member set without a per-extent closure.
+func (r *RAID5) forEachRowRun(block, count, logOff int64, diskOff int, fn func(Extent)) {
+	for count > 0 {
+		u := block / r.unit
+		off := block % r.unit
+		row := u / r.dataPerRow
+		idx := u % r.dataPerRow // data slot within the row
+		base := row * r.unit
+		gi := r.groupOfData(idx)
+		for count > 0 && idx < r.dataPerRow {
+			grp := &r.groups[gi]
+			pp := parityPos(row, grp.size)
+			pDisk := diskOff + grp.firstDisk + pp
+			for slot := int(idx - grp.firstData); slot < grp.size-1 && count > 0; slot++ {
+				n := r.unit - off
+				if n > count {
+					n = count
+				}
+				d := slot
+				if d >= pp {
+					d++ // skip the parity slot
+				}
+				fn(Extent{
+					Logical: logOff + block,
+					Data:    PBA{Disk: diskOff + grp.firstDisk + d, Block: base + off},
+					Parity:  PBA{Disk: pDisk, Block: base + off},
+					Count:   n,
+				})
+				block += n
+				count -= n
+				off = 0
+				idx++
+			}
+			gi++
+		}
+	}
 }
 
 // set is one member array of a RAID-5+ aggregation.
@@ -356,7 +440,19 @@ func (r *RAID5Plus) ParityOf(block int64) (PBA, bool) {
 	return p, ok
 }
 
-// ForEachExtent implements Layout.
+// ForEachExtent implements Layout: the run is split at member-set
+// boundaries and each segment walked by the owning set's row-batched
+// path, relocated by the set's disk and block offsets.
 func (r *RAID5Plus) ForEachExtent(block, count int64, fn func(Extent)) {
-	forEachUnitRun(r, block, count, fn)
+	checkBlock(r, block, count)
+	for count > 0 {
+		s := r.locateSet(block)
+		n := count
+		if end := s.firstBlock + s.layout.DataBlocks(); end-block < n {
+			n = end - block
+		}
+		s.layout.forEachRowRun(block-s.firstBlock, n, s.firstBlock, s.firstDisk, fn)
+		block += n
+		count -= n
+	}
 }

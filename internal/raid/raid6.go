@@ -132,7 +132,64 @@ func (r *RAID6) QParityOf(block int64) (PBA, bool) {
 	return PBA{Disk: grp.firstDisk + qp, Block: row*r.unit + off}, true
 }
 
-// ForEachExtent implements Layout.
+// groupOfData returns the index of the group owning data slot idx of a
+// row.
+func (r *RAID6) groupOfData(idx int64) int {
+	for i := range r.groups {
+		g := &r.groups[i]
+		if idx < g.firstData+int64(g.size-2) {
+			return i
+		}
+	}
+	panic("raid: unit index out of range") // unreachable: caller range-checked
+}
+
+// ForEachExtent implements Layout with the same row-batched walk as
+// RAID5.forEachRowRun — row base and the P/Q rotation computed once
+// per group per row, data disks advancing slot by slot past both
+// parity positions — emitting exactly the per-unit reference's
+// extents.
 func (r *RAID6) ForEachExtent(block, count int64, fn func(Extent)) {
-	forEachUnitRun(r, block, count, fn)
+	checkBlock(r, block, count)
+	for count > 0 {
+		u := block / r.unit
+		off := block % r.unit
+		row := u / r.dataPerRow
+		idx := u % r.dataPerRow
+		base := row * r.unit
+		gi := r.groupOfData(idx)
+		for count > 0 && idx < r.dataPerRow {
+			grp := &r.groups[gi]
+			pp, qp := parityPositions(row, grp.size)
+			lo, hi := pp, qp
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			pDisk := grp.firstDisk + pp
+			for slot := int(idx - grp.firstData); slot < grp.size-2 && count > 0; slot++ {
+				n := r.unit - off
+				if n > count {
+					n = count
+				}
+				d := slot
+				if d >= lo {
+					d++
+				}
+				if d >= hi {
+					d++
+				}
+				fn(Extent{
+					Logical: block,
+					Data:    PBA{Disk: grp.firstDisk + d, Block: base + off},
+					Parity:  PBA{Disk: pDisk, Block: base + off},
+					Count:   n,
+				})
+				block += n
+				count -= n
+				off = 0
+				idx++
+			}
+			gi++
+		}
+	}
 }
