@@ -45,6 +45,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"craid/internal/experiments"
 	"craid/internal/workload"
@@ -161,40 +162,67 @@ func (r *runner) scaleFor(trace string) float64 {
 }
 
 func (r *runner) table(which string) {
-	switch which {
-	case "1":
-		r.table1()
-	case "2", "3":
-		r.tables23(which)
-	case "4":
-		r.table4()
-	case "5":
-		r.table5()
-	case "6":
-		r.table6()
-	case "migration":
-		r.migration()
-	case "pclevel":
-		r.pcLevel()
-	case "rebalance":
-		r.rebalance()
-	default:
-		r.check(fmt.Errorf("unknown table %q", which))
-	}
+	r.timed("table "+which, func() {
+		switch which {
+		case "1":
+			r.table1()
+		case "2", "3":
+			r.tables23(which)
+		case "4":
+			r.table4()
+		case "5":
+			r.table5()
+		case "6":
+			r.table6()
+		case "migration":
+			r.migration()
+		case "pclevel":
+			r.pcLevel()
+		case "rebalance":
+			r.rebalance()
+		default:
+			r.check(fmt.Errorf("unknown table %q", which))
+		}
+	})
 }
 
 func (r *runner) figure(which string) {
-	switch which {
-	case "1":
-		r.figure1()
-	case "4", "6":
-		r.figures46(which)
-	case "5":
-		r.figure5()
-	case "7":
-		r.figure7()
-	default:
-		r.check(fmt.Errorf("unknown figure %q", which))
+	r.timed("figure "+which, func() {
+		switch which {
+		case "1":
+			r.figure1()
+		case "4", "6":
+			r.figures46(which)
+		case "5":
+			r.figure5()
+		case "7":
+			r.figure7()
+		default:
+			r.check(fmt.Errorf("unknown figure %q", which))
+		}
+	})
+}
+
+// timed runs one table/figure and prints its monitor cost footer: wall
+// time plus ns/record and allocs/record over the records the experiment
+// replayed, so hot-loop regressions (time OR garbage) are visible right
+// in the tables a perf PR quotes.
+func (r *runner) timed(label string, fn func()) {
+	var m0, m1 runtime.MemStats
+	rec0 := experiments.ReplayedRecords()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	recs := experiments.ReplayedRecords() - rec0
+	if recs > 0 {
+		allocs := m1.Mallocs - m0.Mallocs
+		fmt.Printf("-- %s: %.2fs wall, %.0f ns/record, %.3f allocs/record (%d records)\n",
+			label, wall.Seconds(), float64(wall.Nanoseconds())/float64(recs),
+			float64(allocs)/float64(recs), recs)
+	} else {
+		fmt.Printf("-- %s: %.2fs wall\n", label, wall.Seconds())
 	}
 }
 

@@ -21,7 +21,8 @@
 //
 // -workers turns on the multi-queue monitor, -lookahead additionally
 // overlaps its plan phase with the apply stage, and -maplog attaches a
-// dirty-translation log written through the batched log ring; every
+// dirty-translation log written through the batched log ring
+// (-maplog-sync fsyncs the file after every flushed buffer); every
 // monitor ratio and Stats field is identical at any -workers/-lookahead
 // setting, and the printed plan-ring and map-log lines report how the
 // pipeline behaved.
@@ -52,6 +53,8 @@ func main() {
 		"plan batches this far ahead of the apply stage (0 = plan between batches; ratios identical at any value)")
 	maplog := flag.String("maplog", "",
 		"write the dirty-translation log to this file through the batched log ring")
+	maplogSync := flag.Bool("maplog-sync", false,
+		"fsync the mapping log after every flushed ring buffer (durable flushes instead of the paper's NVRAM assumption)")
 	file := flag.String("file", "", "replay this trace file instead of the preset")
 	format := flag.String("format", "native", "trace file format: native|msr|blk")
 	volume := flag.Int("volume", -1,
@@ -72,6 +75,7 @@ func main() {
 		MonitorWorkers: *workers,
 		PlanLookahead:  *lookahead,
 		MappingLog:     *maplog,
+		MapLogSync:     *maplogSync,
 		TrackLoad:      true,
 		TrackSeq:       true,
 	}
@@ -155,8 +159,8 @@ func main() {
 	}
 	if res.MapLog.Records > 0 {
 		ml := res.MapLog
-		fmt.Printf("map log:      %d records (%d bytes), %d ring flushes, %d ring stalls\n",
-			ml.Records, ml.Bytes, ml.Flushes, ml.Stalls)
+		fmt.Printf("map log:      %d records (%d bytes), %d ring flushes, %d ring stalls, %d fsyncs\n",
+			ml.Records, ml.Bytes, ml.Flushes, ml.Stalls, ml.Syncs)
 	}
 	fmt.Printf("load balance: mean per-second cv %.3f\n", metrics.Mean(res.CVs))
 	fmt.Printf("sequential:   mean per-second fraction %.3f\n", metrics.Mean(res.SeqFracs))

@@ -1,20 +1,30 @@
 package cache
 
+// ARC list tags: which of T1/T2/B1/B2 currently holds a slot.
+const (
+	arcT1 = uint8(iota + 1)
+	arcT2
+	arcB1
+	arcB2
+)
+
 // ARC is the Adaptive Replacement Cache of Megiddo and Modha (FAST ’03):
 // it balances recency (T1) against frequency (T2) online by tracking
 // ghost hits on recently evicted entries (B1, B2) and adapting the
-// target size p of T1.
+// target size p of T1. Residents and ghosts share one slot arena of
+// 2·capacity entries (the algorithm's total-population bound) with a
+// per-slot list tag, and one keyIndex resolves both.
 type ARC struct {
 	capacity int
 	p        int // target size of T1
 
-	t1, t2, b1, b2 lruList
-	where          map[Key]*arcEntry
-}
+	slots []slot
+	where []uint8 // arcT1..arcB2; parallel to slots
+	idx   keyIndex
+	free  int32
+	used  int32
 
-type arcEntry struct {
-	entry
-	list *lruList // which of t1/t2/b1/b2 holds it
+	t1, t2, b1, b2 slotList
 }
 
 // NewARC returns an ARC policy with the given capacity.
@@ -22,12 +32,39 @@ func NewARC(capacity int) *ARC {
 	if capacity < 1 {
 		panic("cache: capacity must be positive")
 	}
-	a := &ARC{capacity: capacity, where: make(map[Key]*arcEntry, 2*capacity)}
+	a := &ARC{
+		capacity: capacity,
+		slots:    make([]slot, 2*capacity),
+		where:    make([]uint8, 2*capacity),
+		idx:      newKeyIndex(2 * capacity),
+		free:     nilSlot,
+	}
 	a.t1.init()
 	a.t2.init()
 	a.b1.init()
 	a.b2.init()
 	return a
+}
+
+// listOf maps a tag to its list.
+func (a *ARC) listOf(w uint8) *slotList {
+	switch w {
+	case arcT1:
+		return &a.t1
+	case arcT2:
+		return &a.t2
+	case arcB1:
+		return &a.b1
+	default:
+		return &a.b2
+	}
+}
+
+func (a *ARC) alloc(k Key) int32 { return arenaAlloc(a.slots, &a.free, &a.used, k) }
+
+func (a *ARC) release(s int32) {
+	a.where[s] = 0
+	arenaRelease(a.slots, &a.free, s)
 }
 
 // Name implements Policy.
@@ -44,38 +81,38 @@ func (a *ARC) P() int { return a.p }
 
 // Contains implements Policy: only T1 ∪ T2 are resident; ghosts are not.
 func (a *ARC) Contains(k Key) bool {
-	e, ok := a.where[k]
-	return ok && (e.list == &a.t1 || e.list == &a.t2)
+	s := a.idx.get(k)
+	return s != nilSlot && (a.where[s] == arcT1 || a.where[s] == arcT2)
 }
 
 // Access implements Policy (case I of the ARC algorithm).
 func (a *ARC) Access(k Key, _ int64) {
-	e, ok := a.where[k]
-	if !ok || (e.list != &a.t1 && e.list != &a.t2) {
+	s := a.idx.get(k)
+	if s == nilSlot || (a.where[s] != arcT1 && a.where[s] != arcT2) {
 		return
 	}
-	e.list.remove(&e.entry)
-	e.list = &a.t2
-	a.t2.pushFront(&e.entry)
+	a.listOf(a.where[s]).remove(a.slots, s)
+	a.where[s] = arcT2
+	a.t2.pushFront(a.slots, s)
 }
 
 // Insert implements Policy (cases II–IV).
 func (a *ARC) Insert(k Key, size int64) (Key, bool) {
-	if e, ok := a.where[k]; ok {
-		switch e.list {
-		case &a.t1, &a.t2:
+	if s := a.idx.get(k); s != nilSlot {
+		switch a.where[s] {
+		case arcT1, arcT2:
 			a.Access(k, size)
 			return 0, false
-		case &a.b1: // case II: ghost hit in B1 → grow p
+		case arcB1: // case II: ghost hit in B1 → grow p
 			delta := 1
 			if a.b1.size > 0 && a.b2.size/a.b1.size > 1 {
 				delta = a.b2.size / a.b1.size
 			}
 			a.p = min(a.capacity, a.p+delta)
 			victim, evicted := a.replace(false)
-			e.list.remove(&e.entry)
-			e.list = &a.t2
-			a.t2.pushFront(&e.entry)
+			a.b1.remove(a.slots, s)
+			a.where[s] = arcT2
+			a.t2.pushFront(a.slots, s)
 			return victim, evicted
 		default: // case III: ghost hit in B2 → shrink p
 			delta := 1
@@ -84,9 +121,9 @@ func (a *ARC) Insert(k Key, size int64) (Key, bool) {
 			}
 			a.p = max(0, a.p-delta)
 			victim, evicted := a.replace(true)
-			e.list.remove(&e.entry)
-			e.list = &a.t2
-			a.t2.pushFront(&e.entry)
+			a.b2.remove(a.slots, s)
+			a.where[s] = arcT2
+			a.t2.pushFront(a.slots, s)
 			return victim, evicted
 		}
 	}
@@ -102,9 +139,11 @@ func (a *ARC) Insert(k Key, size int64) (Key, bool) {
 			// B1 is empty and T1 is full: evict the T1 LRU outright
 			// (it does not become a ghost).
 			lru := a.t1.back()
-			a.t1.remove(lru)
-			delete(a.where, lru.key)
-			victim, evicted = lru.key, true
+			lk := a.slots[lru].key
+			a.t1.remove(a.slots, lru)
+			a.idx.del(lk)
+			a.release(lru)
+			victim, evicted = lk, true
 		}
 	} else if a.t1.size+a.b1.size < a.capacity {
 		total := a.t1.size + a.t2.size + a.b1.size + a.b2.size
@@ -115,9 +154,10 @@ func (a *ARC) Insert(k Key, size int64) (Key, bool) {
 			victim, evicted = a.replace(false)
 		}
 	}
-	e := &arcEntry{entry: entry{key: k}, list: &a.t1}
-	a.where[k] = e
-	a.t1.pushFront(&e.entry)
+	s := a.alloc(k)
+	a.where[s] = arcT1
+	a.idx.put(k, s)
+	a.t1.pushFront(a.slots, s)
 	return victim, evicted
 }
 
@@ -136,62 +176,64 @@ func (a *ARC) InsertRun(k Key, n, size int64, evicted func(Key)) {
 func (a *ARC) replace(inB2 bool) (Key, bool) {
 	if a.t1.size >= 1 && ((inB2 && a.t1.size == a.p) || a.t1.size > a.p) {
 		lru := a.t1.back()
-		a.t1.remove(lru)
-		e := a.where[lru.key]
-		e.list = &a.b1
-		a.b1.pushFront(lru)
-		return lru.key, true
+		a.t1.remove(a.slots, lru)
+		a.where[lru] = arcB1
+		a.b1.pushFront(a.slots, lru)
+		return a.slots[lru].key, true
 	}
 	if a.t2.size >= 1 {
 		lru := a.t2.back()
-		a.t2.remove(lru)
-		e := a.where[lru.key]
-		e.list = &a.b2
-		a.b2.pushFront(lru)
-		return lru.key, true
+		a.t2.remove(a.slots, lru)
+		a.where[lru] = arcB2
+		a.b2.pushFront(a.slots, lru)
+		return a.slots[lru].key, true
 	}
 	return 0, false
 }
 
 // dropLRU discards the LRU ghost of list l entirely.
-func (a *ARC) dropLRU(l *lruList) {
+func (a *ARC) dropLRU(l *slotList) {
 	lru := l.back()
-	if lru == nil {
+	if lru == nilSlot {
 		return
 	}
-	l.remove(lru)
-	delete(a.where, lru.key)
+	l.remove(a.slots, lru)
+	a.idx.del(a.slots[lru].key)
+	a.release(lru)
 }
 
 // Remove implements Policy. Removing a resident entry also forgets any
 // ghost state for it.
 func (a *ARC) Remove(k Key) bool {
-	e, ok := a.where[k]
-	if !ok {
+	s := a.idx.get(k)
+	if s == nilSlot {
 		return false
 	}
-	resident := e.list == &a.t1 || e.list == &a.t2
-	e.list.remove(&e.entry)
-	delete(a.where, k)
+	resident := a.where[s] == arcT1 || a.where[s] == arcT2
+	a.listOf(a.where[s]).remove(a.slots, s)
+	a.idx.del(k)
+	a.release(s)
 	return resident
 }
 
 // Clear implements Policy.
 func (a *ARC) Clear() {
-	a.where = make(map[Key]*arcEntry, 2*a.capacity)
+	a.idx.clear()
 	a.t1.init()
 	a.t2.init()
 	a.b1.init()
 	a.b2.init()
+	a.free = nilSlot
+	a.used = 0
 	a.p = 0
 }
 
 // Keys implements Policy.
 func (a *ARC) Keys() []Key {
 	out := make([]Key, 0, a.Len())
-	for k, e := range a.where {
-		if e.list == &a.t1 || e.list == &a.t2 {
-			out = append(out, k)
+	for _, l := range []*slotList{&a.t1, &a.t2} {
+		for s := l.head; s != nilSlot; s = a.slots[s].next {
+			out = append(out, a.slots[s].key)
 		}
 	}
 	return out

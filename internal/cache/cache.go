@@ -4,6 +4,15 @@
 // numbers), run in O(1) or O(log n) per operation, and are deliberately
 // lightweight — the paper chooses them because they are cheap enough to
 // live inside a RAID controller.
+//
+// Every policy is built on dense slot arenas (see arena.go): entries
+// live in flat []slot arrays indexed by int32 handles, intrusive links
+// are slot indices, and residency is resolved by one open-addressing
+// int64→int32 index per policy — no Go maps, no per-entry heap objects,
+// and zero allocation on every steady-state operation including
+// AccessRun/InsertRun. The map-based originals are retained in
+// reference_test.go, and property tests pin the arena policies to them
+// victim-for-victim.
 package cache
 
 import "fmt"
@@ -95,77 +104,12 @@ func accessRunGeneric(p Policy, k Key, n, size int64) {
 }
 
 // insertRunGeneric is the per-key fallback for policies without a
-// native batched insert path.
+// native batched insert path; it is also the reference semantics the
+// property tests pin the native run paths against.
 func insertRunGeneric(p Policy, k Key, n, size int64, evicted func(Key)) {
 	for i := int64(0); i < n; i++ {
 		if v, ev := p.Insert(k+i, size); ev {
 			evicted(v)
 		}
 	}
-}
-
-// entry is a node of the intrusive LRU list shared by LRU and WLRU.
-type entry struct {
-	key        Key
-	prev, next *entry
-}
-
-// entryPool is a freelist of entries, shared by LRU and WLRU so their
-// steady-state insert/evict/remove churn allocates nothing.
-type entryPool struct{ free *entry }
-
-// get takes an entry from the pool, or allocates.
-func (p *entryPool) get(k Key) *entry {
-	if e := p.free; e != nil {
-		p.free = e.next
-		e.key, e.prev, e.next = k, nil, nil
-		return e
-	}
-	return &entry{key: k}
-}
-
-// put returns a detached entry to the pool.
-func (p *entryPool) put(e *entry) {
-	e.prev, e.next = nil, p.free
-	p.free = e
-}
-
-// lruList is a doubly-linked list with sentinel; front = MRU.
-type lruList struct {
-	head, tail entry // sentinels
-	size       int
-}
-
-func (l *lruList) init() {
-	l.head.next = &l.tail
-	l.tail.prev = &l.head
-	l.size = 0
-}
-
-func (l *lruList) pushFront(e *entry) {
-	e.prev = &l.head
-	e.next = l.head.next
-	e.prev.next = e
-	e.next.prev = e
-	l.size++
-}
-
-func (l *lruList) remove(e *entry) {
-	e.prev.next = e.next
-	e.next.prev = e.prev
-	e.prev, e.next = nil, nil
-	l.size--
-}
-
-func (l *lruList) moveFront(e *entry) {
-	l.remove(e)
-	l.pushFront(e)
-}
-
-// back returns the LRU entry, or nil when empty.
-func (l *lruList) back() *entry {
-	if l.size == 0 {
-		return nil
-	}
-	return l.tail.prev
 }

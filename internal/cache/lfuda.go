@@ -1,43 +1,15 @@
 package cache
 
-import "container/heap"
-
-// agingEntry is a node of the priority heap shared by LFUDA and GDSF.
-type agingEntry struct {
-	key   Key
-	freq  int64
-	size  int64
-	prio  float64 // the policy's K_i
-	seq   uint64  // tie-break: older entries lose first
-	index int     // heap index
-}
-
-type agingHeap []*agingEntry
-
-func (h agingHeap) Len() int { return len(h) }
-func (h agingHeap) Less(i, j int) bool {
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
-	}
-	return h[i].seq < h[j].seq
-}
-func (h agingHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *agingHeap) Push(x interface{}) {
-	e := x.(*agingEntry)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *agingHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// agingSlot is one arena entry of the priority heap shared by LFUDA and
+// GDSF. pos is the slot's heap index while live and the freelist link
+// while free.
+type agingSlot struct {
+	key  Key
+	freq int64
+	size int64
+	prio float64 // the policy's K_i
+	seq  uint64  // tie-break: older entries lose first
+	pos  int32
 }
 
 // agingPolicy implements the GreedyDual family: each entry carries a
@@ -46,11 +18,20 @@ func (h *agingHeap) Pop() interface{} {
 //
 //	LFUDA: K_i = C_i·F_i + L         (C_i = 1)
 //	GDSF:  K_i = C_i·F_i/S_i + L
+//
+// Entries live in a flat []agingSlot arena; the heap orders int32 slot
+// handles, and residency is resolved by the shared keyIndex — no Go
+// map, no per-entry heap objects. (prio, seq) is a total order, so the
+// victim sequence is independent of the heap's internal layout and
+// bit-identical to the container/heap-based reference.
 type agingPolicy struct {
 	name     string
 	capacity int
-	items    map[Key]*agingEntry
-	heap     agingHeap
+	slots    []agingSlot
+	idx      keyIndex
+	heap     []int32
+	free     int32
+	used     int32
 	age      float64 // L
 	seq      uint64
 	useSize  bool
@@ -63,7 +44,10 @@ func newAgingPolicy(name string, capacity int, useSize bool) *agingPolicy {
 	return &agingPolicy{
 		name:     name,
 		capacity: capacity,
-		items:    make(map[Key]*agingEntry, capacity),
+		slots:    make([]agingSlot, capacity),
+		idx:      newKeyIndex(capacity),
+		heap:     make([]int32, 0, capacity),
+		free:     nilSlot,
 		useSize:  useSize,
 	}
 }
@@ -81,10 +65,10 @@ func (p *agingPolicy) Name() string { return p.name }
 func (p *agingPolicy) Capacity() int { return p.capacity }
 
 // Len implements Policy.
-func (p *agingPolicy) Len() int { return len(p.items) }
+func (p *agingPolicy) Len() int { return len(p.heap) }
 
 // Contains implements Policy.
-func (p *agingPolicy) Contains(k Key) bool { _, ok := p.items[k]; return ok }
+func (p *agingPolicy) Contains(k Key) bool { return p.idx.get(k) != nilSlot }
 
 func (p *agingPolicy) priority(freq, size int64) float64 {
 	const cost = 1.0 // C_i: uniform retrieval cost for block storage
@@ -94,42 +78,143 @@ func (p *agingPolicy) priority(freq, size int64) float64 {
 	return cost*float64(freq) + p.age
 }
 
+// --- int32 min-heap over (prio, seq) ---
+
+func (p *agingPolicy) less(a, b int32) bool {
+	sa, sb := &p.slots[a], &p.slots[b]
+	if sa.prio != sb.prio {
+		return sa.prio < sb.prio
+	}
+	return sa.seq < sb.seq
+}
+
+func (p *agingPolicy) swap(i, j int) {
+	h := p.heap
+	h[i], h[j] = h[j], h[i]
+	p.slots[h[i]].pos = int32(i)
+	p.slots[h[j]].pos = int32(j)
+}
+
+func (p *agingPolicy) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !p.less(p.heap[i], p.heap[parent]) {
+			break
+		}
+		p.swap(i, parent)
+		i = parent
+	}
+}
+
+func (p *agingPolicy) down(i int) bool {
+	start, n := i, len(p.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && p.less(p.heap[r], p.heap[l]) {
+			m = r
+		}
+		if !p.less(p.heap[m], p.heap[i]) {
+			break
+		}
+		p.swap(i, m)
+		i = m
+	}
+	return i > start
+}
+
+func (p *agingPolicy) fix(i int) {
+	if !p.down(i) {
+		p.up(i)
+	}
+}
+
+func (p *agingPolicy) push(s int32) {
+	p.slots[s].pos = int32(len(p.heap))
+	p.heap = append(p.heap, s)
+	p.up(len(p.heap) - 1)
+}
+
+// popMin removes and returns the minimum-priority slot.
+func (p *agingPolicy) popMin() int32 {
+	min := p.heap[0]
+	n := len(p.heap) - 1
+	p.swap(0, n)
+	p.heap = p.heap[:n]
+	if n > 0 {
+		p.down(0)
+	}
+	return min
+}
+
+// removeAt deletes heap position i.
+func (p *agingPolicy) removeAt(i int) {
+	n := len(p.heap) - 1
+	if i != n {
+		p.swap(i, n)
+		p.heap = p.heap[:n]
+		p.fix(i)
+	} else {
+		p.heap = p.heap[:n]
+	}
+}
+
 // Access implements Policy.
 func (p *agingPolicy) Access(k Key, size int64) {
-	e, ok := p.items[k]
-	if !ok {
+	s := p.idx.get(k)
+	if s == nilSlot {
 		return
 	}
+	e := &p.slots[s]
 	e.freq++
 	if size > 0 {
 		e.size = size
 	}
 	e.prio = p.priority(e.freq, e.size)
-	heap.Fix(&p.heap, e.index)
+	p.fix(int(e.pos))
 }
 
 // Insert implements Policy.
 func (p *agingPolicy) Insert(k Key, size int64) (Key, bool) {
-	if _, ok := p.items[k]; ok {
+	cell, s := p.idx.findCell(k)
+	if s != nilSlot {
 		p.Access(k, size)
 		return 0, false
 	}
 	var victim Key
 	evicted := false
-	if len(p.items) >= p.capacity {
-		min := heap.Pop(&p.heap).(*agingEntry)
-		delete(p.items, min.key)
-		p.age = min.prio // dynamic aging: L becomes the evicted key's K
-		victim, evicted = min.key, true
+	if len(p.heap) >= p.capacity {
+		min := p.popMin()
+		vk := p.slots[min].key
+		p.idx.del(vk)
+		p.age = p.slots[min].prio // dynamic aging: L becomes the evicted key's K
+		victim, evicted = vk, true
+		s = min // reuse the victim's slot for the newcomer
+	} else {
+		s = p.free
+		if s != nilSlot {
+			p.free = p.slots[s].pos
+		} else {
+			s = p.used
+			p.used++
+		}
 	}
 	if size <= 0 {
 		size = 1
 	}
 	p.seq++
-	e := &agingEntry{key: k, freq: 1, size: size, seq: p.seq}
+	e := &p.slots[s]
+	e.key, e.freq, e.size, e.seq = k, 1, size, p.seq
 	e.prio = p.priority(e.freq, e.size)
-	p.items[k] = e
-	heap.Push(&p.heap, e)
+	if evicted {
+		p.idx.put(k, s) // re-probe: del may have shifted the cell
+	} else {
+		p.idx.setCell(cell, k, s)
+	}
+	p.push(s)
 	return victim, evicted
 }
 
@@ -144,27 +229,31 @@ func (p *agingPolicy) InsertRun(k Key, n, size int64, evicted func(Key)) {
 
 // Remove implements Policy.
 func (p *agingPolicy) Remove(k Key) bool {
-	e, ok := p.items[k]
-	if !ok {
+	s := p.idx.get(k)
+	if s == nilSlot {
 		return false
 	}
-	heap.Remove(&p.heap, e.index)
-	delete(p.items, k)
+	p.removeAt(int(p.slots[s].pos))
+	p.idx.del(k)
+	p.slots[s].pos = p.free // freelist link
+	p.free = s
 	return true
 }
 
 // Clear implements Policy.
 func (p *agingPolicy) Clear() {
-	p.items = make(map[Key]*agingEntry, p.capacity)
+	p.idx.clear()
 	p.heap = p.heap[:0]
+	p.free = nilSlot
+	p.used = 0
 	p.age = 0
 }
 
 // Keys implements Policy.
 func (p *agingPolicy) Keys() []Key {
-	out := make([]Key, 0, len(p.items))
-	for k := range p.items {
-		out = append(out, k)
+	out := make([]Key, 0, len(p.heap))
+	for _, s := range p.heap {
+		out = append(out, p.slots[s].key)
 	}
 	return out
 }

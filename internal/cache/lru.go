@@ -2,135 +2,239 @@ package cache
 
 import "strconv"
 
-// LRU evicts the least recently used entry.
-type LRU struct {
+// lruCore is the slot-arena recency engine shared by LRU and WLRU: a
+// flat []slot arena, a keyIndex resolving residency, and one intrusive
+// recency list (front = MRU). The two policies differ only in victim
+// choice, injected through the victim func (bound once at construction
+// so the eviction path stays allocation-free).
+//
+// Run-native hot loops: AccessRun resolves a whole run with ONE index
+// probe when the run's entries already form a consecutive-key chain in
+// the list (the layout a prior InsertRun or AccessRun of the same run
+// leaves behind — the steady state of extent-granularity traffic), and
+// splices the chain to the front in one list operation. InsertRun links
+// each maximal segment of fresh, non-evicting newborns into a private
+// chain and splices it once. Both degrade gracefully to the per-key
+// loop, which is the property-tested reference semantics.
+type lruCore struct {
 	capacity int
-	items    map[Key]*entry
-	list     lruList
-	pool     entryPool
+	slots    []slot
+	idx      keyIndex
+	list     slotList
+	free     int32 // freelist head, threaded through slot.next
+	used     int32 // bump high-water into slots
+	victim   func() int32
 }
 
-// NewLRU returns an LRU policy holding at most capacity entries.
-func NewLRU(capacity int) *LRU {
+func (c *lruCore) initCore(capacity int) {
 	if capacity < 1 {
 		panic("cache: capacity must be positive")
 	}
-	l := &LRU{capacity: capacity, items: make(map[Key]*entry, capacity)}
-	l.list.init()
+	c.capacity = capacity
+	c.slots = make([]slot, capacity)
+	c.idx = newKeyIndex(capacity)
+	c.list.init()
+	c.free = nilSlot
+	c.used = 0
+}
+
+// alloc takes a slot from the freelist or the bump region. The arena
+// never grows: live + free slots never exceed capacity.
+func (c *lruCore) alloc(k Key) int32 { return arenaAlloc(c.slots, &c.free, &c.used, k) }
+
+// release returns a detached slot to the freelist.
+func (c *lruCore) release(s int32) { arenaRelease(c.slots, &c.free, s) }
+
+// Capacity implements Policy.
+func (c *lruCore) Capacity() int { return c.capacity }
+
+// Len implements Policy.
+func (c *lruCore) Len() int { return c.list.size }
+
+// Contains implements Policy.
+func (c *lruCore) Contains(k Key) bool { return c.idx.get(k) != nilSlot }
+
+// Access implements Policy.
+func (c *lruCore) Access(k Key, _ int64) {
+	if s := c.idx.get(k); s != nilSlot {
+		c.list.moveFront(c.slots, s)
+	}
+}
+
+// Insert implements Policy.
+func (c *lruCore) Insert(k Key, size int64) (Key, bool) {
+	cell, s := c.idx.findCell(k)
+	if s != nilSlot {
+		c.list.moveFront(c.slots, s)
+		return 0, false
+	}
+	if c.list.size >= c.capacity {
+		v := c.victim()
+		vk := c.slots[v].key
+		c.list.remove(c.slots, v)
+		c.idx.del(vk)
+		c.slots[v].key = k // reuse the victim's slot for the newcomer
+		c.idx.put(k, v)    // re-probe: del may have shifted the cell
+		c.list.pushFront(c.slots, v)
+		return vk, true
+	}
+	s = c.alloc(k)
+	c.idx.setCell(cell, k, s)
+	c.list.pushFront(c.slots, s)
+	return 0, false
+}
+
+// AccessRun implements Policy. The per-key loop's net effect on a fully
+// resident consecutive run is "move the chain k+n-1 … k to the front";
+// when the entries already sit in exactly that chain order, one index
+// probe finds the head and one splice commits the whole run.
+func (c *lruCore) AccessRun(k Key, n, size int64) {
+	if n > 1 {
+		if first := c.idx.get(k + n - 1); first != nilSlot {
+			last, ok := first, true
+			for i := int64(1); i < n; i++ {
+				last = c.slots[last].next
+				if last == nilSlot || c.slots[last].key != k+n-1-i {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				if c.list.head != first { // already MRU: the loop is a no-op
+					c.list.unlinkChain(c.slots, first, last, int(n))
+					c.list.pushFrontChain(c.slots, first, last, int(n))
+				}
+				return
+			}
+		}
+	}
+	for i := int64(0); i < n; i++ {
+		if s := c.idx.get(k + i); s != nilSlot {
+			c.list.moveFront(c.slots, s)
+		}
+	}
+}
+
+// InsertRun implements Policy: maximal segments of fresh, non-evicting
+// newborns are linked into a private chain (front-to-back = descending
+// key, the order a loop of Insert leaves at the list front) and spliced
+// in one operation; resident keys and evicting inserts commit the
+// pending segment first and then follow the per-key semantics exactly,
+// so the victim sequence is identical to a loop of Insert.
+func (c *lruCore) InsertRun(k Key, n, size int64, evicted func(Key)) {
+	segFirst, segLast := nilSlot, nilSlot
+	segN := 0
+	for i := int64(0); i < n; i++ {
+		key := k + i
+		cell, s := c.idx.findCell(key)
+		if s != nilSlot {
+			// Resident → Access; the pending newborns were inserted
+			// earlier in the loop, so they commit before this access.
+			if segFirst != nilSlot {
+				c.list.pushFrontChain(c.slots, segFirst, segLast, segN)
+				segFirst, segLast, segN = nilSlot, nilSlot, 0
+			}
+			c.list.moveFront(c.slots, s)
+			continue
+		}
+		if c.list.size+segN >= c.capacity {
+			// This insert evicts. Commit the pending segment first: the
+			// victim scan must see the earlier newborns (it may even
+			// choose one, exactly as the per-key loop can).
+			if segFirst != nilSlot {
+				c.list.pushFrontChain(c.slots, segFirst, segLast, segN)
+				segFirst, segLast, segN = nilSlot, nilSlot, 0
+			}
+			v := c.victim()
+			vk := c.slots[v].key
+			c.list.remove(c.slots, v)
+			c.idx.del(vk)
+			c.slots[v].key = key
+			c.idx.put(key, v)
+			c.list.pushFront(c.slots, v)
+			evicted(vk)
+			continue
+		}
+		// Fresh, no eviction: chain the newborn ahead of its elders.
+		s = c.alloc(key)
+		c.idx.setCell(cell, key, s)
+		if segFirst == nilSlot {
+			segLast = s
+		} else {
+			c.slots[s].next = segFirst
+			c.slots[segFirst].prev = s
+		}
+		segFirst = s
+		segN++
+	}
+	if segFirst != nilSlot {
+		c.list.pushFrontChain(c.slots, segFirst, segLast, segN)
+	}
+}
+
+// Remove implements Policy.
+func (c *lruCore) Remove(k Key) bool {
+	s := c.idx.get(k)
+	if s == nilSlot {
+		return false
+	}
+	c.list.remove(c.slots, s)
+	c.idx.del(k)
+	c.release(s)
+	return true
+}
+
+// Clear implements Policy.
+func (c *lruCore) Clear() {
+	c.idx.clear()
+	c.list.init()
+	c.free = nilSlot
+	c.used = 0
+}
+
+// Keys implements Policy.
+func (c *lruCore) Keys() []Key {
+	out := make([]Key, 0, c.list.size)
+	for s := c.list.head; s != nilSlot; s = c.slots[s].next {
+		out = append(out, c.slots[s].key)
+	}
+	return out
+}
+
+// LRU evicts the least recently used entry.
+type LRU struct{ lruCore }
+
+// NewLRU returns an LRU policy holding at most capacity entries.
+func NewLRU(capacity int) *LRU {
+	l := &LRU{}
+	l.initCore(capacity)
+	l.victim = l.list.back
 	return l
 }
 
 // Name implements Policy.
 func (l *LRU) Name() string { return "LRU" }
 
-// Capacity implements Policy.
-func (l *LRU) Capacity() int { return l.capacity }
-
-// Len implements Policy.
-func (l *LRU) Len() int { return len(l.items) }
-
-// Contains implements Policy.
-func (l *LRU) Contains(k Key) bool { _, ok := l.items[k]; return ok }
-
-// Access implements Policy.
-func (l *LRU) Access(k Key, _ int64) {
-	if e, ok := l.items[k]; ok {
-		l.list.moveFront(e)
-	}
-}
-
-// Insert implements Policy.
-func (l *LRU) Insert(k Key, size int64) (Key, bool) {
-	if _, ok := l.items[k]; ok {
-		l.Access(k, size)
-		return 0, false
-	}
-	var victim Key
-	evicted := false
-	var e *entry
-	if len(l.items) >= l.capacity {
-		lru := l.list.back()
-		l.list.remove(lru)
-		delete(l.items, lru.key)
-		victim, evicted = lru.key, true
-		e = lru // reuse the victim's node for the newcomer
-		e.key = k
-	} else {
-		e = l.pool.get(k)
-	}
-	l.items[k] = e
-	l.list.pushFront(e)
-	return victim, evicted
-}
-
-// AccessRun implements Policy.
-func (l *LRU) AccessRun(k Key, n, size int64) {
-	for i := int64(0); i < n; i++ {
-		if e, ok := l.items[k+i]; ok {
-			l.list.moveFront(e)
-		}
-	}
-}
-
-// InsertRun implements Policy (the per-key loop is already
-// allocation-free thanks to the entry pool).
-func (l *LRU) InsertRun(k Key, n, size int64, evicted func(Key)) {
-	insertRunGeneric(l, k, n, size, evicted)
-}
-
-// Remove implements Policy.
-func (l *LRU) Remove(k Key) bool {
-	e, ok := l.items[k]
-	if !ok {
-		return false
-	}
-	l.list.remove(e)
-	delete(l.items, k)
-	l.pool.put(e)
-	return true
-}
-
-// Clear implements Policy.
-func (l *LRU) Clear() {
-	l.items = make(map[Key]*entry, l.capacity)
-	l.list.init()
-}
-
-// Keys implements Policy.
-func (l *LRU) Keys() []Key {
-	out := make([]Key, 0, len(l.items))
-	for k := range l.items {
-		out = append(out, k)
-	}
-	return out
-}
-
 // WLRU is the paper's Weighted LRU: LRU that prefers evicting a clean
 // entry, scanning at most w·capacity candidates from the LRU end before
 // falling back to the plain LRU victim (§4.1). Evicting clean entries
 // saves CRAID the four parity I/Os a dirty write-back costs.
 type WLRU struct {
-	capacity int
-	window   float64
-	dirty    DirtyFunc
-	items    map[Key]*entry
-	list     lruList
-	pool     entryPool
+	lruCore
+	window float64
+	dirty  DirtyFunc
 }
 
 // NewWLRU returns a WLRU policy with scan window w (fraction of
 // capacity, typically 0.5). dirty may be nil, meaning no entry is ever
 // dirty (WLRU then degenerates to LRU).
 func NewWLRU(capacity int, w float64, dirty DirtyFunc) *WLRU {
-	if capacity < 1 {
-		panic("cache: capacity must be positive")
-	}
 	if w < 0 || w > 1 {
 		panic("cache: WLRU window must be in [0,1]")
 	}
-	l := &WLRU{capacity: capacity, window: w, dirty: dirty,
-		items: make(map[Key]*entry, capacity)}
-	l.list.init()
+	l := &WLRU{window: w, dirty: dirty}
+	l.initCore(capacity)
+	l.victim = l.pickVictim
 	return l
 }
 
@@ -139,101 +243,20 @@ func (l *WLRU) Name() string {
 	return "WLRU" + strconv.FormatFloat(l.window, 'g', -1, 64)
 }
 
-// Capacity implements Policy.
-func (l *WLRU) Capacity() int { return l.capacity }
-
-// Len implements Policy.
-func (l *WLRU) Len() int { return len(l.items) }
-
-// Contains implements Policy.
-func (l *WLRU) Contains(k Key) bool { _, ok := l.items[k]; return ok }
-
-// Access implements Policy.
-func (l *WLRU) Access(k Key, _ int64) {
-	if e, ok := l.items[k]; ok {
-		l.list.moveFront(e)
-	}
-}
-
-// Insert implements Policy.
-func (l *WLRU) Insert(k Key, size int64) (Key, bool) {
-	if _, ok := l.items[k]; ok {
-		l.Access(k, size)
-		return 0, false
-	}
-	var victim Key
-	evicted := false
-	var e *entry
-	if len(l.items) >= l.capacity {
-		v := l.pickVictim()
-		l.list.remove(v)
-		delete(l.items, v.key)
-		victim, evicted = v.key, true
-		e = v // reuse the victim's node for the newcomer
-		e.key = k
-	} else {
-		e = l.pool.get(k)
-	}
-	l.items[k] = e
-	l.list.pushFront(e)
-	return victim, evicted
-}
-
-// AccessRun implements Policy.
-func (l *WLRU) AccessRun(k Key, n, size int64) {
-	for i := int64(0); i < n; i++ {
-		if e, ok := l.items[k+i]; ok {
-			l.list.moveFront(e)
-		}
-	}
-}
-
-// InsertRun implements Policy.
-func (l *WLRU) InsertRun(k Key, n, size int64, evicted func(Key)) {
-	insertRunGeneric(l, k, n, size, evicted)
-}
-
 // pickVictim scans up to window·capacity entries from the LRU end for
 // the first clean one; if none is found the plain LRU entry loses.
-func (l *WLRU) pickVictim() *entry {
+func (l *WLRU) pickVictim() int32 {
 	lru := l.list.back()
 	if l.dirty == nil {
 		return lru
 	}
 	limit := int(l.window * float64(l.capacity))
-	e := lru
-	for i := 0; i < limit && e != &l.list.head; i++ {
-		if !l.dirty(e.key) {
-			return e
+	s := lru
+	for i := 0; i < limit && s != nilSlot; i++ {
+		if !l.dirty(l.slots[s].key) {
+			return s
 		}
-		e = e.prev
+		s = l.slots[s].prev
 	}
 	return lru
-}
-
-// Remove implements Policy.
-func (l *WLRU) Remove(k Key) bool {
-	e, ok := l.items[k]
-	if !ok {
-		return false
-	}
-	l.list.remove(e)
-	delete(l.items, k)
-	l.pool.put(e)
-	return true
-}
-
-// Clear implements Policy.
-func (l *WLRU) Clear() {
-	l.items = make(map[Key]*entry, l.capacity)
-	l.list.init()
-}
-
-// Keys implements Policy.
-func (l *WLRU) Keys() []Key {
-	out := make([]Key, 0, len(l.items))
-	for k := range l.items {
-		out = append(out, k)
-	}
-	return out
 }

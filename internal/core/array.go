@@ -248,22 +248,41 @@ func (j *join) maybeFire() {
 type span struct {
 	arr    *Array
 	layout raid.Layout
-	disks  []int // layout disk index → array device index
-	base   int64 // partition start block on each device
+	disks  []int           // layout disk index → array device index
+	base   int64           // partition start block on each device
+	dual   raid.DualParity // layout's Q-parity view, nil without one
+
+	// curJoin is the join the cached walk callbacks attach I/O to.
+	// Passing a fresh closure to ForEachExtent (an interface call) would
+	// heap-allocate it per walk; instead rdFn/wrFn are bound once and
+	// read the current target here. Safe because device completions are
+	// always delivered through the engine's event queue — a span walk
+	// can never re-enter the same span.
+	curJoin    *join
+	rdFn, wrFn func(raid.Extent)
 }
 
 func newSpan(arr *Array, layout raid.Layout, disks []int, base int64) *span {
 	if len(disks) != layout.Disks() {
 		panic(fmt.Sprintf("core: span over %d devices, layout wants %d", len(disks), layout.Disks()))
 	}
-	return &span{arr: arr, layout: layout, disks: disks, base: base}
+	s := &span{arr: arr, layout: layout, disks: disks, base: base}
+	s.dual, _ = layout.(raid.DualParity)
+	s.rdFn = s.readExtent
+	s.wrFn = s.writeExtent
+	return s
 }
 
 // read issues reads covering [block, block+count) and attaches them to j.
 func (s *span) read(j *join, block, count int64) {
-	s.layout.ForEachExtent(block, count, func(e raid.Extent) {
-		s.arr.Submit(s.disks[e.Data.Disk], disk.OpRead, s.base+e.Data.Block, e.Count, j.branch())
-	})
+	s.curJoin = j
+	s.layout.ForEachExtent(block, count, s.rdFn)
+	s.curJoin = nil
+}
+
+// readExtent issues one extent's read against curJoin.
+func (s *span) readExtent(e raid.Extent) {
+	s.arr.Submit(s.disks[e.Data.Disk], disk.OpRead, s.base+e.Data.Block, e.Count, s.curJoin.branch())
 }
 
 // rmw is one extent's read-modify-write cycle in flight: the pre-read
@@ -313,33 +332,35 @@ func (r *rmw) phase2(sim.Time) {
 // I/Os, the §6 cost the paper predicts). Layouts without parity write
 // directly. j sees only the final writes.
 func (s *span) write(j *join, block, count int64) {
-	var dual raid.DualParity
-	if d, ok := s.layout.(raid.DualParity); ok {
-		dual = d
+	s.curJoin = j
+	s.layout.ForEachExtent(block, count, s.wrFn)
+	s.curJoin = nil
+}
+
+// writeExtent issues one extent's write (or read-modify-write cycle)
+// against curJoin.
+func (s *span) writeExtent(e raid.Extent) {
+	if e.Parity.Disk < 0 {
+		s.arr.Submit(s.disks[e.Data.Disk], disk.OpWrite, s.base+e.Data.Block, e.Count, s.curJoin.branch())
+		return
 	}
-	s.layout.ForEachExtent(block, count, func(e raid.Extent) {
-		if e.Parity.Disk < 0 {
-			s.arr.Submit(s.disks[e.Data.Disk], disk.OpWrite, s.base+e.Data.Block, e.Count, j.branch())
-			return
+	r := s.arr.newRMW()
+	r.devs[0], r.blks[0] = s.disks[e.Data.Disk], s.base+e.Data.Block
+	r.devs[1], r.blks[1] = s.disks[e.Parity.Disk], s.base+e.Parity.Block
+	r.nloc = 2
+	if s.dual != nil {
+		if q, ok := s.dual.QParityOf(e.Logical); ok {
+			r.devs[2], r.blks[2] = s.disks[q.Disk], s.base+q.Block
+			r.nloc = 3
 		}
-		r := s.arr.newRMW()
-		r.devs[0], r.blks[0] = s.disks[e.Data.Disk], s.base+e.Data.Block
-		r.devs[1], r.blks[1] = s.disks[e.Parity.Disk], s.base+e.Parity.Block
-		r.nloc = 2
-		if dual != nil {
-			if q, ok := dual.QParityOf(e.Logical); ok {
-				r.devs[2], r.blks[2] = s.disks[q.Disk], s.base+q.Block
-				r.nloc = 3
-			}
-		}
-		r.count = e.Count
-		r.writes = j.branch() // completes when all final writes do
-		phase1 := s.arr.newJoin(r.phase2Fn)
-		// The pre-reads (including the old-data read, which retraces
-		// the data position) are RMW mechanics, not access pattern.
-		for i := 0; i < r.nloc; i++ {
-			s.arr.submit(r.devs[i], disk.OpRead, r.blks[i], r.count, false, phase1.branch())
-		}
-		phase1.seal(s.arr.Eng.Now())
-	})
+	}
+	r.count = e.Count
+	r.writes = s.curJoin.branch() // completes when all final writes do
+	phase1 := s.arr.newJoin(r.phase2Fn)
+	// The pre-reads (including the old-data read, which retraces
+	// the data position) are RMW mechanics, not access pattern.
+	for i := 0; i < r.nloc; i++ {
+		s.arr.submit(r.devs[i], disk.OpRead, r.blks[i], r.count, false, phase1.branch())
+	}
+	phase1.seal(s.arr.Eng.Now())
 }

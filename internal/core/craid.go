@@ -40,11 +40,17 @@ import (
 //     batching. Eviction victims surface through InsertRun's callback
 //     in per-block order.
 //
-//  3. Allocation is banished from steady state: the mapping cache and
-//     the LRU/WLRU policies recycle their nodes through freelists, the
-//     insertRuns newborn scratch and the write-back run buffer live on
-//     the CRAID struct, and joins/RMW ops pool on the Array. Monitor
-//     churn (evict + re-insert) allocates nothing.
+//  3. The Submit path is map-free and allocation-free at steady state:
+//     every replacement policy lives on a dense slot arena with one
+//     open-addressing key index (internal/cache — no map[Key]*entry, no
+//     per-key Go-map hashing, no per-entry heap objects), the mapping
+//     cache recycles tree nodes through freelists, the insertRuns
+//     newborn scratch, eviction callback and write-back run buffer live
+//     on the CRAID struct, copy-in and latency-record wrappers pool like
+//     joins/RMW ops on the Array, and the span extent walks reuse bound
+//     callbacks instead of per-call closures. A warm-cache Submit
+//     performs zero allocations (TestSubmitWarmAllocFree pins this);
+//     monitor churn (evict + re-insert) allocates nothing either.
 //
 //  4. Dirty victims evicted together are written back together:
 //     queueWriteback coalesces victims contiguous in both archive
@@ -153,6 +159,14 @@ type Config struct {
 	// (plan between apply steps); ineffective unless MonitorWorkers
 	// and MapShards allow concurrent planning at all.
 	PlanLookahead int
+	// MapLogSync asks the mapping log's background writer to fsync the
+	// log device after every flushed buffer (mapcache.LogRing's
+	// SetSyncOnFlush), closing the paper's §4.2 NVRAM assumption down
+	// to real durable storage: a flush is then not merely handed to the
+	// OS but on stable media before the next buffer is written. Only
+	// effective when SetMappingLog is given a writer that supports it;
+	// the recovery byte-stream contract is unchanged either way.
+	MapLogSync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -267,6 +281,17 @@ type CRAID struct {
 	pending []bool  // insertRuns newborn scratch, reused across calls
 	wb      []wbRun // pending dirty write-back runs, reused across calls
 	wbFree  *wbOp   // write-back op freelist
+	ciFree  *ciOp   // copy-in op freelist
+
+	// insertRuns' eviction-callback state: the callback handed to
+	// cache.Policy.InsertRun is bound once (insEvict) and reads the
+	// current batch from these fields, so the insert/evict path passes
+	// no fresh closure across the policy interface. insertRuns never
+	// re-enters itself, so one set of fields suffices.
+	insBlk   int64
+	insRun   int64
+	insByOp  disk.Op
+	insEvict func(cache.Key)
 
 	mq      *planner // multi-queue batch planner (nil until first batch)
 	mqStats MQStats
@@ -330,6 +355,43 @@ func (o *wbOp) done(sim.Time) {
 	c.wbFree = o
 }
 
+// ciOp is one read-miss copy-in in flight: when the P_A read serving
+// the client completes, done releases the client branch and copies the
+// run into P_C in the background. Pooled on the CRAID (fn caches the
+// method value) so the read-miss path allocates no per-extent closure.
+type ciOp struct {
+	c       *CRAID
+	orig, n int64
+	jb      func(sim.Time) // the client join's branch callback
+	fn      func(sim.Time)
+	next    *ciOp // freelist link
+}
+
+func (c *CRAID) newCIOp(orig, n int64, jb func(sim.Time)) *ciOp {
+	o := c.ciFree
+	if o == nil {
+		o = &ciOp{c: c}
+		o.fn = o.done
+	} else {
+		c.ciFree = o.next
+		o.next = nil
+	}
+	o.orig, o.n, o.jb = orig, n, jb
+	return o
+}
+
+// done runs when the P_A read finishes: complete the client's branch,
+// then copy the data into P_C. Recycled first — copyIn can trigger
+// evictions whose side effects reach back into the submit path.
+func (o *ciOp) done(at sim.Time) {
+	c, orig, n, jb := o.c, o.orig, o.n, o.jb
+	o.jb = nil
+	o.next = c.ciFree
+	c.ciFree = o
+	jb(at)
+	c.copyIn(orig, n, disk.OpRead)
+}
+
 // NewCRAID assembles a CRAID volume.
 //
 //   - cacheDisks/cacheBase place the cache partition (paper: the outer,
@@ -350,6 +412,7 @@ func NewCRAID(arr *Array, cfg Config, sharedPC bool, cacheDisks []int, cacheBase
 		cacheBase:  cacheBase,
 		pa:         newSpan(arr, archiveLayout, archiveDisks, archiveBase),
 	}
+	c.insEvict = c.insertEvicted
 	c.table = newMapIndex(cfg, archiveLayout.DataBlocks())
 	c.buildPC()
 	return c
@@ -467,15 +530,12 @@ func (c *CRAID) applyReadSeg(j *join, b int64, s planSeg, reqSize int64) {
 		return
 	}
 	// A run of misses: serve the client from P_A; once the data is in
-	// memory, copy it into P_C in the background.
-	start, cnt := b, s.n
-	c.trackSeq(c.arr.Eng.Now(), 1, start, cnt)
-	jb := j.branch()
-	sub := c.arr.newJoin(func(at sim.Time) {
-		jb(at)
-		c.copyIn(start, cnt, disk.OpRead)
-	})
-	c.pa.read(sub, start, cnt)
+	// memory, copy it into P_C in the background (pooled ciOp — no
+	// closure per miss extent).
+	c.trackSeq(c.arr.Eng.Now(), 1, b, s.n)
+	o := c.newCIOp(b, s.n, j.branch())
+	sub := c.arr.newJoin(o.fn)
+	c.pa.read(sub, b, s.n)
 	sub.seal(c.arr.Eng.Now())
 }
 
@@ -568,22 +628,8 @@ func (c *CRAID) insertRuns(j *join, b, n int64, dirty bool, byOp disk.Op, reqSiz
 		for k := range pending {
 			pending[k] = true
 		}
-		c.policy.InsertRun(blk, run, reqSize, func(victim cache.Key) {
-			if off := victim - blk; off >= 0 && off < run && pending[off] {
-				// The insert displaced a sibling newborn: still a
-				// replacement for the ratio accounting, but there
-				// is nothing cached to clean up.
-				pending[off] = false
-				c.stats.Evictions++
-				if byOp == disk.OpRead {
-					c.stats.ReadEvictions++
-				} else {
-					c.stats.WriteEvictions++
-				}
-				return
-			}
-			c.evict(victim, byOp)
-		})
+		c.insBlk, c.insRun, c.insByOp = blk, run, byOp
+		c.policy.InsertRun(blk, run, reqSize, c.insEvict)
 		c.flushWritebacks()
 		// Allocate fragments and bind mappings for surviving blocks,
 		// keeping sub-runs of consecutive survivors together.
@@ -611,6 +657,25 @@ func (c *CRAID) insertRuns(j *join, b, n int64, dirty bool, byOp disk.Op, reqSiz
 		}
 		i += run
 	}
+}
+
+// insertEvicted is the eviction callback insertRuns hands the policy,
+// bound once at construction and parameterized through the ins* fields.
+// A victim inside the current batch is a sibling newborn displaced
+// before it got a mapping or cached data: still a replacement for the
+// ratio accounting, but nothing to clean up.
+func (c *CRAID) insertEvicted(victim cache.Key) {
+	if off := victim - c.insBlk; off >= 0 && off < c.insRun && c.pending[off] {
+		c.pending[off] = false
+		c.stats.Evictions++
+		if c.insByOp == disk.OpRead {
+			c.stats.ReadEvictions++
+		} else {
+			c.stats.WriteEvictions++
+		}
+		return
+	}
+	c.evict(victim, c.insByOp)
 }
 
 // evict removes a victim chosen by the policy: dirty copies are queued
@@ -779,9 +844,17 @@ func (c *CRAID) ExpandRetain(newDevs []disk.Device) ExpandStats {
 // taking the log's backing Write off the apply hot path while keeping
 // the byte stream (and therefore crash recovery) identical to a
 // synchronous log's.
+// When Config.MapLogSync is set and w supports SetSyncOnFlush (the
+// LogRing does), every flushed buffer is additionally fsynced by the
+// log's background writer before the next one is written.
 func (c *CRAID) SetMappingLog(w io.Writer) {
 	c.table.SetLog(w)
 	c.logFlush, _ = w.(interface{ Flush() })
+	if c.cfg.MapLogSync {
+		if s, ok := w.(interface{ SetSyncOnFlush(bool) }); ok {
+			s.SetSyncOnFlush(true)
+		}
+	}
 }
 
 // flushLog marks an apply-step boundary for a batching mapping log.

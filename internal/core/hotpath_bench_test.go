@@ -84,11 +84,39 @@ func zipfMix(n int) []trace.Record {
 	return reqs
 }
 
+// warmMix builds a 60/40 read/write stream of 256-block requests over a
+// working set that fits entirely inside P_C, so after one warm pass every
+// request is a pure hit — the monitor's steady state, where the per-access
+// cost is one index probe plus policy metadata maintenance and the paths
+// must not allocate at all.
+func warmMix(n int) []trace.Record {
+	rng := rand.New(rand.NewSource(44))
+	reqs := make([]trace.Record, n)
+	for i := range reqs {
+		op := disk.OpRead
+		if rng.Float64() < 0.4 {
+			op = disk.OpWrite
+		}
+		reqs[i] = trace.Record{Op: op, Block: 256 * rng.Int63n(256), Count: 256}
+	}
+	return reqs
+}
+
 // BenchmarkSubmitSequential measures the monitor hot path on 256-block
 // sequential requests — the case where extent-granularity operations
 // collapse ~512 per-block tree/map traversals into a handful.
 func BenchmarkSubmitSequential(b *testing.B) {
 	benchSubmit(b, seqMix(400))
+}
+
+// BenchmarkSubmitWarm measures the all-hit steady state: the working set
+// is cache-resident, so every record costs exactly the monitor's fixed
+// overhead (classification + policy access + redirected I/O) and the
+// whole Submit path must stay allocation-free (see TestSubmitWarmAllocFree).
+func BenchmarkSubmitWarm(b *testing.B) {
+	reqs := warmMix(400)
+	benchSubmit(b, reqs)
+	b.ReportMetric(float64(len(reqs)), "records/op")
 }
 
 // BenchmarkSubmitZipfian measures skewed small-request traffic.

@@ -30,6 +30,8 @@ type latencies struct {
 	read  *metrics.LatencyHist
 	write *metrics.LatencyHist
 	seq   *metrics.SeqTracker
+
+	recFree *recOp // freelist of response-time recorders
 }
 
 func newLatencies() latencies {
@@ -54,17 +56,48 @@ func (l *latencies) trackSeq(at sim.Time, stream int, block, count int64) {
 	}
 }
 
+// recOp is one pending response-time record: the wrapper record hands
+// to a request's join. Pooled on the latencies (fn caches the method
+// value) so Submit allocates nothing per request; the join fires fn
+// exactly once, which recycles the op.
+type recOp struct {
+	l     *latencies
+	op    disk.Op
+	start sim.Time
+	done  func(sim.Time)
+	fn    func(sim.Time)
+	next  *recOp // freelist link
+}
+
 // record wraps done to also record the response time.
 func (l *latencies) record(op disk.Op, start sim.Time, done func(sim.Time)) func(sim.Time) {
-	return func(at sim.Time) {
-		if op == disk.OpRead {
-			l.read.Add(at - start)
-		} else {
-			l.write.Add(at - start)
-		}
-		if done != nil {
-			done(at)
-		}
+	r := l.recFree
+	if r == nil {
+		r = &recOp{l: l}
+		r.fn = r.run
+	} else {
+		l.recFree = r.next
+		r.next = nil
+	}
+	r.op, r.start, r.done = op, start, done
+	return r.fn
+}
+
+// run fires at request completion: record the latency, recycle the op
+// (before done, which may submit the next request and reclaim it).
+func (r *recOp) run(at sim.Time) {
+	l := r.l
+	if r.op == disk.OpRead {
+		l.read.Add(at - r.start)
+	} else {
+		l.write.Add(at - r.start)
+	}
+	done := r.done
+	r.done = nil
+	r.next = l.recFree
+	l.recFree = r
+	if done != nil {
+		done(at)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync/atomic"
 
 	"craid/internal/core"
 	"craid/internal/disk"
@@ -29,6 +30,15 @@ import (
 	"craid/internal/trace"
 	"craid/internal/workload"
 )
+
+// replayedRecords counts trace records replayed by every Run in this
+// process (atomic: the experiment matrix runs cells concurrently).
+// Tooling divides wall time and allocations by its delta to report
+// per-record monitor cost (craidbench's per-table footer).
+var replayedRecords atomic.Int64
+
+// ReplayedRecords returns the process-wide count of replayed records.
+func ReplayedRecords() int64 { return replayedRecords.Load() }
 
 // newFileReader builds the parser for cfg's trace file format.
 func newFileReader(r io.Reader, cfg RunConfig) (trace.Reader, error) {
@@ -184,6 +194,11 @@ type RunConfig struct {
 	// mapcache.LogRing so the apply path never blocks on the log
 	// device; RunResult.MapLog reports the ring's counters.
 	MappingLog string
+	// MapLogSync additionally fsyncs the log file after every flushed
+	// ring buffer (core.Config.MapLogSync): each completed flush is on
+	// stable media instead of merely handed to the OS. The recovery
+	// byte stream is identical at both settings.
+	MapLogSync bool
 
 	// ReplayBatch and ReplayRing tune the replay pipeline's
 	// pre-parsed record ring (0 = core defaults: 1024 × 4). The batch
@@ -337,6 +352,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	replayedRecords.Add(n)
 	var logStats mapcache.LogRingStats
 	if logRing != nil {
 		if err := logRing.Close(); err != nil {
@@ -463,6 +479,7 @@ func buildVolume(eng *sim.Engine, cfg RunConfig, dataset int64) (core.Volume, *c
 		MapShards:      shards,
 		MonitorWorkers: workers,
 		PlanLookahead:  lookahead,
+		MapLogSync:     cfg.MapLogSync,
 	}
 	if cfg.Instant && cfg.PCBlocks > 0 {
 		// Policy-quality experiments size P_C directly in blocks.

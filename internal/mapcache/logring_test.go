@@ -141,6 +141,69 @@ func TestLogRingCloseReportsWriteError(t *testing.T) {
 	}
 }
 
+// syncBuffer is a bytes.Buffer with an fsync hook, counting Sync calls
+// and remembering the byte length at the last one — the durable prefix
+// a crash would leave behind under sync-on-flush.
+type syncBuffer struct {
+	bytes.Buffer
+	syncs       int
+	durableSize int
+}
+
+func (b *syncBuffer) Sync() error {
+	b.syncs++
+	b.durableSize = b.Len()
+	return nil
+}
+
+// TestLogRingSyncOnFlush is the MapLogSync crash-recovery property at
+// BOTH knob settings: the byte stream (and therefore recovery at any
+// cut) is identical with and without fsync-on-flush; with the knob on,
+// the writer syncs once per flushed buffer, so every completed flush is
+// inside the durable prefix and recovering exactly that prefix equals
+// recovering a synchronous log cut there.
+func TestLogRingSyncOnFlush(t *testing.T) {
+	var plain bytes.Buffer
+	driveLog(t, &plain, 3, 1400, 300, 11, func() {})
+
+	for _, syncOn := range []bool{false, true} {
+		var buf syncBuffer
+		ring := NewLogRing(&buf, 4*recordSize, 2)
+		ring.SetSyncOnFlush(syncOn)
+		driveLog(t, ring, 3, 1400, 300, 11, ring.Flush)
+		if err := ring.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(plain.Bytes(), buf.Bytes()) {
+			t.Fatalf("sync=%v: stream diverged from synchronous log", syncOn)
+		}
+		st := ring.Stats()
+		if syncOn {
+			if buf.syncs == 0 || st.Syncs != int64(buf.syncs) {
+				t.Fatalf("sync=on: %d fsyncs observed, stats say %d", buf.syncs, st.Syncs)
+			}
+			if buf.durableSize != buf.Len() {
+				t.Fatalf("sync=on: durable prefix %d != stream %d after Close", buf.durableSize, buf.Len())
+			}
+			// Crash at the durable boundary: recovery there must match a
+			// synchronous log cut at the same byte.
+			want, err := Recover(bytes.NewReader(plain.Bytes()[:buf.durableSize]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Recover(bytes.NewReader(buf.Bytes()[:buf.durableSize]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("sync=on: durable-prefix recovery diverged (%d vs %d mappings)", len(got), len(want))
+			}
+		} else if buf.syncs != 0 || st.Syncs != 0 {
+			t.Fatalf("sync=off: writer fsynced %d times (stats %d)", buf.syncs, st.Syncs)
+		}
+	}
+}
+
 // TestLogRingStallCounting pins that a writer slower than the producer
 // shows up in Stalls rather than in unbounded memory.
 func TestLogRingStallCounting(t *testing.T) {

@@ -1,0 +1,214 @@
+package raid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Reference implementations of the pre-LUT geometry math: the linear
+// group scan and the rotate-and-skip parity branches, exactly as
+// Locate/ParityOf/QParityOf computed addresses before the per-phase
+// rotation tables. The property tests below pin the branch-free table
+// paths to these, block for block, across every test geometry.
+
+// refGroupOf finds a data slot's group by linear scan.
+func refGroupOf(groups []group, idx int64, parities int) *group {
+	for i := range groups {
+		g := &groups[i]
+		if idx < g.firstData+int64(g.size-parities) {
+			return g
+		}
+	}
+	panic("raid: unit index out of range")
+}
+
+// refLocate5 is the original RAID5.Locate: scan for the group, rotate
+// the parity, branch past the parity slot.
+func refLocate5(r *RAID5, block int64) PBA {
+	checkBlock(r, block, 1)
+	unit := block / r.unit
+	off := block % r.unit
+	row := unit / r.dataPerRow
+	idx := unit % r.dataPerRow
+	grp := refGroupOf(r.groups, idx, 1)
+	slot := int(idx - grp.firstData)
+	pp := parityPos(row, grp.size)
+	d := slot
+	if d >= pp {
+		d++
+	}
+	return PBA{Disk: grp.firstDisk + d, Block: row*r.unit + off}
+}
+
+func refParityOf5(r *RAID5, block int64) PBA {
+	checkBlock(r, block, 1)
+	unit := block / r.unit
+	off := block % r.unit
+	row := unit / r.dataPerRow
+	grp := refGroupOf(r.groups, unit%r.dataPerRow, 1)
+	pp := parityPos(row, grp.size)
+	return PBA{Disk: grp.firstDisk + pp, Block: row*r.unit + off}
+}
+
+// refLocate6 is the original RAID6.Locate: scan for the group, rotate
+// P and Q, branch past both parity slots in ascending order.
+func refLocate6(r *RAID6, block int64) PBA {
+	checkBlock(r, block, 1)
+	unit := block / r.unit
+	off := block % r.unit
+	row := unit / r.dataPerRow
+	idx := unit % r.dataPerRow
+	grp := refGroupOf(r.groups, idx, 2)
+	slot := int(idx - grp.firstData)
+	pp, qp := parityPositions(row, grp.size)
+	lo, hi := pp, qp
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	d := slot
+	if d >= lo {
+		d++
+	}
+	if d >= hi {
+		d++
+	}
+	return PBA{Disk: grp.firstDisk + d, Block: row*r.unit + off}
+}
+
+func refParities6(r *RAID6, block int64) (PBA, PBA) {
+	checkBlock(r, block, 1)
+	unit := block / r.unit
+	off := block % r.unit
+	row := unit / r.dataPerRow
+	grp := refGroupOf(r.groups, unit%r.dataPerRow, 2)
+	pp, qp := parityPositions(row, grp.size)
+	return PBA{Disk: grp.firstDisk + pp, Block: row*r.unit + off},
+		PBA{Disk: grp.firstDisk + qp, Block: row*r.unit + off}
+}
+
+// TestRotationLUTMatchesReference pins the branch-free table paths —
+// Locate, ParityOf, QParityOf — to the original scan-and-branch math on
+// every block of every test geometry (full sweep for the small ones,
+// random sample plus edges for the rest).
+func TestRotationLUTMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	blocksFor := func(capacity int64) []int64 {
+		if capacity <= 20000 {
+			out := make([]int64, capacity)
+			for i := range out {
+				out[i] = int64(i)
+			}
+			return out
+		}
+		out := []int64{0, 1, capacity - 1}
+		for i := 0; i < 20000; i++ {
+			out = append(out, rng.Int63n(capacity))
+		}
+		return out
+	}
+	for name, l := range rowBatchLayouts() {
+		switch r := l.(type) {
+		case *RAID5:
+			for _, b := range blocksFor(r.DataBlocks()) {
+				if got, want := r.Locate(b), refLocate5(r, b); got != want {
+					t.Fatalf("%s: Locate(%d) = %v, want %v", name, b, got, want)
+				}
+				p, _ := r.ParityOf(b)
+				if want := refParityOf5(r, b); p != want {
+					t.Fatalf("%s: ParityOf(%d) = %v, want %v", name, b, p, want)
+				}
+			}
+		case *RAID6:
+			for _, b := range blocksFor(r.DataBlocks()) {
+				if got, want := r.Locate(b), refLocate6(r, b); got != want {
+					t.Fatalf("%s: Locate(%d) = %v, want %v", name, b, got, want)
+				}
+				wantP, wantQ := refParities6(r, b)
+				if p, _ := r.ParityOf(b); p != wantP {
+					t.Fatalf("%s: ParityOf(%d) = %v, want %v", name, b, p, wantP)
+				}
+				if q, _ := r.QParityOf(b); q != wantQ {
+					t.Fatalf("%s: QParityOf(%d) = %v, want %v", name, b, q, wantQ)
+				}
+			}
+		}
+	}
+}
+
+// TestRotationLUTParityNeverCollides sanity-checks the tables directly:
+// within every phase of every group, P, Q and the data slots occupy
+// distinct disks covering exactly 0..size-1.
+func TestRotationLUTParityNeverCollides(t *testing.T) {
+	check := func(name string, groups []group, parities int) {
+		for gi := range groups {
+			g := &groups[gi]
+			for phase := 0; phase < g.size; phase++ {
+				seen := make(map[int]bool, g.size)
+				seen[g.pDisk[phase]] = true
+				if parities == 2 {
+					if seen[g.qDisk[phase]] {
+						t.Fatalf("%s: group %d phase %d: Q collides with P", name, gi, phase)
+					}
+					seen[g.qDisk[phase]] = true
+				}
+				for s := 0; s < g.dataSlots; s++ {
+					d := g.dataDisk[phase*g.dataSlots+s]
+					if d < 0 || d >= g.size || seen[d] {
+						t.Fatalf("%s: group %d phase %d slot %d: disk %d out of range or reused",
+							name, gi, phase, s, d)
+					}
+					seen[d] = true
+				}
+				if len(seen) != g.size {
+					t.Fatalf("%s: group %d phase %d covers %d of %d disks",
+						name, gi, phase, len(seen), g.size)
+				}
+			}
+		}
+	}
+	for name, l := range rowBatchLayouts() {
+		switch r := l.(type) {
+		case *RAID5:
+			check(name, r.groups, 1)
+		case *RAID6:
+			check(name, r.groups, 2)
+		}
+	}
+}
+
+// BenchmarkLocate measures the per-block address computation the
+// redirector's hottest helpers lean on: LUT path vs the scan-and-branch
+// reference, on a grouped RAID-5 and a grouped RAID-6.
+func BenchmarkLocate(b *testing.B) {
+	r5 := NewRAID5(50, 10, 4096, 32)
+	r6 := NewRAID6(52, 13, 4096, 32)
+	cap5, cap6 := r5.DataBlocks(), r6.DataBlocks()
+	b.Run("raid5/lut", func(b *testing.B) {
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			sink += r5.Locate(int64(i*997) % cap5).Block
+		}
+		_ = sink
+	})
+	b.Run("raid5/ref", func(b *testing.B) {
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			sink += refLocate5(r5, int64(i*997)%cap5).Block
+		}
+		_ = sink
+	})
+	b.Run("raid6/lut", func(b *testing.B) {
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			sink += r6.Locate(int64(i*997) % cap6).Block
+		}
+		_ = sink
+	})
+	b.Run("raid6/ref", func(b *testing.B) {
+		var sink int64
+		for i := 0; i < b.N; i++ {
+			sink += refLocate6(r6, int64(i*997)%cap6).Block
+		}
+		_ = sink
+	})
+}

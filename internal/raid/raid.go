@@ -165,11 +165,51 @@ func forEachUnitRun(l Layout, block, count int64, fn func(Extent)) {
 	}
 }
 
-// group is one parity group of a RAID-5 layout.
+// group is one parity group of a RAID-5 or RAID-6 layout, carrying the
+// precomputed rotation tables that make every address computation
+// branch-free: the left-symmetric parity rotation repeats with period
+// size, so for each phase (row % size) the tables directly answer
+// "which in-group disk holds P (and Q)" and "which in-group disk holds
+// data slot s" — no linear group scan, no parity-slot-skip branches on
+// any per-unit path.
 type group struct {
 	firstDisk int // index of the group's first disk within the array
 	size      int // disks in the group
 	firstData int64
+
+	dataSlots int   // data units per row: size-1 (RAID-5) or size-2 (RAID-6)
+	pDisk     []int // phase → in-group disk holding P
+	qDisk     []int // phase → in-group disk holding Q (RAID-6 only)
+	dataDisk  []int // phase*dataSlots + slot → in-group disk holding the slot
+}
+
+// buildRotation fills the group's per-phase tables for nParity parity
+// slots per row (1 = RAID-5, 2 = RAID-6), from the same rotation law
+// (parityPos/parityPositions) the scalar reference paths use.
+func (g *group) buildRotation(nParity int) {
+	g.dataSlots = g.size - nParity
+	g.pDisk = make([]int, g.size)
+	if nParity == 2 {
+		g.qDisk = make([]int, g.size)
+	}
+	g.dataDisk = make([]int, g.size*g.dataSlots)
+	for phase := 0; phase < g.size; phase++ {
+		pp := parityPos(int64(phase), g.size)
+		qp := -1
+		if nParity == 2 {
+			pp, qp = parityPositions(int64(phase), g.size)
+			g.qDisk[phase] = qp
+		}
+		g.pDisk[phase] = pp
+		d := 0
+		for slot := 0; slot < g.dataSlots; slot++ {
+			for d == pp || d == qp {
+				d++ // data slots occupy the non-parity disks in order
+			}
+			g.dataDisk[phase*g.dataSlots+slot] = d
+			d++
+		}
+	}
 }
 
 // RAID5 is a left-symmetric rotated-parity layout with parity groups:
@@ -180,7 +220,8 @@ type RAID5 struct {
 	unit       int64
 	rows       int64
 	groups     []group
-	dataPerRow int64 // data units per row across all groups
+	groupLUT   []int32 // data slot within a row → owning group index
+	dataPerRow int64   // data units per row across all groups
 	capacity   int64
 }
 
@@ -197,12 +238,28 @@ func NewRAID5(disks int, groupSize int, blocksPerDisk, unitBlocks int64) *RAID5 
 	r := &RAID5{disks: disks, unit: unitBlocks, rows: blocksPerDisk / unitBlocks}
 	first := 0
 	for _, s := range sizes {
-		r.groups = append(r.groups, group{firstDisk: first, size: s, firstData: r.dataPerRow})
+		g := group{firstDisk: first, size: s, firstData: r.dataPerRow}
+		g.buildRotation(1)
+		r.groups = append(r.groups, g)
 		r.dataPerRow += int64(s - 1)
 		first += s
 	}
+	r.groupLUT = buildGroupLUT(r.groups, r.dataPerRow)
 	r.capacity = r.rows * r.dataPerRow * unitBlocks
 	return r
+}
+
+// buildGroupLUT maps every data slot of a row to its owning group, so
+// locating a unit is one table load instead of a linear group scan.
+func buildGroupLUT(groups []group, dataPerRow int64) []int32 {
+	lut := make([]int32, dataPerRow)
+	for gi := range groups {
+		g := &groups[gi]
+		for s := int64(0); s < int64(g.dataSlots); s++ {
+			lut[g.firstData+s] = int32(gi)
+		}
+	}
+	return lut
 }
 
 // splitGroups partitions n disks into groups of size g, fixing up a
@@ -241,36 +298,34 @@ func (r *RAID5) StripeUnitBlocks() int64 { return r.unit }
 // across all parity groups (the array's effective stripe width).
 func (r *RAID5) DataUnitsPerRow() int64 { return r.dataPerRow }
 
-// locateUnit maps a data unit index to (row, group, slot) coordinates.
-func (r *RAID5) locateUnit(unit int64) (row int64, g group, slot int) {
+// locateUnit maps a data unit index to (row, group, slot) coordinates:
+// one LUT load, no group scan.
+func (r *RAID5) locateUnit(unit int64) (row int64, g *group, slot int) {
 	row = unit / r.dataPerRow
 	idx := unit % r.dataPerRow
-	for _, grp := range r.groups {
-		if idx < grp.firstData+int64(grp.size-1) {
-			return row, grp, int(idx - grp.firstData)
-		}
-	}
-	panic("raid: unit index out of range") // unreachable: caller range-checked
+	g = &r.groups[r.groupLUT[idx]]
+	return row, g, int(idx - g.firstData)
 }
 
 // parityPos returns the slot (disk offset within the group) holding
-// parity in the given row: left-symmetric rotation.
+// parity in the given row: left-symmetric rotation. It is the rotation
+// law the per-phase group tables are built from, and the reference the
+// LUT property tests pin against.
 func parityPos(row int64, size int) int {
 	return int(int64(size-1) - row%int64(size))
 }
 
-// Locate implements Layout.
+// Locate implements Layout: branch-free — the group comes from the
+// row-slot LUT and the data disk from the group's per-phase rotation
+// table, with no parity-skip branches.
 func (r *RAID5) Locate(block int64) PBA {
 	checkBlock(r, block, 1)
 	unit := block / r.unit
 	off := block % r.unit
 	row, grp, slot := r.locateUnit(unit)
-	pp := parityPos(row, grp.size)
-	diskInGroup := slot
-	if diskInGroup >= pp {
-		diskInGroup++ // skip the parity slot
-	}
-	return PBA{Disk: grp.firstDisk + diskInGroup, Block: row*r.unit + off}
+	phase := int(row % int64(grp.size))
+	d := grp.dataDisk[phase*grp.dataSlots+slot]
+	return PBA{Disk: grp.firstDisk + d, Block: row*r.unit + off}
 }
 
 // ParityOf implements Layout.
@@ -279,7 +334,7 @@ func (r *RAID5) ParityOf(block int64) (PBA, bool) {
 	unit := block / r.unit
 	off := block % r.unit
 	row, grp, _ := r.locateUnit(unit)
-	pp := parityPos(row, grp.size)
+	pp := grp.pDisk[row%int64(grp.size)]
 	return PBA{Disk: grp.firstDisk + pp, Block: row*r.unit + off}, true
 }
 
@@ -289,24 +344,13 @@ func (r *RAID5) ForEachExtent(block, count int64, fn func(Extent)) {
 	r.forEachRowRun(block, count, 0, 0, fn)
 }
 
-// groupOfData returns the index of the group owning data slot idx of a
-// row.
-func (r *RAID5) groupOfData(idx int64) int {
-	for i := range r.groups {
-		g := &r.groups[i]
-		if idx < g.firstData+int64(g.size-1) {
-			return i
-		}
-	}
-	panic("raid: unit index out of range") // unreachable: caller range-checked
-}
-
 // forEachRowRun emits exactly the extents forEachUnitRun emits, but
 // batches the unit→(disk,block) mapping per stripe row: the row base
-// and each group's parity rotation are computed once per row, and the
-// data disk advances slot by slot — no per-unit locateUnit scan, no
-// per-unit div/mod chain. logOff/diskOff relocate the emitted extents,
-// letting RAID5Plus walk a member set without a per-extent closure.
+// and each group's rotation-table row are resolved once per group per
+// row, and the data disk is a straight table load per slot — no
+// per-unit locateUnit scan, no div/mod chain, no parity-skip branches.
+// logOff/diskOff relocate the emitted extents, letting RAID5Plus walk a
+// member set without a per-extent closure.
 func (r *RAID5) forEachRowRun(block, count, logOff int64, diskOff int, fn func(Extent)) {
 	for count > 0 {
 		u := block / r.unit
@@ -314,23 +358,20 @@ func (r *RAID5) forEachRowRun(block, count, logOff int64, diskOff int, fn func(E
 		row := u / r.dataPerRow
 		idx := u % r.dataPerRow // data slot within the row
 		base := row * r.unit
-		gi := r.groupOfData(idx)
+		gi := int(r.groupLUT[idx])
 		for count > 0 && idx < r.dataPerRow {
 			grp := &r.groups[gi]
-			pp := parityPos(row, grp.size)
-			pDisk := diskOff + grp.firstDisk + pp
-			for slot := int(idx - grp.firstData); slot < grp.size-1 && count > 0; slot++ {
+			phase := int(row % int64(grp.size))
+			pDisk := diskOff + grp.firstDisk + grp.pDisk[phase]
+			dd := grp.dataDisk[phase*grp.dataSlots : (phase+1)*grp.dataSlots]
+			for slot := int(idx - grp.firstData); slot < grp.dataSlots && count > 0; slot++ {
 				n := r.unit - off
 				if n > count {
 					n = count
 				}
-				d := slot
-				if d >= pp {
-					d++ // skip the parity slot
-				}
 				fn(Extent{
 					Logical: logOff + block,
-					Data:    PBA{Disk: diskOff + grp.firstDisk + d, Block: base + off},
+					Data:    PBA{Disk: diskOff + grp.firstDisk + dd[slot], Block: base + off},
 					Parity:  PBA{Disk: pDisk, Block: base + off},
 					Count:   n,
 				})

@@ -20,6 +20,7 @@ type RAID6 struct {
 	unit       int64
 	rows       int64
 	groups     []group
+	groupLUT   []int32 // data slot within a row → owning group index
 	dataPerRow int64
 	capacity   int64
 }
@@ -48,10 +49,13 @@ func NewRAID6(disks int, groupSize int, blocksPerDisk, unitBlocks int64) *RAID6 
 	r := &RAID6{disks: disks, unit: unitBlocks, rows: blocksPerDisk / unitBlocks}
 	first := 0
 	for _, s := range sizes {
-		r.groups = append(r.groups, group{firstDisk: first, size: s, firstData: r.dataPerRow})
+		g := group{firstDisk: first, size: s, firstData: r.dataPerRow}
+		g.buildRotation(2)
+		r.groups = append(r.groups, g)
 		r.dataPerRow += int64(s - 2)
 		first += s
 	}
+	r.groupLUT = buildGroupLUT(r.groups, r.dataPerRow)
 	r.capacity = r.rows * r.dataPerRow * unitBlocks
 	return r
 }
@@ -71,45 +75,36 @@ func (r *RAID6) StripeUnitBlocks() int64 { return r.unit }
 // DataUnitsPerRow reports the array's effective stripe width.
 func (r *RAID6) DataUnitsPerRow() int64 { return r.dataPerRow }
 
-func (r *RAID6) locateUnit(unit int64) (row int64, g group, slot int) {
+// locateUnit maps a data unit index to (row, group, slot) coordinates:
+// one LUT load, no group scan.
+func (r *RAID6) locateUnit(unit int64) (row int64, g *group, slot int) {
 	row = unit / r.dataPerRow
 	idx := unit % r.dataPerRow
-	for _, grp := range r.groups {
-		if idx < grp.firstData+int64(grp.size-2) {
-			return row, grp, int(idx - grp.firstData)
-		}
-	}
-	panic("raid: unit index out of range") // unreachable: caller range-checked
+	g = &r.groups[r.groupLUT[idx]]
+	return row, g, int(idx - g.firstData)
 }
 
 // parityPositions returns the in-group slots of P and Q for a row:
-// left-symmetric rotation with Q immediately after P (wrapping).
+// left-symmetric rotation with Q immediately after P (wrapping). It is
+// the rotation law the per-phase group tables are built from, and the
+// reference the LUT property tests pin against.
 func parityPositions(row int64, size int) (p, q int) {
 	p = int(int64(size-1) - row%int64(size))
 	q = (p + 1) % size
 	return p, q
 }
 
-// Locate implements Layout.
+// Locate implements Layout: branch-free — the group comes from the
+// row-slot LUT and the data disk from the group's per-phase rotation
+// table, with no parity-slot-skip branches.
 func (r *RAID6) Locate(block int64) PBA {
 	checkBlock(r, block, 1)
 	unit := block / r.unit
 	off := block % r.unit
 	row, grp, slot := r.locateUnit(unit)
-	pp, qp := parityPositions(row, grp.size)
-	disk := slot
-	// Skip the parity slots in ascending order.
-	lo, hi := pp, qp
-	if lo > hi {
-		lo, hi = hi, lo
-	}
-	if disk >= lo {
-		disk++
-	}
-	if disk >= hi {
-		disk++
-	}
-	return PBA{Disk: grp.firstDisk + disk, Block: row*r.unit + off}
+	phase := int(row % int64(grp.size))
+	d := grp.dataDisk[phase*grp.dataSlots+slot]
+	return PBA{Disk: grp.firstDisk + d, Block: row*r.unit + off}
 }
 
 // ParityOf implements Layout (the P parity).
@@ -118,7 +113,7 @@ func (r *RAID6) ParityOf(block int64) (PBA, bool) {
 	unit := block / r.unit
 	off := block % r.unit
 	row, grp, _ := r.locateUnit(unit)
-	pp, _ := parityPositions(row, grp.size)
+	pp := grp.pDisk[row%int64(grp.size)]
 	return PBA{Disk: grp.firstDisk + pp, Block: row*r.unit + off}, true
 }
 
@@ -128,27 +123,14 @@ func (r *RAID6) QParityOf(block int64) (PBA, bool) {
 	unit := block / r.unit
 	off := block % r.unit
 	row, grp, _ := r.locateUnit(unit)
-	_, qp := parityPositions(row, grp.size)
+	qp := grp.qDisk[row%int64(grp.size)]
 	return PBA{Disk: grp.firstDisk + qp, Block: row*r.unit + off}, true
 }
 
-// groupOfData returns the index of the group owning data slot idx of a
-// row.
-func (r *RAID6) groupOfData(idx int64) int {
-	for i := range r.groups {
-		g := &r.groups[i]
-		if idx < g.firstData+int64(g.size-2) {
-			return i
-		}
-	}
-	panic("raid: unit index out of range") // unreachable: caller range-checked
-}
-
 // ForEachExtent implements Layout with the same row-batched walk as
-// RAID5.forEachRowRun — row base and the P/Q rotation computed once
-// per group per row, data disks advancing slot by slot past both
-// parity positions — emitting exactly the per-unit reference's
-// extents.
+// RAID5.forEachRowRun — row base and each group's rotation-table row
+// resolved once per group per row, data disks a straight table load per
+// slot — emitting exactly the per-unit reference's extents.
 func (r *RAID6) ForEachExtent(block, count int64, fn func(Extent)) {
 	checkBlock(r, block, count)
 	for count > 0 {
@@ -157,30 +139,20 @@ func (r *RAID6) ForEachExtent(block, count int64, fn func(Extent)) {
 		row := u / r.dataPerRow
 		idx := u % r.dataPerRow
 		base := row * r.unit
-		gi := r.groupOfData(idx)
+		gi := int(r.groupLUT[idx])
 		for count > 0 && idx < r.dataPerRow {
 			grp := &r.groups[gi]
-			pp, qp := parityPositions(row, grp.size)
-			lo, hi := pp, qp
-			if lo > hi {
-				lo, hi = hi, lo
-			}
-			pDisk := grp.firstDisk + pp
-			for slot := int(idx - grp.firstData); slot < grp.size-2 && count > 0; slot++ {
+			phase := int(row % int64(grp.size))
+			pDisk := grp.firstDisk + grp.pDisk[phase]
+			dd := grp.dataDisk[phase*grp.dataSlots : (phase+1)*grp.dataSlots]
+			for slot := int(idx - grp.firstData); slot < grp.dataSlots && count > 0; slot++ {
 				n := r.unit - off
 				if n > count {
 					n = count
 				}
-				d := slot
-				if d >= lo {
-					d++
-				}
-				if d >= hi {
-					d++
-				}
 				fn(Extent{
 					Logical: block,
-					Data:    PBA{Disk: grp.firstDisk + d, Block: base + off},
+					Data:    PBA{Disk: grp.firstDisk + dd[slot], Block: base + off},
 					Parity:  PBA{Disk: pDisk, Block: base + off},
 					Count:   n,
 				})

@@ -69,23 +69,27 @@ func TestForEachExtentMatchesUnitRun(t *testing.T) {
 }
 
 // BenchmarkForEachExtent measures the row-batched walk against the
-// per-unit reference on a whole-row run of a grouped RAID-5 — the
-// shape flushWritebacks and the copy-in path issue constantly.
+// per-unit reference on whole-row runs — the shape flushWritebacks and
+// the copy-in path issue constantly — for a grouped RAID-5 and (with
+// its doubled rotation work) a grouped RAID-6.
 func BenchmarkForEachExtent(b *testing.B) {
-	l := NewRAID5(50, 10, 4096, 32)
-	run := 3 * 32 * 45 // three full rows of data units
+	l5 := NewRAID5(50, 10, 4096, 32)
+	l6 := NewRAID6(52, 13, 4096, 32)
 	for _, bench := range []struct {
 		name string
+		run  int64
 		walk func(int64, int64, func(Extent))
 	}{
-		{"row", l.ForEachExtent},
-		{"unit", func(blk, c int64, fn func(Extent)) { forEachUnitRun(l, blk, c, fn) }},
+		{"raid5/row", 3 * 32 * 45, l5.ForEachExtent},
+		{"raid5/unit", 3 * 32 * 45, func(blk, c int64, fn func(Extent)) { forEachUnitRun(l5, blk, c, fn) }},
+		{"raid6/row", 3 * 32 * 44, l6.ForEachExtent},
+		{"raid6/unit", 3 * 32 * 44, func(blk, c int64, fn func(Extent)) { forEachUnitRun(l6, blk, c, fn) }},
 	} {
 		b.Run(bench.name, func(b *testing.B) {
 			b.ReportAllocs()
 			var sink int64
 			for i := 0; i < b.N; i++ {
-				bench.walk(int64(i%7)*13, int64(run), func(e Extent) { sink += e.Data.Block })
+				bench.walk(int64(i%7)*13, bench.run, func(e Extent) { sink += e.Data.Block })
 			}
 			_ = sink
 		})
