@@ -32,12 +32,15 @@ func main() {
 	// disks, and a RAID-5 archive behind it.
 	const pcPerDisk = 2048
 	archive := raid.NewRAID5(8, 4, 1<<18-pcPerDisk, 32)
-	craid := core.NewCRAID(arr, core.Config{
+	craid, err := core.NewCRAID(arr, core.Config{
 		Policy:       "WLRU",
 		CachePerDisk: pcPerDisk,
 		ParityGroup:  4,
 		StripeUnit:   32,
 	}, true, disks, 0, archive, disks, pcPerDisk)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Printf("volume: %d blocks (%.1f GiB), cache partition: %d blocks\n",
 		craid.DataBlocks(), float64(craid.DataBlocks())*disk.BlockSize/(1<<30),

@@ -70,8 +70,11 @@ func part2() {
 	pcPerDisk := diskCap / 100
 	inner := raid.NewRAID5(10, 10, diskCap-pcPerDisk, 32)
 	archive := raid.NewSpreadLayout(inner, gen.DatasetBlocks())
-	craid := core.NewCRAID(arr, core.Config{CachePerDisk: pcPerDisk},
+	craid, err := core.NewCRAID(arr, core.Config{CachePerDisk: pcPerDisk},
 		true, disks, 0, archive, disks, pcPerDisk)
+	if err != nil {
+		panic(err)
+	}
 
 	// Replay the first day, expand, replay the second day.
 	expandAt := 24 * sim.Hour

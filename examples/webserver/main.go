@@ -45,10 +45,13 @@ func main() {
 	inner := raid.NewRAID5(experiments.TestbedDisks, experiments.TestbedParityGroup,
 		hcfg.CapacityBlocks-pcPerDisk, experiments.TestbedStripeUnit)
 	archive := raid.NewSpreadLayout(inner, gen.DatasetBlocks())
-	craid := core.NewCRAID(arr, core.Config{
+	craid, err := core.NewCRAID(arr, core.Config{
 		Policy:       "WLRU",
 		CachePerDisk: pcPerDisk,
 	}, true, disks, 0, archive, disks, pcPerDisk)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("webusers on CRAID-5: hourly hit ratio as the monitor learns the hot set")
 	fmt.Printf("%-6s %-8s %-9s %s\n", "hour", "hits", "accesses", "hit ratio")

@@ -21,7 +21,7 @@ func warmCRAID(t *testing.T, policy string, shards int) (*sim.Engine, *CRAID) {
 		disks[i] = i
 	}
 	paLayout := raid.NewRAID5(10, 10, 400_000, 32)
-	c := NewCRAID(arr, Config{
+	c := mustCRAID(arr, Config{
 		Policy:       policy,
 		CachePerDisk: 8192,
 		ParityGroup:  10,

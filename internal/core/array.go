@@ -52,6 +52,11 @@ type Array struct {
 	// millions per simulated second.
 	joinFree *join
 	rmwFree  *rmw
+
+	// faults is the fault-injection state, nil on healthy runs: every
+	// hot-path check reduces to one nil test, keeping the healthy
+	// submit path's cost (and allocation count) unchanged.
+	faults *faultState
 }
 
 // nonRetaining is implemented by device models that drop the *Request
@@ -126,6 +131,19 @@ func (a *Array) Submit(dev int, op disk.Op, block, count int64, done func(sim.Ti
 // rather than being drowned by interleaved parity traffic. Load and
 // queue accounting always include everything.
 func (a *Array) submit(dev int, op disk.Op, block, count int64, trackSeq bool, done func(sim.Time)) {
+	if f := a.faults; f != nil {
+		// Wrap the submission in a pooled retry op: transient device
+		// errors resubmit with exponential backoff instead of surfacing
+		// to the controller.
+		r := f.newRetry(a, dev, op, block, count, trackSeq, done)
+		a.issue(dev, op, block, count, trackSeq, r.doneFn, r.failFn)
+		return
+	}
+	a.issue(dev, op, block, count, trackSeq, done, nil)
+}
+
+// issue performs one submission attempt.
+func (a *Array) issue(dev int, op disk.Op, block, count int64, trackSeq bool, done, fail func(sim.Time)) {
 	if dev < 0 || dev >= len(a.devices) {
 		panic(fmt.Sprintf("core: device index %d out of range (%d devices)", dev, len(a.devices)))
 	}
@@ -147,11 +165,18 @@ func (a *Array) submit(dev int, op disk.Op, block, count int64, trackSeq bool, d
 		a.concHist.Add(sim.Time(busy))
 	}
 	if a.retains[dev] {
-		a.devices[dev].Submit(&disk.Request{Op: op, Block: block, Count: count, Done: done})
+		a.devices[dev].Submit(&disk.Request{Op: op, Block: block, Count: count, Done: done, Fail: fail})
 		return
 	}
-	a.scratch = disk.Request{Op: op, Block: block, Count: count, Done: done}
+	a.scratch = disk.Request{Op: op, Block: block, Count: count, Done: done, Fail: fail}
 	a.devices[dev].Submit(&a.scratch)
+}
+
+// deviceDown reports whether the array routes around dev (failed and
+// not yet rebuilt). One nil test on healthy runs.
+func (a *Array) deviceDown(dev int) bool {
+	f := a.faults
+	return f != nil && dev < len(f.failed) && f.failed[dev]
 }
 
 // join collects the completions of a dynamic set of I/O branches and
@@ -260,6 +285,11 @@ type span struct {
 	// can never re-enter the same span.
 	curJoin    *join
 	rdFn, wrFn func(raid.Extent)
+
+	// red is the layout's reconstruction geometry, nil when the layout
+	// survives no device loss (including a SpreadLayout over RAID-0,
+	// which asserts as Redundant but reports zero parity units).
+	red raid.Redundant
 }
 
 func newSpan(arr *Array, layout raid.Layout, disks []int, base int64) *span {
@@ -268,6 +298,9 @@ func newSpan(arr *Array, layout raid.Layout, disks []int, base int64) *span {
 	}
 	s := &span{arr: arr, layout: layout, disks: disks, base: base}
 	s.dual, _ = layout.(raid.DualParity)
+	if red, ok := layout.(raid.Redundant); ok && red.ParityUnits() > 0 {
+		s.red = red
+	}
 	s.rdFn = s.readExtent
 	s.wrFn = s.writeExtent
 	return s
@@ -282,7 +315,12 @@ func (s *span) read(j *join, block, count int64) {
 
 // readExtent issues one extent's read against curJoin.
 func (s *span) readExtent(e raid.Extent) {
-	s.arr.Submit(s.disks[e.Data.Disk], disk.OpRead, s.base+e.Data.Block, e.Count, s.curJoin.branch())
+	dev := s.disks[e.Data.Disk]
+	if s.arr.deviceDown(dev) {
+		s.degradedRead(e)
+		return
+	}
+	s.arr.Submit(dev, disk.OpRead, s.base+e.Data.Block, e.Count, s.curJoin.branch())
 }
 
 // rmw is one extent's read-modify-write cycle in flight: the pre-read
@@ -340,6 +378,10 @@ func (s *span) write(j *join, block, count int64) {
 // writeExtent issues one extent's write (or read-modify-write cycle)
 // against curJoin.
 func (s *span) writeExtent(e raid.Extent) {
+	if s.arr.faults != nil && s.extentDown(e) {
+		s.degradedWrite(e)
+		return
+	}
 	if e.Parity.Disk < 0 {
 		s.arr.Submit(s.disks[e.Data.Disk], disk.OpWrite, s.base+e.Data.Block, e.Count, s.curJoin.branch())
 		return

@@ -111,7 +111,7 @@ func newTestCRAID(eng *sim.Engine, cachePerDisk int64) (*CRAID, *Array) {
 	arr := nullArray(eng, 4, 100000)
 	disks := []int{0, 1, 2, 3}
 	paLayout := raid.NewRAID5(4, 4, 4096, 4)
-	c := NewCRAID(arr, Config{
+	c := mustCRAID(arr, Config{
 		Policy:       "WLRU",
 		CachePerDisk: cachePerDisk,
 		ParityGroup:  4,
@@ -176,7 +176,7 @@ func newTinyCRAID(eng *sim.Engine, rows int64) (*CRAID, *Array) {
 	arr := nullArray(eng, 4, 100000)
 	disks := []int{0, 1, 2, 3}
 	paLayout := raid.NewRAID5(4, 4, 4096, 1)
-	c := NewCRAID(arr, Config{
+	c := mustCRAID(arr, Config{
 		Policy:       "WLRU",
 		CachePerDisk: rows,
 		ParityGroup:  4,
@@ -310,7 +310,7 @@ func TestCRAIDExpandDedicatedCacheKeepsGeometry(t *testing.T) {
 	eng := sim.NewEngine()
 	arr := nullArray(eng, 6, 100000) // 4 HDD archive + 2 "SSD" cache
 	paLayout := raid.NewRAID5(4, 4, 4096, 4)
-	c := NewCRAID(arr, Config{CachePerDisk: 64, ParityGroup: 2, StripeUnit: 4},
+	c := mustCRAID(arr, Config{CachePerDisk: 64, ParityGroup: 2, StripeUnit: 4},
 		false, []int{4, 5}, 0, paLayout, []int{0, 1, 2, 3}, 0)
 	before := c.CacheDataBlocks()
 	c.Expand([]disk.Device{disk.NewNullDevice(eng, "new", 100000)})

@@ -311,8 +311,17 @@ type CRAID struct {
 	// logFlush, when the mapping log is a batching writer (e.g.
 	// mapcache.LogRing), is called once per apply step so the log's
 	// durability boundary is the I/O request rather than the
-	// individual translation.
+	// individual translation. logErr, when the writer reports
+	// asynchronous failures (LogRing.Err), is polled at the same
+	// boundary so a dying log device fails the run promptly.
 	logFlush interface{ Flush() }
+	logErr   interface{ Err() error }
+
+	// epoch counts controller incarnations: a crash-restart bumps it,
+	// and in-flight background side effects (copy-ins, write-backs,
+	// migrations) stamped with an older epoch complete as timing only —
+	// their state updates belong to the torn-down incarnation.
+	epoch uint64
 
 	stats Stats
 }
@@ -328,6 +337,7 @@ type wbRun struct{ orig, slot, n int64 }
 type wbOp struct {
 	c       *CRAID
 	orig, n int64
+	epoch   uint64
 	fn      func(sim.Time)
 	next    *wbOp // freelist link
 }
@@ -341,16 +351,22 @@ func (c *CRAID) newWBOp(orig, n int64) *wbOp {
 		c.wbFree = o.next
 		o.next = nil
 	}
-	o.orig, o.n = orig, n
+	o.orig, o.n, o.epoch = orig, n, c.epoch
 	return o
 }
 
-// done runs when the P_C read finishes: update P_A, recycle the op.
+// done runs when the P_C read finishes: update P_A, recycle the op. A
+// stale epoch means a crash-restart tore the owning incarnation down
+// mid-chain: the archive update is dropped (the dirty mapping was
+// re-logged or lost with the crash, exactly as a real controller's
+// in-flight write-back dies with it).
 func (o *wbOp) done(sim.Time) {
 	c := o.c
-	detached := c.arr.newJoin(nil)
-	c.pa.write(detached, o.orig, o.n)
-	detached.seal(c.arr.Eng.Now())
+	if o.epoch == c.epoch {
+		detached := c.arr.newJoin(nil)
+		c.pa.write(detached, o.orig, o.n)
+		detached.seal(c.arr.Eng.Now())
+	}
 	o.next = c.wbFree
 	c.wbFree = o
 }
@@ -362,6 +378,7 @@ func (o *wbOp) done(sim.Time) {
 type ciOp struct {
 	c       *CRAID
 	orig, n int64
+	epoch   uint64
 	jb      func(sim.Time) // the client join's branch callback
 	fn      func(sim.Time)
 	next    *ciOp // freelist link
@@ -376,20 +393,25 @@ func (c *CRAID) newCIOp(orig, n int64, jb func(sim.Time)) *ciOp {
 		c.ciFree = o.next
 		o.next = nil
 	}
-	o.orig, o.n, o.jb = orig, n, jb
+	o.orig, o.n, o.jb, o.epoch = orig, n, jb, c.epoch
 	return o
 }
 
 // done runs when the P_A read finishes: complete the client's branch,
 // then copy the data into P_C. Recycled first — copyIn can trigger
-// evictions whose side effects reach back into the submit path.
+// evictions whose side effects reach back into the submit path. The
+// client branch always fires (timing), but a stale epoch skips the
+// copy-in: the mapping state it would mutate belongs to an incarnation
+// a crash-restart already discarded.
 func (o *ciOp) done(at sim.Time) {
-	c, orig, n, jb := o.c, o.orig, o.n, o.jb
+	c, orig, n, jb, epoch := o.c, o.orig, o.n, o.jb, o.epoch
 	o.jb = nil
 	o.next = c.ciFree
 	c.ciFree = o
 	jb(at)
-	c.copyIn(orig, n, disk.OpRead)
+	if epoch == c.epoch {
+		c.copyIn(orig, n, disk.OpRead)
+	}
 }
 
 // NewCRAID assembles a CRAID volume.
@@ -401,7 +423,7 @@ func (o *ciOp) done(at sim.Time) {
 //     Expand regrows it across new devices (the CRAID-5/CRAID-5+
 //     variants); dedicated-cache variants keep P_C fixed.
 func NewCRAID(arr *Array, cfg Config, sharedPC bool, cacheDisks []int, cacheBase int64,
-	archiveLayout raid.Layout, archiveDisks []int, archiveBase int64) *CRAID {
+	archiveLayout raid.Layout, archiveDisks []int, archiveBase int64) (*CRAID, error) {
 	cfg = cfg.withDefaults()
 	c := &CRAID{
 		latencies:  newLatencies(),
@@ -414,8 +436,10 @@ func NewCRAID(arr *Array, cfg Config, sharedPC bool, cacheDisks []int, cacheBase
 	}
 	c.insEvict = c.insertEvicted
 	c.table = newMapIndex(cfg, archiveLayout.DataBlocks())
-	c.buildPC()
-	return c
+	if err := c.buildPC(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // newMapIndex builds the mapping index for cfg: a single tree, or one
@@ -434,8 +458,11 @@ func newMapIndex(cfg Config, archiveBlocks int64) mapcache.Index {
 }
 
 // buildPC (re)creates the cache partition layout, allocator and policy
-// over the current cacheDisks.
-func (c *CRAID) buildPC() {
+// over the current cacheDisks. A bad configuration (an unknown policy
+// name) surfaces as an error from NewCRAID; later rebuilds (Expand,
+// crash-restart) reuse a configuration that already built once, so
+// there a failure is a programmer-error invariant and panics.
+func (c *CRAID) buildPC() error {
 	group := c.cfg.ParityGroup
 	var layout raid.Layout
 	switch c.cfg.Level {
@@ -456,11 +483,12 @@ func (c *CRAID) buildPC() {
 		},
 	})
 	if err != nil {
-		panic(fmt.Sprintf("core: %v", err))
+		return fmt.Errorf("core: %w", err)
 	}
 	c.policy = policy
 	c.free = freeRuns{}
 	c.next = 0
+	return nil
 }
 
 // Stats returns the monitor counters.
@@ -480,8 +508,8 @@ func (c *CRAID) DataBlocks() int64 { return c.pa.layout.DataBlocks() }
 // Submit implements Volume, realizing the paper's Fig. 2 control flow.
 // It is submitPlanned without a plan, so the direct and the
 // multi-queue paths share one join choreography.
-func (c *CRAID) Submit(rec trace.Record, done func(sim.Time)) {
-	c.submitPlanned(rec, nil, done)
+func (c *CRAID) Submit(rec trace.Record, done func(sim.Time)) error {
+	return c.submitPlanned(rec, nil, done)
 }
 
 // readPath serves reads by classifying hit and miss extents inline —
@@ -762,9 +790,17 @@ func (c *CRAID) Expand(newDevs []disk.Device) ExpandStats {
 			}
 		}
 	}
-	c.buildPC() // resets policy, allocator and (shared) geometry
+	c.rebuildPC() // resets policy, allocator and (shared) geometry
 	c.flushLog()
 	return st
+}
+
+// rebuildPC is buildPC for a configuration that already built once: a
+// failure there is a programmer-error invariant, not an input error.
+func (c *CRAID) rebuildPC() {
+	if err := c.buildPC(); err != nil {
+		panic(err)
+	}
 }
 
 // ExpandRetain is the paper's §6 "smarter rebalancing" extension: grow
@@ -801,7 +837,7 @@ func (c *CRAID) ExpandRetain(newDevs []disk.Device) ExpandStats {
 
 	oldPC := c.pc
 	oldNext, oldFree := c.next, c.free
-	c.buildPC()
+	c.rebuildPC()
 	// Keep the allocator state: old slot numbers remain reserved (the
 	// new P_C is strictly larger for a growth expansion).
 	if c.pcData < oldNext {
@@ -816,7 +852,10 @@ func (c *CRAID) ExpandRetain(newDevs []disk.Device) ExpandStats {
 		return true
 	})
 
-	// Physically migrate live blocks, coalescing consecutive slots.
+	// Physically migrate live blocks, coalescing consecutive slots. The
+	// epoch stamp drops the re-placement write if a crash-restart tears
+	// this incarnation down while the old-placement read is in flight.
+	epoch := c.epoch
 	for i := 0; i < len(slots); {
 		j := i + 1
 		for j < len(slots) && slots[j] == slots[j-1]+1 {
@@ -825,6 +864,9 @@ func (c *CRAID) ExpandRetain(newDevs []disk.Device) ExpandStats {
 		start, n := slots[i], int64(j-i)
 		st.Migrated += n
 		sub := newJoin(func(sim.Time) {
+			if c.epoch != epoch {
+				return
+			}
 			detached := c.arr.newJoin(nil)
 			c.pc.write(detached, start, n)
 			detached.seal(c.arr.Eng.Now())
@@ -850,6 +892,7 @@ func (c *CRAID) ExpandRetain(newDevs []disk.Device) ExpandStats {
 func (c *CRAID) SetMappingLog(w io.Writer) {
 	c.table.SetLog(w)
 	c.logFlush, _ = w.(interface{ Flush() })
+	c.logErr, _ = w.(interface{ Err() error })
 	if c.cfg.MapLogSync {
 		if s, ok := w.(interface{ SetSyncOnFlush(bool) }); ok {
 			s.SetSyncOnFlush(true)
@@ -857,11 +900,21 @@ func (c *CRAID) SetMappingLog(w io.Writer) {
 	}
 }
 
-// flushLog marks an apply-step boundary for a batching mapping log.
-func (c *CRAID) flushLog() {
+// flushLog marks an apply-step boundary for a batching mapping log and
+// reports the log's sticky error state (LogRing.Err): a dying log
+// device fails the run at the next apply step instead of surfacing as
+// a teardown surprise. Background flush points (copy-ins, expansions)
+// discard the error — it is sticky, so the next Submit returns it.
+func (c *CRAID) flushLog() error {
 	if c.logFlush != nil {
 		c.logFlush.Flush()
 	}
+	if c.logErr != nil {
+		if err := c.logErr.Err(); err != nil {
+			return fmt.Errorf("core: mapping log: %w", err)
+		}
+	}
+	return nil
 }
 
 // Recover replays a dirty-translation log after a crash: dirty cached
@@ -876,6 +929,13 @@ func (c *CRAID) Recover(r io.Reader) (int, error) {
 	if c.table.Len() != 0 || c.next != 0 {
 		return 0, fmt.Errorf("core: Recover on a non-fresh controller")
 	}
+	return c.recoverLog(r)
+}
+
+// recoverLog reinstates the dirty translations a log image carries
+// into an empty mapping state (fresh construction or post-crash
+// teardown).
+func (c *CRAID) recoverLog(r io.Reader) (int, error) {
 	ms, err := mapcache.Recover(r)
 	if err != nil {
 		return 0, err
@@ -904,6 +964,33 @@ func (c *CRAID) Recover(r io.Reader) (int, error) {
 		}
 	}
 	return len(ms), nil
+}
+
+// CrashRestart models the controller dying and coming back mid-run
+// (paper §4.2's failure scenario, exercised live): the mapping cache,
+// policy state and allocator are torn down as a crash would lose them,
+// the controller incarnation (epoch) advances so in-flight background
+// side effects — copy-ins, write-backs, ExpandRetain migrations — land
+// as timing only, and the dirty-translation state is reinstated from
+// log, exactly as Recover does on a fresh controller. A nil log
+// restarts cold. Requests already in flight keep their device timing;
+// requests submitted after the restart see the recovered state. It
+// returns the number of recovered mappings.
+func (c *CRAID) CrashRestart(log io.Reader) (int, error) {
+	if c.gated {
+		// A lookahead plan stage may be classifying: tearing the index
+		// down is the most structural mutation there is.
+		c.gate.Lock()
+		defer c.gate.Unlock()
+	}
+	c.epoch++
+	c.wb = c.wb[:0] // queued write-backs die with the incarnation
+	c.table.Clear() // bumps every shard version: all outstanding plans go stale
+	c.rebuildPC()
+	if log == nil {
+		return 0, nil
+	}
+	return c.recoverLog(log)
 }
 
 // allocRun reserves up to n consecutive P_C data blocks and returns the

@@ -15,7 +15,7 @@ func newLevelCRAID(eng *sim.Engine, level PCLevel) (*CRAID, *Array) {
 	arr := nullArray(eng, 6, 100000)
 	disks := []int{0, 1, 2, 3, 4, 5}
 	paLayout := raid.NewRAID5(6, 6, 4096, 4)
-	c := NewCRAID(arr, Config{
+	c := mustCRAID(arr, Config{
 		CachePerDisk: 64,
 		ParityGroup:  6,
 		StripeUnit:   4,
@@ -118,7 +118,7 @@ func TestExpandRetainDedicatedCacheIsNoop(t *testing.T) {
 	eng := sim.NewEngine()
 	arr := nullArray(eng, 6, 100000)
 	paLayout := raid.NewRAID5(4, 4, 4096, 4)
-	c := NewCRAID(arr, Config{CachePerDisk: 64, ParityGroup: 2, StripeUnit: 4},
+	c := mustCRAID(arr, Config{CachePerDisk: 64, ParityGroup: 2, StripeUnit: 4},
 		false, []int{4, 5}, 0, paLayout, []int{0, 1, 2, 3}, 0)
 	submitAndRun(eng, c, disk.OpWrite, 5, 1)
 	st := c.ExpandRetain([]disk.Device{disk.NewNullDevice(eng, "new", 100000)})

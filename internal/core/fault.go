@@ -1,0 +1,625 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"craid/internal/disk"
+	"craid/internal/fault"
+	"craid/internal/raid"
+	"craid/internal/sim"
+)
+
+// FaultOptions tunes the fault runtime; zero values take the defaults.
+type FaultOptions struct {
+	// RetryBase is the backoff before the first resubmission of a
+	// transiently-failed request; it doubles per attempt. Default 1ms.
+	RetryBase sim.Time
+	// MaxAttempts bounds submissions per request (initial + retries).
+	// Default 4.
+	MaxAttempts int
+	// ReconPerBlock is the compute cost of reconstructing one block
+	// from surviving units, per erasure the decode solves (XOR for the
+	// first, GF(256) for the second). Default 2µs.
+	ReconPerBlock sim.Time
+}
+
+func (o FaultOptions) withDefaults() FaultOptions {
+	if o.RetryBase <= 0 {
+		o.RetryBase = sim.Millisecond
+	}
+	if o.MaxAttempts < 1 {
+		o.MaxAttempts = 4
+	}
+	if o.ReconPerBlock <= 0 {
+		o.ReconPerBlock = 2 * sim.Microsecond
+	}
+	return o
+}
+
+// FaultStats aggregates what the fault fabric did to one run. All
+// counters are deterministic for a given plan + seed at every monitor
+// shards/workers/lookahead setting.
+type FaultStats struct {
+	Failures   int64 // DiskFail events fired
+	Transients int64 // device completions carrying an injected error
+	Retries    int64 // resubmissions after a transient error
+	Permanent  int64 // requests abandoned after the retry budget
+
+	DegradedReads  int64 // read extents served by reconstruction
+	DegradedBlocks int64 // blocks so served
+	PeerReads      int64 // surviving-unit reads issued for reconstruction
+	DegradedWrites int64 // write extents committed with a dead leg
+	LostExtents    int64 // extents beyond the layout's redundancy
+
+	RebuildRows   int64    // stripe-row units reconstructed
+	RebuildBlocks int64    // blocks rewritten onto replacement disks
+	RebuildStart  sim.Time // first rebuild's start instant
+	RebuildEnd    sim.Time // last rebuild's completion instant
+
+	Restarts          int64 // crash-restart events survived
+	RecoveredMappings int64 // dirty translations reinstated from the log
+}
+
+// RebuildDuration reports the wall-clock (simulated) span from the
+// first rebuild start to the last completion, 0 if none ran.
+func (s *FaultStats) RebuildDuration() sim.Time {
+	if s.RebuildEnd <= s.RebuildStart {
+		return 0
+	}
+	return s.RebuildEnd - s.RebuildStart
+}
+
+// faultState is the array-side fault machinery. It exists only while a
+// plan is installed; every hot-path check on healthy runs is a single
+// nil test.
+type faultState struct {
+	stats         FaultStats
+	failed        []bool   // device index → routed around
+	retryBase     sim.Time // first retry backoff (doubles per attempt)
+	maxAttempts   int
+	reconPerBlock sim.Time
+	retryFree     *retryOp
+	peerBuf       []int // scratch for Redundant.RowPeers
+}
+
+func (f *faultState) ensure(dev int) {
+	for len(f.failed) <= dev {
+		f.failed = append(f.failed, false)
+	}
+}
+
+// LostError reports that a submission touched extents beyond the
+// layout's surviving redundancy: with more devices down than parity
+// units, the data is unrecoverable and the request errors (its timing
+// still completes, so histograms stay comparable).
+type LostError struct {
+	Op      disk.Op
+	Block   int64
+	Count   int64
+	Extents int64
+}
+
+func (e *LostError) Error() string {
+	return fmt.Sprintf("core: %s [%d,+%d) lost %d extent(s) beyond redundancy",
+		e.Op, e.Block, e.Count, e.Extents)
+}
+
+// retryOp is one logical device submission being shepherded through
+// transient errors: on an error completion it resubmits after an
+// exponentially growing backoff until the attempt budget runs out.
+// Pooled like the array's other per-I/O control structures.
+type retryOp struct {
+	arr      *Array
+	dev      int
+	op       disk.Op
+	block    int64
+	count    int64
+	trackSeq bool
+	attempt  int
+	done     func(sim.Time)
+	doneFn   func(sim.Time)
+	failFn   func(sim.Time)
+	retryFn  func()
+	next     *retryOp
+}
+
+func (f *faultState) newRetry(a *Array, dev int, op disk.Op, block, count int64, trackSeq bool, done func(sim.Time)) *retryOp {
+	r := f.retryFree
+	if r == nil {
+		r = &retryOp{arr: a}
+		r.doneFn = r.complete
+		r.failFn = r.fail
+		r.retryFn = r.retry
+	} else {
+		f.retryFree = r.next
+		r.next = nil
+	}
+	r.dev, r.op, r.block, r.count, r.trackSeq = dev, op, block, count, trackSeq
+	r.done, r.attempt = done, 0
+	return r
+}
+
+// fail runs when an attempt completes with an error (injected verdict
+// or a Failed-device rejection).
+func (r *retryOp) fail(at sim.Time) {
+	f := r.arr.faults
+	f.stats.Transients++
+	r.attempt++
+	if r.attempt >= f.maxAttempts || r.arr.deviceDown(r.dev) {
+		// Budget exhausted, or the disk died under us: give up. The
+		// caller's join still completes — the simulator models timing —
+		// and the loss is visible in the stats.
+		f.stats.Permanent++
+		r.complete(at)
+		return
+	}
+	f.stats.Retries++
+	r.arr.Eng.After(f.retryBase<<uint(r.attempt-1), r.retryFn)
+}
+
+// retry resubmits the attempt.
+func (r *retryOp) retry() {
+	r.arr.issue(r.dev, r.op, r.block, r.count, r.trackSeq, r.doneFn, r.failFn)
+}
+
+// complete finishes the logical submission and recycles the op (before
+// done, which may submit further I/O and reclaim it).
+func (r *retryOp) complete(at sim.Time) {
+	f := r.arr.faults
+	done := r.done
+	r.done = nil
+	r.next = f.retryFree
+	f.retryFree = r
+	if done != nil {
+		done(at)
+	}
+}
+
+// degradedRead serves a read extent whose data disk is down: read the
+// surviving units of the stripe row — every group disk holds its unit
+// of the row at the same device block range, the uniform-row invariant
+// of the rotation tables — then pay the XOR/GF(256) reconstruction
+// cost before completing the client branch. With more failures than
+// parity units the extent is lost: it completes immediately, is
+// counted, and the submission that walked it reports a LostError.
+func (s *span) degradedRead(e raid.Extent) {
+	f := s.arr.faults
+	br := s.curJoin.branch()
+	now := s.arr.Eng.Now()
+	if s.red == nil {
+		f.stats.LostExtents++
+		s.arr.Eng.AfterTimed(0, br)
+		return
+	}
+	peers := s.red.RowPeers(e.Logical, f.peerBuf[:0])
+	f.peerBuf = peers[:0]
+	missing := 1
+	for _, p := range peers {
+		if s.arr.deviceDown(s.disks[p]) {
+			missing++
+		}
+	}
+	if missing > s.red.ParityUnits() {
+		f.stats.LostExtents++
+		s.arr.Eng.AfterTimed(0, br)
+		return
+	}
+	f.stats.DegradedReads++
+	f.stats.DegradedBlocks += e.Count
+	// Reconstruction compute: proportional to the blocks combined and
+	// to how many erasures the decode solves.
+	delay := sim.Time(e.Count) * sim.Time(missing) * f.reconPerBlock
+	blk := s.base + e.Data.Block
+	eng := s.arr.Eng
+	sub := s.arr.newJoin(func(sim.Time) { eng.AfterTimed(delay, br) })
+	for _, p := range peers {
+		dev := s.disks[p]
+		if s.arr.deviceDown(dev) {
+			continue
+		}
+		f.stats.PeerReads++
+		s.arr.submit(dev, disk.OpRead, blk, e.Count, false, sub.branch())
+	}
+	sub.seal(now)
+}
+
+// extentDown reports whether any leg of e's write targets a failed
+// device. Called only when a fault plan is installed.
+func (s *span) extentDown(e raid.Extent) bool {
+	if s.arr.deviceDown(s.disks[e.Data.Disk]) {
+		return true
+	}
+	if e.Parity.Disk >= 0 {
+		if s.arr.deviceDown(s.disks[e.Parity.Disk]) {
+			return true
+		}
+		if s.dual != nil {
+			if q, ok := s.dual.QParityOf(e.Logical); ok && s.arr.deviceDown(s.disks[q.Disk]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// degradedWrite commits a write extent with at least one dead leg. A
+// dead parity leg is simply skipped — its content is reconstructible
+// later. A dead data leg turns the update into a reconstruct-write:
+// read the surviving non-parity units of the row, recompute parity
+// with the new data standing in for the dead unit, and write the
+// surviving parity legs — the new data lives on encoded in them. More
+// dead legs than parity units means the write cannot be made durable:
+// it completes (the simulator models timing), is counted lost, and the
+// submission reports a LostError.
+func (s *span) degradedWrite(e raid.Extent) {
+	f := s.arr.faults
+	now := s.arr.Eng.Now()
+	br := s.curJoin.branch()
+
+	// Gather the surviving write legs: data, P, Q.
+	var wdev [3]int
+	var wblk [3]int64
+	nw, dead, par := 0, 0, 0
+	d0 := s.disks[e.Data.Disk]
+	deadData := s.arr.deviceDown(d0)
+	if deadData {
+		dead++
+	} else {
+		wdev[nw], wblk[nw] = d0, s.base+e.Data.Block
+		nw++
+	}
+	qDisk := -1
+	if e.Parity.Disk >= 0 {
+		par = 1
+		pd := s.disks[e.Parity.Disk]
+		if s.arr.deviceDown(pd) {
+			dead++
+		} else {
+			wdev[nw], wblk[nw] = pd, s.base+e.Parity.Block
+			nw++
+		}
+		if s.dual != nil {
+			if q, ok := s.dual.QParityOf(e.Logical); ok {
+				par = 2
+				qDisk = q.Disk
+				qd := s.disks[q.Disk]
+				if s.arr.deviceDown(qd) {
+					dead++
+				} else {
+					wdev[nw], wblk[nw] = qd, s.base+q.Block
+					nw++
+				}
+			}
+		}
+	}
+	if dead > par || (deadData && s.red == nil) {
+		f.stats.LostExtents++
+		s.arr.Eng.AfterTimed(0, br)
+		return
+	}
+	f.stats.DegradedWrites++
+
+	count := e.Count
+	delay := sim.Time(0)
+	if deadData {
+		delay = sim.Time(count) * f.reconPerBlock
+	}
+	eng := s.arr.Eng
+	arr := s.arr
+	nwv, wdevv, wblkv := nw, wdev, wblk
+	phase2 := func() {
+		inner := arr.newJoin(br)
+		for i := 0; i < nwv; i++ {
+			arr.submit(wdevv[i], disk.OpWrite, wblkv[i], count, false, inner.branch())
+		}
+		inner.seal(eng.Now())
+	}
+	phase1 := arr.newJoin(func(sim.Time) { eng.After(delay, phase2) })
+	if deadData {
+		// Reconstruct-write pre-reads: the surviving *data* units of
+		// the row (parity legs are overwritten, their old content is
+		// not needed).
+		peers := s.red.RowPeers(e.Logical, f.peerBuf[:0])
+		f.peerBuf = peers[:0]
+		for _, p := range peers {
+			if p == e.Parity.Disk || p == qDisk {
+				continue
+			}
+			dev := s.disks[p]
+			if arr.deviceDown(dev) {
+				continue
+			}
+			f.stats.PeerReads++
+			arr.submit(dev, disk.OpRead, s.base+e.Data.Block, count, false, phase1.branch())
+		}
+	} else {
+		// Ordinary RMW pre-reads restricted to the surviving legs.
+		for i := 0; i < nw; i++ {
+			arr.submit(wdev[i], disk.OpRead, wblk[i], count, false, phase1.branch())
+		}
+	}
+	phase1.seal(now)
+}
+
+// FaultRuntime binds a fault.Plan to a volume: it owns the per-device
+// injectors, compiles the plan's events onto the simulation clock, and
+// drives rebuild traffic through the same engine — and the same device
+// queues — the monitor runs on.
+type FaultRuntime struct {
+	arr  *Array
+	vol  Volume
+	opt  FaultOptions
+	devs []*fault.Device
+	down int // devices currently routed around
+
+	// crashSrc, when set, supplies the log image CrashRestart events
+	// recover from.
+	crashSrc func() (io.Reader, error)
+	err      error
+}
+
+// InstallFaults arms plan on vol's array. Injectors attach to every
+// device up front — verdict counters advance uniformly from time zero,
+// making each draw independent of when transient windows open — and
+// every event schedules its sim-clock callback immediately, before any
+// replay records are scheduled, so same-instant fault transitions
+// order ahead of record submissions at every pipeline setting. Call
+// once, before the replay starts.
+func InstallFaults(arr *Array, vol Volume, plan fault.Plan, opt FaultOptions) *FaultRuntime {
+	opt = opt.withDefaults()
+	rt := &FaultRuntime{arr: arr, vol: vol, opt: opt}
+	arr.faults = &faultState{
+		retryBase:     opt.RetryBase,
+		maxAttempts:   opt.MaxAttempts,
+		reconPerBlock: opt.ReconPerBlock,
+	}
+	arr.faults.ensure(arr.Devices() - 1)
+	rt.devs = make([]*fault.Device, arr.Devices())
+	for i := range rt.devs {
+		rt.devs[i] = fault.NewDevice(plan.Seed, i)
+		if fd, ok := arr.Device(i).(disk.Faultable); ok {
+			fd.SetInjector(rt.devs[i])
+		}
+	}
+	for _, ev := range plan.Events {
+		rt.schedule(ev)
+	}
+	return rt
+}
+
+// Stats returns the runtime's counters (a live view; read after the
+// engine stops for final values).
+func (rt *FaultRuntime) Stats() *FaultStats { return &rt.arr.faults.stats }
+
+// Err reports the first fatal fault-processing error (a failed crash
+// recovery), which also stopped the engine.
+func (rt *FaultRuntime) Err() error { return rt.err }
+
+// SetCrashSource provides the log image CrashRestart events recover
+// from — e.g. a LogRing barrier over an in-memory mirror. Without one,
+// crash events restart the controller cold (all cached state lost).
+func (rt *FaultRuntime) SetCrashSource(fn func() (io.Reader, error)) { rt.crashSrc = fn }
+
+func (rt *FaultRuntime) schedule(ev fault.Event) {
+	eng := rt.arr.Eng
+	switch ev.Kind {
+	case fault.DiskFail:
+		dev := ev.Dev
+		eng.Schedule(ev.At, func() { rt.failDisk(dev) })
+	case fault.Transient:
+		dev, rate, lat := ev.Dev, ev.Rate, ev.LatencyX
+		eng.Schedule(ev.At, func() {
+			if dev < len(rt.devs) {
+				rt.devs[dev].SetTransient(rate, lat)
+			}
+		})
+		if ev.Until > ev.At {
+			eng.Schedule(ev.Until, func() {
+				if dev < len(rt.devs) {
+					rt.devs[dev].ClearTransient()
+				}
+			})
+		}
+	case fault.Rebuild:
+		dev, rate := ev.Dev, ev.RateMBps
+		eng.Schedule(ev.At, func() { rt.startRebuild(dev, rate) })
+	case fault.CrashRestart:
+		eng.Schedule(ev.At, func() { rt.crashRestart() })
+	}
+}
+
+func (rt *FaultRuntime) failDisk(dev int) {
+	f := rt.arr.faults
+	if dev >= rt.arr.Devices() {
+		return
+	}
+	f.ensure(dev)
+	if f.failed[dev] {
+		return
+	}
+	f.failed[dev] = true
+	f.stats.Failures++
+	if fd, ok := rt.arr.Device(dev).(disk.Faultable); ok {
+		fd.SetFailed(true)
+	}
+	rt.down++
+	rt.setDegraded()
+}
+
+// setDegraded brackets the volume's degraded-window latency recording.
+func (rt *FaultRuntime) setDegraded() {
+	if d, ok := rt.vol.(interface{ setDegraded(bool) }); ok {
+		d.setDegraded(rt.down > 0)
+	}
+}
+
+// spans lists the volume's device-backed partitions, for rebuild
+// discovery.
+func (rt *FaultRuntime) spans() []*span {
+	switch v := rt.vol.(type) {
+	case *CRAID:
+		return []*span{v.pc, v.pa}
+	case *RAIDController:
+		return []*span{v.span}
+	}
+	return nil
+}
+
+// rebuildJob reconstructs one failed device: a sequence of per-span
+// stripe-row walks, paced to the configured rate.
+type rebuildJob struct {
+	rt       *FaultRuntime
+	dev      int
+	rateMBps float64
+	walks    []spanWalk
+	cur      int
+	stepFn   func()
+}
+
+type spanWalk struct {
+	s *span
+	w *raid.RebuildWalker
+}
+
+// startRebuild brings a spare online for dev and walks its stripe rows
+// at rateMBps: for each row, read the surviving peers, pay the
+// reconstruction compute, write the unit onto the spare. The device's
+// Failed state clears immediately (the spare accepts the rebuild
+// writes) but the array keeps routing client I/O around it — reads
+// still reconstruct — until the walk completes and the device rejoins.
+// Traffic flows through the ordinary submission path, so it contends
+// with the monitor on the same queues.
+func (rt *FaultRuntime) startRebuild(dev int, rateMBps float64) {
+	f := rt.arr.faults
+	if dev >= rt.arr.Devices() || dev >= len(f.failed) || !f.failed[dev] {
+		return
+	}
+	if rateMBps <= 0 {
+		rateMBps = fault.DefaultRateMBps
+	}
+	if fd, ok := rt.arr.Device(dev).(disk.Faultable); ok {
+		fd.SetFailed(false)
+	}
+	if f.stats.RebuildStart == 0 {
+		f.stats.RebuildStart = rt.arr.Eng.Now()
+	}
+	job := &rebuildJob{rt: rt, dev: dev, rateMBps: rateMBps}
+	job.stepFn = job.step
+	for _, s := range rt.spans() {
+		if s.red == nil {
+			continue
+		}
+		li := -1
+		for i, d := range s.disks {
+			if d == dev {
+				li = i
+				break
+			}
+		}
+		if li < 0 {
+			continue
+		}
+		job.walks = append(job.walks, spanWalk{s: s, w: raid.NewRebuildWalker(s.red, li)})
+	}
+	job.step()
+}
+
+// step launches the next stripe-row reconstruction, or finishes the
+// rebuild when every span walk is exhausted.
+func (r *rebuildJob) step() {
+	for r.cur < len(r.walks) {
+		sw := r.walks[r.cur]
+		blk, n, peers, ok := sw.w.Next()
+		if !ok {
+			r.cur++
+			continue
+		}
+		r.row(sw, blk, n, peers)
+		return
+	}
+	r.rt.finishRebuild(r.dev)
+}
+
+// row reconstructs one stripe-row unit: read the surviving peers, pay
+// the decode, write the unit to the spare, then schedule the next row
+// no earlier than the rate limit allows (pacing is by row start, so a
+// loaded array that services rows slowly is simply late, never
+// bursty).
+func (r *rebuildJob) row(sw spanWalk, blk, n int64, peers []int) {
+	rt := r.rt
+	f := rt.arr.faults
+	eng := rt.arr.Eng
+	start := eng.Now()
+	s := sw.s
+	dev := r.dev
+	pace := sim.Time(float64(n*disk.BlockSize) * 1000 / r.rateMBps)
+	sub := rt.arr.newJoin(func(sim.Time) {
+		eng.After(f.reconPerBlock*sim.Time(n), func() {
+			wr := rt.arr.newJoin(func(sim.Time) {
+				f.stats.RebuildRows++
+				f.stats.RebuildBlocks += n
+				next := start + pace
+				if next < eng.Now() {
+					next = eng.Now()
+				}
+				eng.Schedule(next, r.stepFn)
+			})
+			rt.arr.submit(dev, disk.OpWrite, s.base+blk, n, false, wr.branch())
+			wr.seal(eng.Now())
+		})
+	})
+	for _, p := range peers {
+		d := s.disks[p]
+		if rt.arr.deviceDown(d) || d == dev {
+			continue
+		}
+		f.stats.PeerReads++
+		rt.arr.submit(d, disk.OpRead, s.base+blk, n, false, sub.branch())
+	}
+	sub.seal(eng.Now())
+}
+
+// finishRebuild rejoins the device: client I/O routes to it again.
+func (rt *FaultRuntime) finishRebuild(dev int) {
+	f := rt.arr.faults
+	f.failed[dev] = false
+	rt.down--
+	rt.setDegraded()
+	f.stats.RebuildEnd = rt.arr.Eng.Now()
+}
+
+func (rt *FaultRuntime) crashRestart() {
+	c, ok := rt.vol.(*CRAID)
+	if !ok {
+		rt.fatal(fmt.Errorf("fault: crash-restart requires a CRAID volume"))
+		return
+	}
+	var src io.Reader
+	if rt.crashSrc != nil {
+		r, err := rt.crashSrc()
+		if err != nil {
+			rt.fatal(fmt.Errorf("fault: reading crash log image: %w", err))
+			return
+		}
+		src = r
+	}
+	n, err := c.CrashRestart(src)
+	if err != nil {
+		rt.fatal(fmt.Errorf("fault: crash recovery: %w", err))
+		return
+	}
+	f := rt.arr.faults
+	f.stats.Restarts++
+	f.stats.RecoveredMappings += int64(n)
+}
+
+// fatal records the first unrecoverable fault-processing error and
+// stops the engine; ReplayWith then returns with the trace unfinished
+// and the caller reads Err.
+func (rt *FaultRuntime) fatal(err error) {
+	if rt.err == nil {
+		rt.err = err
+	}
+	rt.arr.Eng.Stop()
+}

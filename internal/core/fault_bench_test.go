@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"craid/internal/fault"
+	"craid/internal/sim"
+	"craid/internal/trace"
+)
+
+// BenchmarkReplayFaultFree is the healthy baseline for
+// BenchmarkReplayDegraded: the identical workload and controller with
+// no fault plan installed (the per-submission fault check is a single
+// nil test).
+func BenchmarkReplayFaultFree(b *testing.B) {
+	recs := randomWorkload(5, 2000, 12000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		c, _ := newMQCRAID(eng, 64, 1, 1, 0)
+		if _, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayDegraded measures the degraded-mode replay path: a
+// random workload against a CRAID whose cache partition runs with one
+// disk down from time zero, so every request touching the dead disk
+// pays the reconstruction fan-out.
+func BenchmarkReplayDegraded(b *testing.B) {
+	recs := randomWorkload(5, 2000, 12000)
+	plan, err := fault.ParsePlan("seed=9;fail:2@0s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		c, arr := newMQCRAID(eng, 64, 1, 1, 0)
+		rt := InstallFaults(arr, c, plan, FaultOptions{})
+		if _, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{}); err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,619 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"craid/internal/disk"
+	"craid/internal/fault"
+	"craid/internal/mapcache"
+	"craid/internal/raid"
+	"craid/internal/sim"
+	"craid/internal/trace"
+)
+
+// testFaultOptions pins the tunables so latency expectations are exact.
+var testFaultOptions = FaultOptions{
+	RetryBase:     sim.Millisecond,
+	MaxAttempts:   4,
+	ReconPerBlock: 2 * sim.Microsecond,
+}
+
+// installPlan parses and arms spec, then runs the engine so events at
+// t=0 fire before the test submits anything.
+func installPlan(t *testing.T, arr *Array, vol Volume, spec string) *FaultRuntime {
+	t.Helper()
+	plan, err := fault.ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := InstallFaults(arr, vol, plan, testFaultOptions)
+	arr.Eng.Run()
+	return rt
+}
+
+// replayFaultMQ replays recs on a fresh multi-queue CRAID with spec
+// armed, returning the full outcome fingerprint: controller stats and
+// histograms, fault counters, and every device's counter struct
+// (including Errors and Rejected).
+func replayFaultMQ(t *testing.T, recs []trace.Record, spec string, shards, workers, lookahead int) (mqOutcome, FaultStats, []disk.Stats) {
+	t.Helper()
+	plan, err := fault.ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	c, arr := newMQCRAID(eng, 64, shards, workers, lookahead)
+	rt := InstallFaults(arr, c, plan, testFaultOptions)
+	n, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(recs)) {
+		t.Fatalf("replayed %d of %d", n, len(recs))
+	}
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	r, w := ioTotals(arr)
+	devs := make([]disk.Stats, arr.Devices())
+	for i := range devs {
+		devs[i] = *arr.Device(i).Stats()
+	}
+	return mqOutcome{
+		stats: *c.Stats(), reads: r, writes: w, maps: c.table.Len(),
+		readLat:  c.ReadLatency().String(),
+		writeLat: c.WriteLatency().String(),
+	}, *rt.Stats(), devs
+}
+
+// TestFaultDeterminismAcrossPipelines is the PR's acceptance property:
+// with an identical fault plan and seed, the whole outcome — Stats,
+// fault counters, per-device counters including injected errors, and
+// the latency histograms — is bit-identical at every monitor shards ×
+// workers × lookahead setting. The plan exercises a transient window
+// (retries with backoff), a disk death (degraded reads and writes),
+// and a rebuild under the live workload.
+func TestFaultDeterminismAcrossPipelines(t *testing.T) {
+	const spec = "seed=9;transient:1@5ms-25ms,rate=0.05,lat=3;fail:2@10ms;rebuild:2@20ms,rate=64"
+	recs := randomWorkload(11, 3000, 12000)
+	ref, refFaults, refDevs := replayFaultMQ(t, recs, spec, 1, 1, 0)
+	if refFaults.Failures != 1 || refFaults.RebuildRows == 0 {
+		t.Fatalf("plan did not exercise the fabric: %+v", refFaults)
+	}
+	if refFaults.LostExtents != 0 {
+		t.Fatalf("single failure lost %d extents", refFaults.LostExtents)
+	}
+	for _, shards := range []int{1, 2, 5, 16} {
+		for _, workers := range []int{1, 2, 8} {
+			for _, lookahead := range []int{0, 1} {
+				if shards == 1 && workers == 1 && lookahead == 0 {
+					continue
+				}
+				got, gotFaults, gotDevs := replayFaultMQ(t, recs, spec, shards, workers, lookahead)
+				if got != ref {
+					t.Errorf("shards=%d workers=%d lookahead=%d: controller outcome diverged",
+						shards, workers, lookahead)
+				}
+				if gotFaults != refFaults {
+					t.Errorf("shards=%d workers=%d lookahead=%d: fault stats diverged:\n  %+v\n  %+v",
+						shards, workers, lookahead, gotFaults, refFaults)
+				}
+				if !reflect.DeepEqual(gotDevs, refDevs) {
+					t.Errorf("shards=%d workers=%d lookahead=%d: device counters diverged",
+						shards, workers, lookahead)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultHealthyPlanLeavesRunUntouched pins that arming an empty
+// plan (injectors attached, no events) changes nothing: the outcome
+// equals a run with no fault runtime at all.
+func TestFaultHealthyPlanLeavesRunUntouched(t *testing.T) {
+	recs := randomWorkload(5, 2000, 12000)
+	plain, _ := replayMQLookahead(t, recs, 64, 2, 2, testLookahead(), ReplayConfig{})
+	armed, faults, _ := replayFaultMQ(t, recs, "seed=7", 2, 2, testLookahead())
+	if armed != plain {
+		t.Fatal("empty fault plan changed the run outcome")
+	}
+	if faults != (FaultStats{}) {
+		t.Fatalf("empty plan accumulated fault stats: %+v", faults)
+	}
+}
+
+// TestDegradedReadRAID5EveryBlockReadable is the degraded-mode
+// correctness pin: with one disk down in a RAID-5 group, every single
+// logical block still reads successfully, and the reconstruction cost
+// and peer-read traffic match the per-unit reference computed directly
+// from the layout geometry.
+func TestDegradedReadRAID5EveryBlockReadable(t *testing.T) {
+	const dead = 2
+	eng := sim.NewEngine()
+	arr := nullArray(eng, 5, 10000)
+	lay := raid.NewRAID5(5, 5, 160, 4)
+	ctl := NewRAIDController(arr, lay, []int{0, 1, 2, 3, 4}, 0)
+	rt := installPlan(t, arr, ctl, fmt.Sprintf("seed=1;fail:%d@0s", dead))
+
+	recon := testFaultOptions.ReconPerBlock
+	var wantDeg, wantPeer int64
+	for b := int64(0); b < lay.DataBlocks(); b++ {
+		got := submitAndRun(eng, ctl, disk.OpRead, b, 1)
+		if lay.Locate(b).Disk == dead {
+			wantDeg++
+			wantPeer += int64(len(lay.RowPeers(b, nil))) // all peers survive
+			if got != recon {                            // one block, one erasure
+				t.Fatalf("block %d: degraded read took %v, want %v", b, got, recon)
+			}
+		} else if got != 0 {
+			t.Fatalf("block %d: healthy read took %v on instant devices", b, got)
+		}
+	}
+	st := rt.Stats()
+	if st.LostExtents != 0 {
+		t.Fatalf("single failure lost %d extents", st.LostExtents)
+	}
+	if st.DegradedReads != wantDeg || st.DegradedBlocks != wantDeg || st.PeerReads != wantPeer {
+		t.Fatalf("degraded counters %+v, reference wants %d reads / %d peer reads",
+			st, wantDeg, wantPeer)
+	}
+	if s := arr.Device(dead).Stats(); s.Reads != 0 || s.Rejected != 0 {
+		t.Fatalf("dead device was consulted: %+v", s)
+	}
+}
+
+// TestDegradedReadRAID6DoubleFailure extends the pin to two
+// simultaneous losses: RAID-6 still serves every block, the decode
+// pays for two erasures, and only the surviving peers are read.
+func TestDegradedReadRAID6DoubleFailure(t *testing.T) {
+	deadA, deadB := 1, 4
+	eng := sim.NewEngine()
+	arr := nullArray(eng, 6, 10000)
+	lay := raid.NewRAID6(6, 6, 160, 4)
+	ctl := NewRAIDController(arr, lay, []int{0, 1, 2, 3, 4, 5}, 0)
+	rt := installPlan(t, arr, ctl, fmt.Sprintf("seed=1;fail:%d@0s;fail:%d@0s", deadA, deadB))
+
+	recon := testFaultOptions.ReconPerBlock
+	var wantDeg, wantPeer int64
+	for b := int64(0); b < lay.DataBlocks(); b++ {
+		got := submitAndRun(eng, ctl, disk.OpRead, b, 1)
+		d := lay.Locate(b).Disk
+		if d == deadA || d == deadB {
+			wantDeg++
+			// One peer is the other dead disk: both erasures are
+			// solved, and one fewer peer is readable.
+			wantPeer += int64(len(lay.RowPeers(b, nil))) - 1
+			if want := 2 * recon; got != want {
+				t.Fatalf("block %d: double-degraded read took %v, want %v", b, got, want)
+			}
+		} else if got != 0 {
+			t.Fatalf("block %d: healthy read took %v", b, got)
+		}
+	}
+	st := rt.Stats()
+	if st.LostExtents != 0 {
+		t.Fatalf("double failure in RAID-6 lost %d extents", st.LostExtents)
+	}
+	if st.DegradedReads != wantDeg || st.PeerReads != wantPeer {
+		t.Fatalf("degraded counters %+v, reference wants %d reads / %d peer reads",
+			st, wantDeg, wantPeer)
+	}
+}
+
+// TestDegradedWriteRAID5 pins the write-side degraded contract against
+// the geometry reference: dead parity legs are skipped, a dead data
+// leg becomes a reconstruct-write through the surviving data peers,
+// and nothing ever lands on the dead device.
+func TestDegradedWriteRAID5(t *testing.T) {
+	const dead = 2
+	eng := sim.NewEngine()
+	arr := nullArray(eng, 5, 10000)
+	lay := raid.NewRAID5(5, 5, 160, 4)
+	ctl := NewRAIDController(arr, lay, []int{0, 1, 2, 3, 4}, 0)
+	rt := installPlan(t, arr, ctl, fmt.Sprintf("seed=1;fail:%d@0s", dead))
+
+	recon := testFaultOptions.ReconPerBlock
+	var wantDeg, wantPeer int64
+	for b := int64(0); b < lay.DataBlocks(); b++ {
+		got := submitAndRun(eng, ctl, disk.OpWrite, b, 1)
+		p, _ := lay.ParityOf(b)
+		deadData := lay.Locate(b).Disk == dead
+		switch {
+		case deadData:
+			wantDeg++
+			// Surviving data peers: the group minus the dead data disk
+			// and minus the parity disk (overwritten, not read).
+			wantPeer += int64(len(lay.RowPeers(b, nil))) - 1
+			if got != recon {
+				t.Fatalf("block %d: reconstruct-write took %v, want %v", b, got, recon)
+			}
+		case p.Disk == dead:
+			wantDeg++ // parity leg skipped; data leg RMW only
+			if got != 0 {
+				t.Fatalf("block %d: dead-parity write took %v", b, got)
+			}
+		default:
+			if got != 0 {
+				t.Fatalf("block %d: healthy write took %v", b, got)
+			}
+		}
+	}
+	st := rt.Stats()
+	if st.LostExtents != 0 || st.DegradedWrites != wantDeg || st.PeerReads != wantPeer {
+		t.Fatalf("degraded write counters %+v, reference wants %d writes / %d peer reads",
+			st, wantDeg, wantPeer)
+	}
+	if s := arr.Device(dead).Stats(); s.Reads != 0 || s.Writes != 0 || s.Rejected != 0 {
+		t.Fatalf("dead device was touched: %+v", s)
+	}
+}
+
+// TestDegradedBeyondRedundancyReportsLost pins the loss contract: a
+// non-redundant layout (RAID-0) with a dead disk completes the timing
+// of every request but reports LostError for extents on the dead
+// device, and counts them.
+func TestDegradedBeyondRedundancyReportsLost(t *testing.T) {
+	const dead = 1
+	eng := sim.NewEngine()
+	arr := nullArray(eng, 4, 10000)
+	lay := raid.NewRAID0(4, 160, 4)
+	ctl := NewRAIDController(arr, lay, []int{0, 1, 2, 3}, 0)
+	rt := installPlan(t, arr, ctl, fmt.Sprintf("seed=1;fail:%d@0s", dead))
+
+	var wantLost int64
+	for b := int64(0); b < lay.DataBlocks(); b++ {
+		for _, op := range []disk.Op{disk.OpRead, disk.OpWrite} {
+			completed := false
+			err := ctl.Submit(trace.Record{Op: op, Block: b, Count: 1},
+				func(sim.Time) { completed = true })
+			eng.Run()
+			if !completed {
+				t.Fatalf("block %d %v: request never completed", b, op)
+			}
+			if lay.Locate(b).Disk == dead {
+				wantLost++
+				var lost *LostError
+				if !errors.As(err, &lost) {
+					t.Fatalf("block %d %v: err = %v, want LostError", b, op, err)
+				}
+				if lost.Op != op || lost.Block != b || lost.Extents != 1 {
+					t.Fatalf("block %d %v: LostError fields %+v", b, op, lost)
+				}
+			} else if err != nil {
+				t.Fatalf("block %d %v on healthy disk: %v", b, op, err)
+			}
+		}
+	}
+	if st := rt.Stats(); st.LostExtents != wantLost {
+		t.Fatalf("LostExtents = %d, reference wants %d", st.LostExtents, wantLost)
+	}
+}
+
+// TestDegradedRAID5SecondFailureLosesData pins the same boundary on a
+// redundant layout: two dead disks in one RAID-5 group exceed the
+// parity budget exactly for the blocks whose row touches both.
+func TestDegradedRAID5SecondFailureLosesData(t *testing.T) {
+	deadA, deadB := 1, 3
+	eng := sim.NewEngine()
+	arr := nullArray(eng, 5, 10000)
+	lay := raid.NewRAID5(5, 5, 160, 4)
+	ctl := NewRAIDController(arr, lay, []int{0, 1, 2, 3, 4}, 0)
+	rt := installPlan(t, arr, ctl, fmt.Sprintf("seed=1;fail:%d@0s;fail:%d@0s", deadA, deadB))
+
+	var wantLost int64
+	for b := int64(0); b < lay.DataBlocks(); b++ {
+		d := lay.Locate(b).Disk
+		err := ctl.Submit(trace.Record{Op: disk.OpRead, Block: b, Count: 1}, func(sim.Time) {})
+		eng.Run()
+		if d == deadA || d == deadB {
+			wantLost++
+			var lost *LostError
+			if !errors.As(err, &lost) {
+				t.Fatalf("block %d: dead-disk read err = %v, want LostError", b, err)
+			}
+		} else if err != nil {
+			// Single-group RAID-5: both dead disks are always peers,
+			// but a healthy data disk's read never reconstructs.
+			t.Fatalf("block %d: healthy-disk read errored: %v", b, err)
+		}
+	}
+	if st := rt.Stats(); st.LostExtents != wantLost || st.DegradedReads != 0 {
+		t.Fatalf("counters %+v, want %d lost and no degraded reads", rt.Stats(), wantLost)
+	}
+}
+
+// TestFaultTransientRetryBudget pins the retry machinery exactly: a
+// rate-1 window makes every attempt fail, so one submission burns the
+// whole budget — MaxAttempts transients, MaxAttempts-1 retries with
+// exponential backoff, one permanent failure — and the client's
+// completion arrives after the summed backoff.
+func TestFaultTransientRetryBudget(t *testing.T) {
+	eng := sim.NewEngine()
+	arr := nullArray(eng, 2, 10000)
+	lay := raid.NewRAID0(2, 160, 4)
+	ctl := NewRAIDController(arr, lay, []int{0, 1}, 0)
+	rt := installPlan(t, arr, ctl, "seed=1;transient:0@0s,rate=1,lat=1")
+
+	// Block 0 lives on disk 0 (RAID-0 striping starts there).
+	if d := lay.Locate(0).Disk; d != 0 {
+		t.Fatalf("layout places block 0 on disk %d", d)
+	}
+	got := submitAndRun(eng, ctl, disk.OpRead, 0, 1)
+	// Backoffs: 1ms, 2ms, 4ms after attempts 1..3; attempt 4 gives up.
+	if want := 7 * testFaultOptions.RetryBase; got != want {
+		t.Fatalf("retry choreography took %v, want %v", got, want)
+	}
+	st := rt.Stats()
+	if st.Transients != 4 || st.Retries != 3 || st.Permanent != 1 {
+		t.Fatalf("retry counters %+v, want 4 transients / 3 retries / 1 permanent", st)
+	}
+	if s := arr.Device(0).Stats(); s.Errors != 4 || s.Reads != 0 {
+		t.Fatalf("device saw %+v, want 4 errored attempts", s)
+	}
+	// The window only covers disk 0: disk 1 serves normally.
+	var b1 int64 = -1
+	for b := int64(0); b < lay.DataBlocks(); b++ {
+		if lay.Locate(b).Disk == 1 {
+			b1 = b
+			break
+		}
+	}
+	if got := submitAndRun(eng, ctl, disk.OpRead, b1, 1); got != 0 {
+		t.Fatalf("unaffected disk read took %v", got)
+	}
+}
+
+// TestFaultRebuildWalksAndRestoresDevice pins the rebuild pipeline on
+// a quiet array: the walk reads every surviving peer once per row,
+// writes every row onto the spare, paces to the configured rate, and
+// rejoins the device — after which reads are served natively again.
+func TestFaultRebuildWalksAndRestoresDevice(t *testing.T) {
+	const dead = 1
+	eng := sim.NewEngine()
+	arr := nullArray(eng, 4, 10000)
+	lay := raid.NewRAID5(4, 4, 64, 4)
+	ctl := NewRAIDController(arr, lay, []int{0, 1, 2, 3}, 0)
+	plan := fmt.Sprintf("seed=1;fail:%d@1ms;rebuild:%d@2ms,rate=64", dead, dead)
+	rt := installPlan(t, arr, ctl, plan) // installPlan drains: rebuild completes here
+
+	rows := lay.BlocksPerDisk() / lay.StripeUnitBlocks()
+	st := rt.Stats()
+	if st.RebuildRows != rows || st.RebuildBlocks != lay.BlocksPerDisk() {
+		t.Fatalf("rebuild covered %d rows / %d blocks, want %d / %d",
+			st.RebuildRows, st.RebuildBlocks, rows, lay.BlocksPerDisk())
+	}
+	if s := arr.Device(dead).Stats(); s.Writes != rows {
+		t.Fatalf("spare received %d writes, want one per row (%d)", s.Writes, rows)
+	}
+	if st.PeerReads != rows*int64(len(lay.DiskPeers(dead, nil))) {
+		t.Fatalf("rebuild issued %d peer reads, want %d per row", st.PeerReads, rows)
+	}
+	// Pacing: row starts are rate-limited, so the span from first to
+	// last completion covers at least (rows-1) paced gaps.
+	pace := sim.Time(float64(lay.StripeUnitBlocks()*disk.BlockSize) * 1000 / 64)
+	if d := st.RebuildDuration(); d < sim.Time(rows-1)*pace {
+		t.Fatalf("rebuild duration %v under the rate-limit floor %v", d, sim.Time(rows-1)*pace)
+	}
+	// The device rejoined: reads are native (no reconstruction delay,
+	// no degraded counters moving).
+	deg0 := st.DegradedReads
+	for b := int64(0); b < lay.DataBlocks(); b++ {
+		if lay.Locate(b).Disk == dead {
+			if got := submitAndRun(eng, ctl, disk.OpRead, b, 1); got != 0 {
+				t.Fatalf("post-rebuild read of block %d took %v", b, got)
+			}
+			break
+		}
+	}
+	if st.DegradedReads != deg0 {
+		t.Fatal("post-rebuild read still reconstructed")
+	}
+}
+
+// TestCrashRestartLogRingMatchesSyncControl is the crash-recovery e2e:
+// the same workload replayed with a crash mid-run, once logging
+// synchronously to a plain buffer and once through the batched LogRing
+// with a Barrier'd in-memory mirror as the crash source. The recovered
+// state, the entire post-crash run, and the final log byte streams
+// must be identical — the ring changes scheduling, never contents.
+func TestCrashRestartLogRingMatchesSyncControl(t *testing.T) {
+	recs := randomWorkload(23, 4000, 12000)
+	const spec = "seed=5;crash@20ms"
+
+	type outcome struct {
+		faults FaultStats
+		stats  Stats
+		dirty  []mapcache.Mapping
+		rd, wr string
+	}
+	run := func(useRing bool) (outcome, []byte) {
+		plan, err := fault.ParsePlan(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.NewEngine()
+		c, arr := newMQCRAID(eng, 64, 16, 8, testLookahead())
+		var log bytes.Buffer
+		var ring *mapcache.LogRing
+		if useRing {
+			ring = mapcache.NewLogRing(&log, 512, 3)
+			c.SetMappingLog(ring)
+		} else {
+			c.SetMappingLog(&log)
+		}
+		rt := InstallFaults(arr, c, plan, testFaultOptions)
+		rt.SetCrashSource(func() (io.Reader, error) {
+			if ring != nil {
+				if err := ring.Barrier(); err != nil {
+					return nil, err
+				}
+			}
+			return bytes.NewReader(log.Bytes()), nil
+		})
+		if _, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if ring != nil {
+			if err := ring.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return outcome{
+			faults: *rt.Stats(),
+			stats:  *c.Stats(),
+			dirty:  c.table.DirtyMappings(),
+			rd:     c.ReadLatency().String(),
+			wr:     c.WriteLatency().String(),
+		}, log.Bytes()
+	}
+
+	sync, syncLog := run(false)
+	ringO, ringLog := run(true)
+	if sync.faults.Restarts != 1 {
+		t.Fatalf("crash never fired: %+v", sync.faults)
+	}
+	if sync.faults.RecoveredMappings == 0 {
+		t.Fatal("crash recovered no mappings; the workload should have dirtied the cache")
+	}
+	if ringO.faults != sync.faults {
+		t.Errorf("fault stats diverged:\n  ring %+v\n  sync %+v", ringO.faults, sync.faults)
+	}
+	if ringO.stats != sync.stats {
+		t.Error("controller stats diverged between ring and sync logs")
+	}
+	if !reflect.DeepEqual(ringO.dirty, sync.dirty) {
+		t.Error("post-crash dirty mapping state diverged")
+	}
+	if ringO.rd != sync.rd || ringO.wr != sync.wr {
+		t.Error("latency histograms diverged")
+	}
+	if !bytes.Equal(syncLog, ringLog) {
+		t.Errorf("log byte streams diverged (%d vs %d bytes)", len(syncLog), len(ringLog))
+	}
+}
+
+// TestCrashRecoveryMidExpandRetain kills the controller while
+// ExpandRetain's migration reads are in flight: the epoch stamp must
+// drop every stale re-placement write, and the recovered mapping state
+// must equal what a fresh controller recovers from the same log.
+func TestCrashRecoveryMidExpandRetain(t *testing.T) {
+	recs := randomWorkload(29, 2500, 12000)
+	eng := sim.NewEngine()
+	c, arr := newMQCRAID(eng, 64, 4, 2, testLookahead())
+	var log bytes.Buffer
+	c.SetMappingLog(&log)
+	if _, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	logBytes := append([]byte(nil), log.Bytes()...)
+
+	st := c.ExpandRetain([]disk.Device{disk.NewNullDevice(eng, "spare", 100000)})
+	if st.Migrated == 0 {
+		t.Fatal("expansion migrated nothing; the cache should be populated")
+	}
+	// The migration I/O is scheduled but not yet run: crash now.
+	writesBefore := make([]int64, arr.Devices())
+	for i := range writesBefore {
+		writesBefore[i] = arr.Device(i).Stats().Writes
+	}
+	n, err := c.CrashRestart(bytes.NewReader(logBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("restart recovered no mappings")
+	}
+	eng.Run() // drain the stale migration reads
+	for i := 0; i < arr.Devices(); i++ {
+		if got := arr.Device(i).Stats().Writes; got != writesBefore[i] {
+			t.Fatalf("device %d: %d stale re-placement writes landed after the crash",
+				i, got-writesBefore[i])
+		}
+	}
+
+	// Control: a fresh controller born with the expanded geometry,
+	// recovering the same log, must hold the identical mapping state.
+	eng2 := sim.NewEngine()
+	arr2 := nullArray(eng2, 5, 100000)
+	paLayout := raid.NewRAID5(4, 4, 4096, 4)
+	c2 := mustCRAID(arr2, Config{
+		Policy: "WLRU", CachePerDisk: 64, ParityGroup: 4, StripeUnit: 4,
+		MapShards: 4, MonitorWorkers: 2, PlanLookahead: testLookahead(),
+	}, true, []int{0, 1, 2, 3, 4}, 0, paLayout, []int{0, 1, 2, 3}, 64)
+	n2, err := c2.Recover(bytes.NewReader(logBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != n {
+		t.Fatalf("restart recovered %d mappings, fresh Recover %d", n, n2)
+	}
+	if !reflect.DeepEqual(c.table.DirtyMappings(), c2.table.DirtyMappings()) {
+		t.Fatal("post-crash mapping state diverged from a fresh recovery")
+	}
+
+	// Both controllers now replay a second phase; their mapping state
+	// must stay in lockstep — the crash survivor is a working
+	// controller, not a wreck.
+	recs2 := randomWorkload(31, 1500, 12000)
+	for i := range recs2 {
+		recs2[i].Time += sim.Second
+	}
+	if _, _, err := ReplayWith(eng, c, trace.NewSlice(recs2), ReplayConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReplayWith(eng2, c2, trace.NewSlice(recs2), ReplayConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.table.Len() != c2.table.Len() ||
+		!reflect.DeepEqual(c.table.DirtyMappings(), c2.table.DirtyMappings()) {
+		t.Fatal("phase-2 mapping state diverged between crash survivor and control")
+	}
+}
+
+// stickyErrLog is a synchronous mapping-log writer that dies after
+// accepting limit bytes, exposing the sticky error the way LogRing
+// does (Err method), so the controller's flush-step check sees it.
+type stickyErrLog struct {
+	n     int
+	limit int
+	err   error
+}
+
+func (w *stickyErrLog) Write(p []byte) (int, error) {
+	w.n += len(p)
+	if w.n > w.limit && w.err == nil {
+		w.err = errors.New("log device gone")
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	return len(p), nil
+}
+
+func (w *stickyErrLog) Err() error { return w.err }
+
+// TestMappingLogErrorFailsRun pins the satellite contract: a dying
+// mapping-log device surfaces as a Submit error at the next flush
+// step, aborting the replay instead of silently dropping durability.
+func TestMappingLogErrorFailsRun(t *testing.T) {
+	recs := randomWorkload(3, 3000, 12000)
+	eng := sim.NewEngine()
+	c, _ := newMQCRAID(eng, 64, 4, 2, testLookahead())
+	c.SetMappingLog(&stickyErrLog{limit: 4096})
+	_, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{})
+	if err == nil {
+		t.Fatal("replay over a dying mapping log reported success")
+	}
+	if !strings.Contains(err.Error(), "mapping log") {
+		t.Fatalf("error does not name the mapping log: %v", err)
+	}
+}

@@ -19,7 +19,7 @@ func benchCRAID(eng *sim.Engine) *CRAID {
 		disks[i] = i
 	}
 	paLayout := raid.NewRAID5(10, 10, 400_000, 32)
-	return NewCRAID(arr, Config{
+	return mustCRAID(arr, Config{
 		Policy:       "LRU",
 		CachePerDisk: 8192,
 		ParityGroup:  10,

@@ -26,7 +26,7 @@ func mqBenchCRAID(eng *sim.Engine, shards, workers, lookahead int) *CRAID {
 		disks[i] = i
 	}
 	paLayout := raid.NewRAID5(10, 10, 400_000, 32)
-	return NewCRAID(arr, Config{
+	return mustCRAID(arr, Config{
 		Policy:         "LRU",
 		CachePerDisk:   65536,
 		ParityGroup:    10,

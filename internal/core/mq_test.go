@@ -28,7 +28,7 @@ func newMQCRAID(eng *sim.Engine, cachePerDisk int64, shards, workers, lookahead 
 	arr := nullArray(eng, 4, 100000)
 	disks := []int{0, 1, 2, 3}
 	paLayout := raid.NewRAID5(4, 4, 4096, 4)
-	c := NewCRAID(arr, Config{
+	c := mustCRAID(arr, Config{
 		Policy:         "WLRU",
 		CachePerDisk:   cachePerDisk,
 		ParityGroup:    4,

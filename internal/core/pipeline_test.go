@@ -147,7 +147,7 @@ func TestMapLogSyncKnob(t *testing.T) {
 		arr := nullArray(eng, 4, 100000)
 		disks := []int{0, 1, 2, 3}
 		paLayout := raid.NewRAID5(4, 4, 4096, 4)
-		c := NewCRAID(arr, Config{
+		c := mustCRAID(arr, Config{
 			Policy:       "WLRU",
 			CachePerDisk: 64,
 			ParityGroup:  4,

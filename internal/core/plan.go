@@ -113,7 +113,7 @@ type batchPlanner interface {
 	// valid until planDepth()+1 further planBatch calls.
 	planBatch(recs []trace.Record) []recordPlan
 	// submitPlanned is Submit carrying the record's plan (nil = none).
-	submitPlanned(rec trace.Record, p *recordPlan, done func(sim.Time))
+	submitPlanned(rec trace.Record, p *recordPlan, done func(sim.Time)) error
 	// planDepth reports how many batches the replay pipeline should
 	// plan ahead of the apply stage (0 = plan synchronously between
 	// batches, the race-free-by-phase-separation mode).
@@ -176,8 +176,12 @@ func (c *CRAID) setLookahead(active bool) { c.gated = active }
 // choreography both submission paths share (Submit delegates here
 // with p = nil): commit p's classification when it is still provably
 // current, else classify inline.
-func (c *CRAID) submitPlanned(rec trace.Record, p *recordPlan, done func(sim.Time)) {
+func (c *CRAID) submitPlanned(rec trace.Record, p *recordPlan, done func(sim.Time)) error {
 	now := c.arr.Eng.Now()
+	var lost0 int64
+	if f := c.arr.faults; f != nil {
+		lost0 = f.stats.LostExtents
+	}
 	j := c.arr.newJoin(c.record(rec.Op, now, done))
 	switch {
 	case p != nil && c.planValid(p):
@@ -201,7 +205,13 @@ func (c *CRAID) submitPlanned(rec trace.Record, p *recordPlan, done func(sim.Tim
 		}
 	}
 	j.seal(now)
-	c.flushLog()
+	if err := c.flushLog(); err != nil {
+		return err
+	}
+	if f := c.arr.faults; f != nil && f.stats.LostExtents > lost0 {
+		return &LostError{Op: rec.Op, Block: rec.Block, Count: rec.Count, Extents: f.stats.LostExtents - lost0}
+	}
+	return nil
 }
 
 // planValid reports whether every shard p classified against is

@@ -12,7 +12,11 @@ import (
 // implement it.
 type Volume interface {
 	// Submit serves one request; done (optional) fires at completion.
-	Submit(rec trace.Record, done func(sim.Time))
+	// The error reports a request that cannot be served correctly —
+	// data lost beyond the layout's redundancy (LostError), or a dying
+	// mapping-log device — while its timing still completes through
+	// done so the simulation's clocks stay comparable.
+	Submit(rec trace.Record, done func(sim.Time)) error
 	// DataBlocks is the logical capacity.
 	DataBlocks() int64
 	// ReadLatency and WriteLatency expose the response-time
@@ -31,11 +35,23 @@ type latencies struct {
 	write *metrics.LatencyHist
 	seq   *metrics.SeqTracker
 
+	// degRead/degWrite additionally collect requests submitted while at
+	// least one device was down (the degraded window); degActive is
+	// toggled by the fault runtime.
+	degRead   *metrics.LatencyHist
+	degWrite  *metrics.LatencyHist
+	degActive bool
+
 	recFree *recOp // freelist of response-time recorders
 }
 
 func newLatencies() latencies {
-	return latencies{read: metrics.NewLatencyHist(), write: metrics.NewLatencyHist()}
+	return latencies{
+		read:     metrics.NewLatencyHist(),
+		write:    metrics.NewLatencyHist(),
+		degRead:  metrics.NewLatencyHist(),
+		degWrite: metrics.NewLatencyHist(),
+	}
 }
 
 // ReadLatency implements Volume.
@@ -47,6 +63,17 @@ func (l *latencies) WriteLatency() *metrics.LatencyHist { return l.write }
 // SetVolumeSeq attaches a tracker for the volume-level sequentiality
 // of the (post-redirection) logical access stream.
 func (l *latencies) SetVolumeSeq(st *metrics.SeqTracker) { l.seq = st }
+
+// setDegraded brackets the degraded window: requests submitted while
+// on are additionally recorded in the degraded histograms.
+func (l *latencies) setDegraded(on bool) { l.degActive = on }
+
+// DegradedReadLatency exposes the response times of reads submitted
+// during degraded windows (empty on healthy runs).
+func (l *latencies) DegradedReadLatency() *metrics.LatencyHist { return l.degRead }
+
+// DegradedWriteLatency is the write-side counterpart.
+func (l *latencies) DegradedWriteLatency() *metrics.LatencyHist { return l.degWrite }
 
 // trackSeq records one logical access on stream (streams separate P_C
 // from P_A addresses so redirection boundaries don't fake contiguity).
@@ -63,6 +90,7 @@ func (l *latencies) trackSeq(at sim.Time, stream int, block, count int64) {
 type recOp struct {
 	l     *latencies
 	op    disk.Op
+	deg   bool // submitted during a degraded window
 	start sim.Time
 	done  func(sim.Time)
 	fn    func(sim.Time)
@@ -80,6 +108,7 @@ func (l *latencies) record(op disk.Op, start sim.Time, done func(sim.Time)) func
 		r.next = nil
 	}
 	r.op, r.start, r.done = op, start, done
+	r.deg = l.degActive
 	return r.fn
 }
 
@@ -89,8 +118,14 @@ func (r *recOp) run(at sim.Time) {
 	l := r.l
 	if r.op == disk.OpRead {
 		l.read.Add(at - r.start)
+		if r.deg {
+			l.degRead.Add(at - r.start)
+		}
 	} else {
 		l.write.Add(at - r.start)
+		if r.deg {
+			l.degWrite.Add(at - r.start)
+		}
 	}
 	done := r.done
 	r.done = nil
@@ -119,14 +154,23 @@ func NewRAIDController(arr *Array, layout raid.Layout, disks []int, base int64) 
 func (c *RAIDController) DataBlocks() int64 { return c.span.layout.DataBlocks() }
 
 // Submit implements Volume.
-func (c *RAIDController) Submit(rec trace.Record, done func(sim.Time)) {
-	now := c.span.arr.Eng.Now()
+func (c *RAIDController) Submit(rec trace.Record, done func(sim.Time)) error {
+	arr := c.span.arr
+	now := arr.Eng.Now()
+	var lost0 int64
+	if arr.faults != nil {
+		lost0 = arr.faults.stats.LostExtents
+	}
 	c.trackSeq(now, 0, rec.Block, rec.Count)
-	j := c.span.arr.newJoin(c.record(rec.Op, now, done))
+	j := arr.newJoin(c.record(rec.Op, now, done))
 	if rec.Op == disk.OpRead {
 		c.span.read(j, rec.Block, rec.Count)
 	} else {
 		c.span.write(j, rec.Block, rec.Count)
 	}
 	j.seal(now)
+	if f := arr.faults; f != nil && f.stats.LostExtents > lost0 {
+		return &LostError{Op: rec.Op, Block: rec.Block, Count: rec.Count, Extents: f.stats.LostExtents - lost0}
+	}
+	return nil
 }

@@ -411,6 +411,7 @@ func ReplayWith(eng *sim.Engine, vol Volume, r trace.Reader, cfg ReplayConfig) (
 	}()
 
 	var pump func(rec trace.Record, p *recordPlan)
+	var subErr error
 	schedule := func() {
 		rec, p, ok := cu.next()
 		if !ok {
@@ -426,10 +427,20 @@ func ReplayWith(eng *sim.Engine, vol Volume, r trace.Reader, cfg ReplayConfig) (
 		eng.Schedule(at, func() { pump(rec, p) })
 	}
 	pump = func(rec trace.Record, p *recordPlan) {
+		var err error
 		if bp != nil {
-			bp.submitPlanned(rec, p, nil)
+			err = bp.submitPlanned(rec, p, nil)
 		} else {
-			vol.Submit(rec, nil)
+			err = vol.Submit(rec, nil)
+		}
+		if err != nil {
+			// A record the volume could not serve correctly — data lost
+			// beyond redundancy, or a dying mapping log — ends the
+			// replay: the remaining trace would run against a volume
+			// known broken.
+			subErr = err
+			eng.Stop()
+			return
 		}
 		schedule()
 	}
@@ -451,6 +462,9 @@ func ReplayWith(eng *sim.Engine, vol Volume, r trace.Reader, cfg ReplayConfig) (
 		st.PlanHighWater = int(ps.highWater.Load())
 		st.PlannerStalls = ps.plannerStalls.Load()
 		st.PlanStalls = ps.planStalls.Load()
+	}
+	if subErr != nil {
+		return st.Records, st, subErr
 	}
 	return st.Records, st, cu.err
 }

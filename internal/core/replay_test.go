@@ -223,12 +223,13 @@ type gateVolume struct {
 	n    int
 }
 
-func (g *gateVolume) Submit(rec trace.Record, done func(sim.Time)) {
-	g.Volume.Submit(rec, done)
+func (g *gateVolume) Submit(rec trace.Record, done func(sim.Time)) error {
+	err := g.Volume.Submit(rec, done)
 	g.n++
 	if g.n == replayBatchSize {
 		close(g.gate)
 	}
+	return err
 }
 
 func TestReplayWithSlowParserCountsStalls(t *testing.T) {

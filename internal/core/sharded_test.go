@@ -17,7 +17,7 @@ func newShardedCRAID(eng *sim.Engine, cachePerDisk int64, shards int) (*CRAID, *
 	arr := nullArray(eng, 4, 100000)
 	disks := []int{0, 1, 2, 3}
 	paLayout := raid.NewRAID5(4, 4, 4096, 4)
-	c := NewCRAID(arr, Config{
+	c := mustCRAID(arr, Config{
 		Policy:       "WLRU",
 		CachePerDisk: cachePerDisk,
 		ParityGroup:  4,

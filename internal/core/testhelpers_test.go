@@ -1,0 +1,14 @@
+package core
+
+import "craid/internal/raid"
+
+// mustCRAID is NewCRAID for tests whose configurations are valid by
+// construction.
+func mustCRAID(arr *Array, cfg Config, sharedPC bool, cacheDisks []int, cacheBase int64,
+	archiveLayout raid.Layout, archiveDisks []int, archiveBase int64) *CRAID {
+	c, err := NewCRAID(arr, cfg, sharedPC, cacheDisks, cacheBase, archiveLayout, archiveDisks, archiveBase)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

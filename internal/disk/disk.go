@@ -55,7 +55,33 @@ type Request struct {
 	// completes, with the completion time.
 	Done func(at sim.Time)
 
+	// Fail, if non-nil, is invoked instead of Done when the request
+	// completes carrying an injected error or is rejected by a Failed
+	// device. When Fail is nil the device falls back to Done, so
+	// fault-unaware callers still observe exactly one completion.
+	Fail func(at sim.Time)
+
 	arrive sim.Time
+	fail   bool    // verdict drawn at submit: complete with an error
+	latX   float64 // service-time multiplier drawn at submit (<=1 = none)
+}
+
+// Injector decides the fate of individual requests on behalf of a
+// fault plan. Verdict is consulted exactly once per submitted request,
+// in submission order — which the single-threaded engine makes
+// deterministic — so a stateless seeded hash over an advancing
+// per-device counter replays bit-identically.
+type Injector interface {
+	Verdict(op Op, block, count int64) (fail bool, latencyX float64)
+}
+
+// Faultable is implemented by device models that support fault
+// injection: a per-request Injector for transient errors and latency
+// multipliers, and a Failed state (a dead disk) that rejects all I/O.
+type Faultable interface {
+	SetInjector(inj Injector)
+	SetFailed(failed bool)
+	Failed() bool
 }
 
 // Device is a block storage device attached to a simulation engine.
@@ -85,6 +111,8 @@ type Stats struct {
 	QueueMax     int64    // maximum observed queue length
 	CacheHits    int64    // requests served entirely from the on-device cache
 	CacheMisses  int64
+	Errors       int64 // requests completed with an injected error
+	Rejected     int64 // requests rejected because the device was Failed
 }
 
 // MeanQueue returns the average queue length observed at submit time.
@@ -113,6 +141,48 @@ func checkRange(d Device, r *Request) {
 	}
 }
 
+// faultState is the injection state embedded by every device model.
+// All hot-path checks on a fault-free device reduce to a nil test and
+// a false bool.
+type faultState struct {
+	inj    Injector
+	failed bool
+}
+
+// SetInjector implements Faultable.
+func (f *faultState) SetInjector(inj Injector) { f.inj = inj }
+
+// SetFailed implements Faultable. Requests already queued when the
+// device fails complete normally (they were accepted); only subsequent
+// submissions are rejected.
+func (f *faultState) SetFailed(failed bool) { f.failed = failed }
+
+// Failed implements Faultable.
+func (f *faultState) Failed() bool { return f.failed }
+
+// draw consults the injector and stamps the verdict on the request.
+func (f *faultState) draw(r *Request) {
+	if f.inj == nil {
+		r.fail, r.latX = false, 0
+		return
+	}
+	r.fail, r.latX = f.inj.Verdict(r.Op, r.Block, r.Count)
+}
+
+// completeFault completes r with an error after delay: through Fail
+// when set, falling back to Done so fault-unaware callers still get
+// exactly one completion. The callback is captured immediately because
+// non-retaining devices let callers reuse the request structure.
+func completeFault(eng *sim.Engine, delay sim.Time, r *Request) {
+	cb := r.Fail
+	if cb == nil {
+		cb = r.Done
+	}
+	if cb != nil {
+		eng.AfterTimed(delay, cb)
+	}
+}
+
 // NullDevice completes every request instantly. It realizes the CRAID
 // paper's "simplified disk model that resolves each I/O instantly" used
 // to evaluate cache-policy quality in isolation (§5.1).
@@ -121,6 +191,7 @@ type NullDevice struct {
 	name     string
 	capacity int64
 	stats    Stats
+	faultState
 }
 
 // NewNullDevice returns an instant-service device with the given
@@ -135,6 +206,19 @@ func NewNullDevice(eng *sim.Engine, name string, capacityBlocks int64) *NullDevi
 func (d *NullDevice) Submit(r *Request) {
 	checkRange(d, r)
 	d.stats.observeQueue(0)
+	if d.failed {
+		d.stats.Rejected++
+		completeFault(d.eng, 0, r)
+		return
+	}
+	d.draw(r)
+	if r.fail {
+		// An instant device has no service time to scale, so a latency
+		// multiplier is moot; the error verdict still applies.
+		d.stats.Errors++
+		completeFault(d.eng, 0, r)
+		return
+	}
 	if r.Op == OpRead {
 		d.stats.Reads++
 		d.stats.BlocksRead += r.Count

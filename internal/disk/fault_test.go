@@ -1,0 +1,177 @@
+package disk
+
+import (
+	"testing"
+
+	"craid/internal/sim"
+)
+
+// scriptedInjector replays a fixed verdict script and counts calls.
+type scriptedInjector struct {
+	fail  []bool
+	latX  float64
+	calls int
+}
+
+func (s *scriptedInjector) Verdict(op Op, block, count int64) (bool, float64) {
+	i := s.calls
+	s.calls++
+	if i < len(s.fail) {
+		return s.fail[i], s.latX
+	}
+	return false, s.latX
+}
+
+// runOneFault submits a request with separate Done/Fail callbacks and
+// reports which one fired.
+func runOneFault(t *testing.T, eng *sim.Engine, d Device, op Op, block, count int64) (failed bool, rt sim.Time) {
+	t.Helper()
+	start := eng.Now()
+	completions := 0
+	d.Submit(&Request{
+		Op: op, Block: block, Count: count,
+		Done: func(at sim.Time) { completions++; rt = at - start },
+		Fail: func(at sim.Time) { completions++; failed = true; rt = at - start },
+	})
+	eng.Run()
+	if completions != 1 {
+		t.Fatalf("request (%v %d+%d) completed %d times, want exactly once", op, block, count, completions)
+	}
+	return failed, rt
+}
+
+// TestFailedDeviceRejectsUntilRestored pins the dead-disk contract on
+// every model: a Failed device rejects each submission through Fail,
+// counts it in Rejected, and serves normally once restored.
+func TestFailedDeviceRejectsUntilRestored(t *testing.T) {
+	eng := sim.NewEngine()
+	devices := []Device{
+		NewNullDevice(eng, "null0", 10000),
+		NewHDD(eng, smallHDDConfig("hdd0")),
+		NewSSD(eng, MSRSSDConfig("ssd0")),
+	}
+	for _, d := range devices {
+		f, ok := d.(Faultable)
+		if !ok {
+			t.Fatalf("%s does not implement Faultable", d.Name())
+		}
+		f.SetFailed(true)
+		if !f.Failed() {
+			t.Fatalf("%s: Failed() false after SetFailed(true)", d.Name())
+		}
+		if failed, _ := runOneFault(t, eng, d, OpRead, 0, 4); !failed {
+			t.Errorf("%s: read on a Failed device completed through Done", d.Name())
+		}
+		if failed, _ := runOneFault(t, eng, d, OpWrite, 8, 4); !failed {
+			t.Errorf("%s: write on a Failed device completed through Done", d.Name())
+		}
+		s := d.Stats()
+		if s.Rejected != 2 || s.Reads != 0 || s.Writes != 0 {
+			t.Errorf("%s: stats after rejections = %+v", d.Name(), s)
+		}
+		f.SetFailed(false)
+		if failed, _ := runOneFault(t, eng, d, OpRead, 0, 4); failed {
+			t.Errorf("%s: restored device still rejecting", d.Name())
+		}
+		if s.Reads != 1 {
+			t.Errorf("%s: restored read not counted: %+v", d.Name(), s)
+		}
+	}
+}
+
+// TestInjectedErrorCompletesThroughFail pins the transient-error path:
+// a fail verdict routes the completion to Fail, counts in Errors, and
+// leaves the success counters alone.
+func TestInjectedErrorCompletesThroughFail(t *testing.T) {
+	eng := sim.NewEngine()
+	devices := []Device{
+		NewNullDevice(eng, "null0", 10000),
+		NewHDD(eng, smallHDDConfig("hdd0")),
+		NewSSD(eng, MSRSSDConfig("ssd0")),
+	}
+	for _, d := range devices {
+		inj := &scriptedInjector{fail: []bool{true, false}, latX: 1}
+		d.(Faultable).SetInjector(inj)
+		if failed, _ := runOneFault(t, eng, d, OpRead, 0, 4); !failed {
+			t.Errorf("%s: fail verdict completed through Done", d.Name())
+		}
+		if failed, _ := runOneFault(t, eng, d, OpRead, 0, 4); failed {
+			t.Errorf("%s: pass verdict completed through Fail", d.Name())
+		}
+		s := d.Stats()
+		if s.Errors != 1 || s.Reads != 1 || s.Rejected != 0 {
+			t.Errorf("%s: stats = %+v, want 1 error + 1 read", d.Name(), s)
+		}
+		if inj.calls != 2 {
+			t.Errorf("%s: injector consulted %d times for 2 submissions", d.Name(), inj.calls)
+		}
+		d.(Faultable).SetInjector(nil)
+	}
+}
+
+// TestFaultFallsBackToDone pins that fault-unaware callers (no Fail
+// callback) still observe exactly one completion on errors and
+// rejections.
+func TestFaultFallsBackToDone(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewNullDevice(eng, "null0", 10000)
+	d.SetInjector(&scriptedInjector{fail: []bool{true}, latX: 1})
+	completions := 0
+	d.Submit(&Request{Op: OpRead, Block: 0, Count: 1, Done: func(sim.Time) { completions++ }})
+	eng.Run()
+	if completions != 1 {
+		t.Fatalf("error verdict with nil Fail: %d completions through Done, want 1", completions)
+	}
+	d.SetInjector(nil)
+	d.SetFailed(true)
+	d.Submit(&Request{Op: OpRead, Block: 0, Count: 1, Done: func(sim.Time) { completions++ }})
+	eng.Run()
+	if completions != 2 {
+		t.Fatalf("rejection with nil Fail: %d total completions, want 2", completions)
+	}
+}
+
+// TestInjectorLatencyMultiplierScalesService pins the latency-stretch
+// half of a transient window on the SSD's deterministic service model:
+// per-page latency scales by latX while controller overhead does not.
+func TestInjectorLatencyMultiplierScalesService(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := SSDConfig{
+		Name: "ssd0", CapacityBlocks: 10000, Channels: 1,
+		ReadLatency:    100 * sim.Microsecond,
+		WriteLatency:   200 * sim.Microsecond,
+		ControllerOver: 20 * sim.Microsecond,
+	}
+	d := NewSSD(eng, cfg)
+	_, base := runOneFault(t, eng, d, OpRead, 0, 1)
+	if base != cfg.ReadLatency+cfg.ControllerOver {
+		t.Fatalf("unscaled read took %v", base)
+	}
+	d.SetInjector(&scriptedInjector{latX: 4})
+	_, scaled := runOneFault(t, eng, d, OpRead, 0, 1)
+	if want := 4*cfg.ReadLatency + cfg.ControllerOver; scaled != want {
+		t.Fatalf("latX=4 read took %v, want %v", scaled, want)
+	}
+}
+
+// TestInjectorLatencyMultiplierSlowsHDD is the same property on the
+// mechanical model, where the exact service time depends on geometry:
+// the stretched request is strictly slower.
+func TestInjectorLatencyMultiplierSlowsHDD(t *testing.T) {
+	cfg := smallHDDConfig("hdd0")
+	cfg.CacheSegments = 0
+	cfg.WriteCacheBlocks = 0
+	run := func(latX float64) sim.Time {
+		eng := sim.NewEngine()
+		d := NewHDD(eng, cfg)
+		if latX > 1 {
+			d.SetInjector(&scriptedInjector{latX: latX})
+		}
+		_, rt := runOneFault(t, eng, d, OpRead, 4000, 8)
+		return rt
+	}
+	base, stretched := run(1), run(4)
+	if stretched <= base {
+		t.Fatalf("latX=4 read (%v) not slower than unscaled (%v)", stretched, base)
+	}
+}

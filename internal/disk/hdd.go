@@ -114,6 +114,8 @@ type HDD struct {
 	dirtyRanges []blockRange
 	destaging   bool
 	stalled     []*Request // writes waiting for write-cache space
+
+	faultState
 }
 
 type segment struct {
@@ -248,6 +250,16 @@ func (d *HDD) Submit(r *Request) {
 	r.arrive = d.eng.Now()
 	d.stats.observeQueue(d.QueueDepth())
 
+	if d.failed {
+		// A dead disk rejects at the controller: bus overhead, then an
+		// error completion. Requests queued before the failure still
+		// drain normally.
+		d.stats.Rejected++
+		completeFault(d.eng, d.cfg.ControllerOver, r)
+		return
+	}
+	d.draw(r)
+
 	if r.Op == OpWrite && d.cfg.WriteCacheBlocks > 0 {
 		// Write-back path: absorb into the cache if space allows.
 		if d.dirty+r.Count <= int64(d.cfg.WriteCacheBlocks) {
@@ -267,6 +279,15 @@ func (d *HDD) Submit(r *Request) {
 // absorbWrite completes a write from the write-back cache after the
 // controller overhead and records its blocks for later destage.
 func (d *HDD) absorbWrite(r *Request) {
+	if r.fail {
+		// The write dies in the controller: no dirty data, no readable
+		// segment, just overhead and an error completion.
+		d.stats.BusyTime += d.scaled(d.cfg.ControllerOver, r)
+		d.stats.Errors++
+		completeFault(d.eng, d.scaled(d.cfg.ControllerOver, r), r)
+		d.kick()
+		return
+	}
 	d.dirty += r.Count
 	d.addDirtyRange(r.Block, r.Block+r.Count)
 	// Freshly written data is also readable from the cache.
@@ -366,10 +387,18 @@ func (d *HDD) startNext() {
 	r := d.pickNext()
 	d.busy = true
 
+	if r.fail {
+		// Injected media error: the head still travels (seek, rotation,
+		// transfer happen before the error is detected), but no data
+		// moves — the cache is neither consulted nor filled.
+		service := d.mediaTime(r.Block, r.Count, r.Op == OpWrite)
+		d.finish(r, d.scaled(d.cfg.ControllerOver+service, r))
+		return
+	}
 	if r.Op == OpRead && d.cacheCovers(r.Block, r.Block+r.Count) {
 		// Full cache hit: controller overhead only.
 		d.stats.CacheHits++
-		d.finish(r, d.cfg.ControllerOver)
+		d.finish(r, d.scaled(d.cfg.ControllerOver, r))
 		return
 	}
 	if r.Op == OpRead {
@@ -386,7 +415,16 @@ func (d *HDD) startNext() {
 		}
 		d.installSegment(r.Block, end)
 	}
-	d.finish(r, d.cfg.ControllerOver+service)
+	d.finish(r, d.scaled(d.cfg.ControllerOver+service, r))
+}
+
+// scaled applies the request's injected latency multiplier to a
+// service time.
+func (d *HDD) scaled(t sim.Time, r *Request) sim.Time {
+	if r.latX > 1 {
+		t = sim.Time(float64(t) * r.latX)
+	}
+	return t
 }
 
 // finish completes r after service time, updates stats and continues
@@ -394,9 +432,14 @@ func (d *HDD) startNext() {
 func (d *HDD) finish(r *Request, service sim.Time) {
 	d.stats.BusyTime += service
 	done := r.Done
+	if r.fail && r.Fail != nil {
+		done = r.Fail
+	}
 	d.eng.After(service, func() {
 		d.busy = false
-		if r.Op == OpRead {
+		if r.fail {
+			d.stats.Errors++
+		} else if r.Op == OpRead {
 			d.stats.Reads++
 			d.stats.BlocksRead += r.Count
 		} else {

@@ -44,6 +44,8 @@ type SSD struct {
 	// chanFree[i] is the simulated time at which channel i next becomes
 	// idle. FIFO per channel; requests reserve all their channels.
 	chanFree []sim.Time
+
+	faultState
 }
 
 // NewSSD builds an SSD from cfg, attached to eng.
@@ -86,9 +88,19 @@ func (d *SSD) Submit(r *Request) {
 	now := d.eng.Now()
 	d.stats.observeQueue(d.QueueDepth())
 
+	if d.failed {
+		d.stats.Rejected++
+		completeFault(d.eng, d.cfg.ControllerOver, r)
+		return
+	}
+	d.draw(r)
+
 	per := d.cfg.ReadLatency
 	if r.Op == OpWrite {
 		per = d.cfg.WriteLatency
+	}
+	if r.latX > 1 {
+		per = sim.Time(float64(per) * r.latX)
 	}
 
 	// Count pages per channel for this request.
@@ -116,8 +128,13 @@ func (d *SSD) Submit(r *Request) {
 	d.stats.BusyTime += finish - now
 
 	done := r.Done
+	if r.fail && r.Fail != nil {
+		done = r.Fail
+	}
 	d.eng.Schedule(finish, func() {
-		if r.Op == OpRead {
+		if r.fail {
+			d.stats.Errors++
+		} else if r.Op == OpRead {
 			d.stats.Reads++
 			d.stats.BlocksRead += r.Count
 		} else {

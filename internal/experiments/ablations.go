@@ -119,11 +119,14 @@ func upgradeRun(traceName string, scale, pcPct float64, retain bool) (UpgradeRow
 		return UpgradeRow{}, fmt.Errorf("experiments: dataset exceeds 38-disk archive at scale %g", scale)
 	}
 	archive := raid.NewSpreadLayout(inner, gen.DatasetBlocks())
-	c := core.NewCRAID(arr, core.Config{
+	c, err := core.NewCRAID(arr, core.Config{
 		CachePerDisk: pcPerDisk,
 		ParityGroup:  TestbedParityGroup,
 		StripeUnit:   TestbedStripeUnit,
 	}, true, indices(0, startDisks), 0, archive, indices(0, startDisks), pcPerDisk)
+	if err != nil {
+		return UpgradeRow{}, err
+	}
 
 	expandAt := params.Duration / 2
 	row := UpgradeRow{Mode: "invalidate"}

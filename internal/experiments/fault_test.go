@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"craid/internal/sim"
+)
+
+func faultTestConfig() RunConfig {
+	return RunConfig{
+		Trace: "wdev", Scale: ScaleFor("wdev", 0.05),
+		Duration: 60 * sim.Second, Strategy: CRAID5, PCPct: 0.008,
+	}
+}
+
+// TestRunFaultSpecDeterministic pins the experiment-level replay
+// contract: the same config + fault spec yields bit-identical fault
+// counters and KPIs on every run.
+func TestRunFaultSpecDeterministic(t *testing.T) {
+	cfg := faultTestConfig()
+	cfg.FaultSpec = "seed=7;transient:3@5s-30s,rate=0.02,lat=4;fail:2@15s;rebuild:2@25s,rate=64"
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fault == nil || b.Fault == nil {
+		t.Fatal("fault KPIs not populated")
+	}
+	if a.Fault.Failures != 1 || a.Fault.RebuildRows == 0 {
+		t.Fatalf("plan did not exercise the fabric: %+v", a.Fault)
+	}
+	if a.Fault.DegradedReads+a.Fault.DegradedWrites == 0 {
+		t.Fatal("no degraded traffic during the failure window")
+	}
+	if *a.Fault != *b.Fault {
+		t.Errorf("fault stats diverged between identical runs:\n  %+v\n  %+v", a.Fault, b.Fault)
+	}
+	if a.Requests != b.Requests || a.ReadMean != b.ReadMean || a.WriteMean != b.WriteMean {
+		t.Error("replay KPIs diverged between identical runs")
+	}
+	if a.DegReadMean != b.DegReadMean || a.DegReadP99 != b.DegReadP99 ||
+		a.RebuildDuration != b.RebuildDuration {
+		t.Error("degraded/rebuild KPIs diverged between identical runs")
+	}
+}
+
+// TestRunFaultCrashRestart pins the crash wiring: a crash plan on a
+// CRAID strategy restarts once, recovering from the auto-created
+// in-memory log mirror; on a plain RAID strategy it is rejected up
+// front.
+func TestRunFaultCrashRestart(t *testing.T) {
+	cfg := faultTestConfig()
+	cfg.FaultSpec = "seed=1;crash@30s"
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fault == nil || res.Fault.Restarts != 1 {
+		t.Fatalf("crash did not fire: %+v", res.Fault)
+	}
+
+	cfg.Strategy = RAID5
+	cfg.PCPct = 0
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "CRAID") {
+		t.Fatalf("crash plan on RAID-5 accepted: %v", err)
+	}
+}
+
+// TestRunFaultRowComparesHealthyBaseline pins RunFault's shape: the
+// healthy run carries no fault KPIs, the faulted run does, and the
+// interference ratios are populated.
+func TestRunFaultRowComparesHealthyBaseline(t *testing.T) {
+	cfg := faultTestConfig()
+	row, err := RunFault("fail+rebuild", cfg, "seed=1;fail:2@15s;rebuild:2@25s,rate=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Healthy.Fault != nil {
+		t.Error("healthy baseline carries fault stats")
+	}
+	if row.Faulted.Fault == nil || row.Faulted.Fault.Failures != 1 {
+		t.Fatalf("faulted run stats: %+v", row.Faulted.Fault)
+	}
+	if row.ReadMeanX <= 0 || row.WriteMeanX <= 0 {
+		t.Errorf("interference ratios not populated: read %.3f write %.3f",
+			row.ReadMeanX, row.WriteMeanX)
+	}
+	if row.RebuildDuration == 0 {
+		t.Error("rebuild duration KPI not copied out")
+	}
+}
+
+// TestRunFaultFamilyCRAID runs the standard failure family end to end
+// on a small workload: a fail+rebuild row, a transient row, and — for
+// the CRAID strategy — a crash-restart row.
+func TestRunFaultFamilyCRAID(t *testing.T) {
+	if testing.Short() {
+		t.Skip("six full replays")
+	}
+	cfg := faultTestConfig()
+	cfg.Scale = ScaleFor("wdev", 0.02)
+	rows, err := RunFaultFamily(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("family produced %d rows, want 3 for a CRAID strategy", len(rows))
+	}
+	byName := map[string]FaultRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["fail+rebuild"]; r.Faulted.Fault == nil || r.Faulted.Fault.RebuildRows == 0 {
+		t.Errorf("fail+rebuild row did not rebuild: %+v", r.Faulted.Fault)
+	}
+	// The transient row's error count is a seeded draw over however
+	// little traffic hits the windowed device at this tiny scale — it
+	// may legitimately be zero, so only the wiring is asserted here
+	// (the retry machinery is pinned in internal/core).
+	if r := byName["transient"]; r.Faulted.Fault == nil {
+		t.Error("transient row missing fault KPIs")
+	}
+	if r := byName["crash-restart"]; r.Faulted.Fault == nil || r.Faulted.Fault.Restarts != 1 {
+		t.Errorf("crash-restart row did not restart: %+v", r.Faulted.Fault)
+	}
+}

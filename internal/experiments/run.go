@@ -15,6 +15,7 @@ package experiments
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -23,6 +24,7 @@ import (
 
 	"craid/internal/core"
 	"craid/internal/disk"
+	"craid/internal/fault"
 	"craid/internal/mapcache"
 	"craid/internal/metrics"
 	"craid/internal/raid"
@@ -189,6 +191,15 @@ type RunConfig struct {
 	// bit-identical at every value.
 	PlanLookahead int
 
+	// FaultSpec, when non-empty, installs a deterministic failure plan
+	// (fault.ParsePlan syntax: "seed=7;fail:2@5s;rebuild:2@10s,rate=64")
+	// on the run. The same spec replays bit-identically at every
+	// MapShards/MonitorWorkers/PlanLookahead setting. Plans with a
+	// crash event need a CRAID strategy; the run then keeps an
+	// in-memory mirror of the dirty-translation log to recover from
+	// (alongside MappingLog's file, if one is configured).
+	FaultSpec string
+
 	// MappingLog, when non-empty, attaches a persistent dirty-
 	// translation log at this path, written through a batched
 	// mapcache.LogRing so the apply path never blocks on the log
@@ -235,6 +246,14 @@ type RunResult struct {
 	Replay core.ReplayStats
 	MQ     core.MQStats
 	MapLog mapcache.LogRingStats
+
+	// Fault KPIs, populated when FaultSpec installed a plan: the fault
+	// fabric's counters, the response-time distribution of requests
+	// submitted inside degraded windows, and the rebuild duration.
+	Fault                     *core.FaultStats
+	DegReadMean, DegReadP99   sim.Time
+	DegWriteMean, DegWriteP99 sim.Time
+	RebuildDuration           sim.Time
 
 	CVs      []float64 // per-second coefficient of variation (if tracked)
 	SeqFracs []float64 // per-second sequential fractions (if tracked)
@@ -307,29 +326,74 @@ func Run(cfg RunConfig) (RunResult, error) {
 		dataset = gen.DatasetBlocks()
 	}
 
+	var plan fault.Plan
+	if cfg.FaultSpec != "" {
+		var err error
+		plan, err = fault.ParsePlan(cfg.FaultSpec)
+		if err != nil {
+			return RunResult{}, err
+		}
+	}
+
 	eng := sim.NewEngine()
 	vol, arr, err := buildVolume(eng, cfg, dataset)
 	if err != nil {
 		return RunResult{}, err
 	}
 	var logRing *mapcache.LogRing
-	if cfg.MappingLog != "" {
+	var logMirror *bytes.Buffer
+	if cfg.MappingLog != "" || plan.HasCrash() {
 		c, ok := vol.(*core.CRAID)
 		if !ok {
-			return RunResult{}, fmt.Errorf("experiments: MappingLog needs a CRAID strategy, not %s", cfg.Strategy)
+			if cfg.MappingLog != "" {
+				return RunResult{}, fmt.Errorf("experiments: MappingLog needs a CRAID strategy, not %s", cfg.Strategy)
+			}
+			return RunResult{}, fmt.Errorf("experiments: a crash fault plan needs a CRAID strategy, not %s", cfg.Strategy)
 		}
-		f, err := os.Create(cfg.MappingLog)
-		if err != nil {
-			return RunResult{}, err
+		// A crash plan recovers from the log image as of the crash
+		// instant, so the ring additionally mirrors the byte stream in
+		// memory (the mirror IS the log when no file is configured).
+		var w io.Writer
+		if plan.HasCrash() {
+			logMirror = &bytes.Buffer{}
+			w = logMirror
 		}
-		defer f.Close()
-		logRing = mapcache.NewLogRing(f, 0, 0)
+		if cfg.MappingLog != "" {
+			f, err := os.Create(cfg.MappingLog)
+			if err != nil {
+				return RunResult{}, err
+			}
+			defer f.Close()
+			if logMirror != nil {
+				w = teeLog{f: f, mirror: logMirror}
+			} else {
+				w = f
+			}
+		}
+		logRing = mapcache.NewLogRing(w, 0, 0)
 		// Close is idempotent; the deferred call (which runs before the
 		// file's, in LIFO order) reaps the writer goroutine and flushes
 		// the tail on error paths, while the success path below closes
 		// explicitly to surface write errors.
 		defer logRing.Close()
 		c.SetMappingLog(logRing)
+	}
+	var faultRT *core.FaultRuntime
+	if cfg.FaultSpec != "" {
+		faultRT = core.InstallFaults(arr, vol, plan, core.FaultOptions{})
+		if plan.HasCrash() {
+			ring, mirror := logRing, logMirror
+			faultRT.SetCrashSource(func() (io.Reader, error) {
+				// Barrier drains the ring's writer goroutine, so the
+				// mirror holds exactly the records appended before the
+				// crash instant — the image a synchronous log would
+				// carry at the same cut.
+				if err := ring.Barrier(); err != nil {
+					return nil, err
+				}
+				return bytes.NewReader(mirror.Bytes()), nil
+			})
+		}
 	}
 	if cfg.TrackLoad {
 		arr.Load = metrics.NewLoadTracker(arr.Devices(), sim.Second)
@@ -351,6 +415,11 @@ func Run(cfg RunConfig) (RunResult, error) {
 		core.ReplayConfig{BatchSize: cfg.ReplayBatch, RingDepth: cfg.ReplayRing})
 	if err != nil {
 		return RunResult{}, err
+	}
+	if faultRT != nil {
+		if err := faultRT.Err(); err != nil {
+			return RunResult{}, err
+		}
 	}
 	replayedRecords.Add(n)
 	var logStats mapcache.LogRingStats
@@ -374,6 +443,19 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if c, ok := vol.(*core.CRAID); ok {
 		res.CRAID = c.Stats()
 		res.MQ = *c.MQ()
+	}
+	if faultRT != nil {
+		res.Fault = faultRT.Stats()
+		res.RebuildDuration = res.Fault.RebuildDuration()
+		if d, ok := vol.(interface {
+			DegradedReadLatency() *metrics.LatencyHist
+			DegradedWriteLatency() *metrics.LatencyHist
+		}); ok {
+			res.DegReadMean = d.DegradedReadLatency().Mean()
+			res.DegReadP99 = d.DegradedReadLatency().Percentile(0.99)
+			res.DegWriteMean = d.DegradedWriteLatency().Mean()
+			res.DegWriteP99 = d.DegradedWriteLatency().Percentile(0.99)
+		}
 	}
 	if arr.Load != nil {
 		res.CVs = arr.Load.CVs()
@@ -511,7 +593,11 @@ func buildVolume(eng *sim.Engine, cfg RunConfig, dataset int64) (core.Volume, *c
 			return nil, nil, err
 		}
 		base := ccfg.CachePerDisk
-		return core.NewCRAID(arr, ccfg, true, hddIdx, 0, layout, hddIdx, base), arr, nil
+		c, err := core.NewCRAID(arr, ccfg, true, hddIdx, 0, layout, hddIdx, base)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, arr, nil
 	case CRAID5SSD, CRAID5PlusSSD:
 		layout, err := buildArchive(cfg.Strategy == CRAID5PlusSSD)
 		if err != nil {
@@ -526,10 +612,32 @@ func buildVolume(eng *sim.Engine, cfg RunConfig, dataset int64) (core.Volume, *c
 			scfg.StripeUnit = 1
 			scfg.CachePerDisk = maxI64(1, cfg.PCBlocks/int64(TestbedSSDs-1))
 		}
-		return core.NewCRAID(arr, scfg, false, ssdIdx, 0, layout, hddIdx, 0), arr, nil
+		c, err := core.NewCRAID(arr, scfg, false, ssdIdx, 0, layout, hddIdx, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, arr, nil
 	}
 	return nil, nil, fmt.Errorf("experiments: unknown strategy %q", cfg.Strategy)
 }
+
+// teeLog duplicates the dirty-log byte stream into an in-memory mirror
+// so a crash event can recover from the image as of the crash instant
+// while the on-disk log keeps its full history. Both writers are driven
+// only by the LogRing's background goroutine; the mirror is read on the
+// simulation goroutine strictly after a Barrier, which synchronizes.
+type teeLog struct {
+	f      *os.File
+	mirror *bytes.Buffer
+}
+
+func (t teeLog) Write(p []byte) (int, error) {
+	t.mirror.Write(p)
+	return t.f.Write(p)
+}
+
+// Sync exposes the file's fsync to the ring's MapLogSync knob.
+func (t teeLog) Sync() error { return t.f.Sync() }
 
 func indices(from, n int) []int {
 	out := make([]int, n)

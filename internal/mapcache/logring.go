@@ -56,8 +56,9 @@ type LogRing struct {
 	free   chan []byte
 	out    chan []byte
 	done   chan struct{}
+	ack    chan struct{} // Barrier handshake with the writer goroutine
 	cur    []byte
-	err    error // first write error, owned by the writer goroutine
+	errp   atomic.Pointer[error] // first write error, stored once
 	closed bool
 	stats  LogRingStats
 
@@ -80,6 +81,7 @@ func NewLogRing(w io.Writer, bufBytes, depth int) *LogRing {
 		free: make(chan []byte, depth+1),
 		out:  make(chan []byte, depth),
 		done: make(chan struct{}),
+		ack:  make(chan struct{}),
 	}
 	r.syncer, _ = w.(interface{ Sync() error })
 	for i := 0; i < depth+1; i++ {
@@ -89,18 +91,24 @@ func NewLogRing(w io.Writer, bufBytes, depth int) *LogRing {
 	go func() {
 		defer close(r.done)
 		for buf := range r.out {
-			if _, err := r.w.Write(buf); err != nil && r.err == nil {
-				// Keep draining so the producer never wedges; like the
-				// synchronous log, the failure surfaces at Recover time
-				// (and here additionally at Close).
-				r.err = err
+			if buf == nil {
+				// Barrier sentinel: every buffer handed off before it has
+				// been written; acknowledge and keep going.
+				r.ack <- struct{}{}
+				continue
+			}
+			if _, err := r.w.Write(buf); err != nil {
+				// Keep draining so the producer never wedges; the failure
+				// is visible immediately through Err (the CRAID checks it
+				// every apply-step flush) and again at Close/Recover.
+				r.setErr(err)
 			} else if r.syncOnFlush.Load() && r.syncer != nil {
 				// The knob behind core.Config.MapLogSync: a flushed
 				// buffer is on stable media before the next is written,
 				// trading the paper's §4.2 NVRAM assumption for a real
 				// fsync per apply-step flush.
-				if err := r.syncer.Sync(); err != nil && r.err == nil {
-					r.err = err
+				if err := r.syncer.Sync(); err != nil {
+					r.setErr(err)
 				}
 				r.syncs.Add(1)
 			}
@@ -108,6 +116,42 @@ func NewLogRing(w io.Writer, bufBytes, depth int) *LogRing {
 		}
 	}()
 	return r
+}
+
+// setErr records the first failure (writer goroutine only).
+func (r *LogRing) setErr(err error) {
+	if r.errp.Load() == nil {
+		r.errp.Store(&err)
+	}
+}
+
+// Err reports the first write or fsync error the background writer has
+// hit, nil if none. Safe from the producer side at any time. It does
+// not synchronize with in-flight buffers: an error is only guaranteed
+// visible once the buffer that carried it has been processed, which
+// Barrier or Close ensure. Polling it each apply-step flush turns a
+// dying log device into a prompt run failure instead of a teardown
+// surprise.
+func (r *LogRing) Err() error {
+	if p := r.errp.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Barrier flushes the current buffer and blocks until the writer
+// goroutine has drained everything handed off so far, then reports the
+// ring's error state. After Barrier returns, the bytes that reached w
+// are exactly the records appended before the call — the consistency
+// point crash-restart recovery reads the log image at.
+func (r *LogRing) Barrier() error {
+	if r.closed {
+		return r.Err()
+	}
+	r.Flush()
+	r.out <- nil
+	<-r.ack
+	return r.Err()
 }
 
 // SetSyncOnFlush asks the writer goroutine to fsync the backing writer
@@ -120,8 +164,8 @@ func (r *LogRing) SetSyncOnFlush(on bool) { r.syncOnFlush.Store(on) }
 // Write implements io.Writer for Table.SetLog: p is appended to the
 // current buffer, rolling over through the ring when a buffer fills.
 // It never returns an error — write failures are asynchronous and
-// surface at Close, exactly as a synchronous log's failures surface at
-// Recover.
+// surface through Err (polled by the CRAID each flush step) and at
+// Close, exactly as a synchronous log's failures surface at Recover.
 func (r *LogRing) Write(p []byte) (int, error) {
 	written := len(p)
 	r.stats.Records++
@@ -171,7 +215,7 @@ func (r *LogRing) Close() error {
 		close(r.out)
 		<-r.done
 	}
-	return r.err
+	return r.Err()
 }
 
 // Stats reports the ring's counters (call from the producer side, or

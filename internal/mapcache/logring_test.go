@@ -225,3 +225,75 @@ func TestLogRingStallCounting(t *testing.T) {
 		t.Fatalf("sink holds %d bytes, want %d", sink.Len(), 64*recordSize)
 	}
 }
+
+// TestLogRingErrSticky pins the asynchronous error surface the
+// controller polls at each flush step: the first background write
+// failure is visible through Err before Close, stays sticky, and is
+// what Barrier returns from then on.
+func TestLogRingErrSticky(t *testing.T) {
+	ring := NewLogRing(&errAfterWriter{n: 2 * recordSize}, recordSize, 2)
+	rec := make([]byte, recordSize)
+	for i := 0; i < 50; i++ {
+		ring.Write(rec)
+		ring.Flush()
+	}
+	if err := ring.Barrier(); err == nil {
+		t.Fatal("Barrier after a dead log device reported no error")
+	}
+	if err := ring.Err(); err == nil {
+		t.Fatal("Err not sticky before Close")
+	}
+	if err := ring.Close(); err == nil {
+		t.Fatal("Close lost the sticky error")
+	}
+	if err := ring.Err(); err == nil {
+		t.Fatal("Err not sticky after Close")
+	}
+}
+
+// TestLogRingBarrierMakesBytesVisible pins the crash-source contract
+// the fault runtime relies on: after Barrier returns, every record
+// written so far is in the underlying sink — a reader over the sink
+// sees the full synchronous stream, mid-run, without closing the ring.
+func TestLogRingBarrierMakesBytesVisible(t *testing.T) {
+	var plain bytes.Buffer
+	driveLog(t, &plain, 3, 1200, 200, 13, func() {})
+
+	var sink bytes.Buffer
+	ring := NewLogRing(&sink, 4*recordSize, 3)
+	step := 0
+	driveLog(t, ring, 3, 1200, 200, 13, func() {
+		step++
+		if step%7 == 0 { // barrier at scattered mid-run boundaries
+			if err := ring.Barrier(); err != nil {
+				t.Fatal(err)
+			}
+			// Everything accepted so far must be in the sink, and the
+			// sink must be a prefix of the synchronous stream.
+			if int64(sink.Len()) != ring.Stats().Bytes {
+				t.Fatalf("step %d: sink holds %d bytes, ring accepted %d",
+					step, sink.Len(), ring.Stats().Bytes)
+			}
+			if !bytes.HasPrefix(plain.Bytes(), sink.Bytes()) {
+				t.Fatalf("step %d: sink is not a prefix of the synchronous stream", step)
+			}
+		} else {
+			ring.Flush()
+		}
+	})
+	if err := ring.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sink.Bytes(), plain.Bytes()) {
+		t.Fatalf("post-Barrier sink (%d bytes) != synchronous stream (%d bytes)",
+			sink.Len(), plain.Len())
+	}
+	if err := ring.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Barrier on a closed ring is a safe no-op reporting the sticky
+	// error state (nil here) — it must not wedge on the dead writer.
+	if err := ring.Barrier(); err != nil {
+		t.Fatalf("Barrier on a closed healthy ring: %v", err)
+	}
+}
