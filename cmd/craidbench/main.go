@@ -4,7 +4,7 @@
 // Usage:
 //
 //	craidbench                  # everything at the default budget
-//	craidbench -table 2         # one table (1-6, or "migration")
+//	craidbench -table 2         # one table (1-6, "migration", "pclevel", "rebalance", "fault")
 //	craidbench -figure 4        # one figure (1, 4, 5, 6, 7)
 //	craidbench -budget 2.0      # GB of replayed traffic per trace
 //	craidbench -trace wdev      # restrict figures to one trace
@@ -12,6 +12,7 @@
 //	craidbench -shards 8        # shard the mapping index (ratios unchanged)
 //	craidbench -workers 4       # multi-queue monitor workers per cell (ratios unchanged)
 //	craidbench -workers 4 -lookahead 1   # overlap planning with apply (ratios unchanged)
+//	craidbench -workers 4 -affinity      # pin shard groups to long-lived workers (ratios unchanged)
 //	craidbench -cpuprofile cpu.pb.gz -table 2   # attach pprof evidence
 //
 // The -budget flag scales each workload so roughly that many gigabytes
@@ -60,6 +61,7 @@ func main() {
 	shards := flag.Int("shards", 0, "mapping-index shards per CRAID (0 = single tree)")
 	workers := flag.Int("workers", 0, "multi-queue monitor workers per CRAID (0 = sequential)")
 	lookahead := flag.Int("lookahead", 0, "plan batches this far ahead of the apply stage (0 = plan between batches)")
+	affinity := flag.Bool("affinity", false, "pin each shard group to one long-lived monitor worker (ratios unchanged)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
@@ -67,6 +69,7 @@ func main() {
 	experiments.SetDefaultMapShards(*shards)
 	experiments.SetDefaultMonitorWorkers(*workers)
 	experiments.SetDefaultPlanLookahead(*lookahead)
+	experiments.SetDefaultWorkerAffinity(*affinity)
 
 	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 
@@ -149,7 +152,7 @@ func (r *runner) traces() []string {
 }
 
 func (r *runner) all() {
-	for _, t := range []string{"1", "2", "3", "4", "5", "6", "migration", "pclevel", "rebalance"} {
+	for _, t := range []string{"1", "2", "3", "4", "5", "6", "migration", "pclevel", "rebalance", "fault"} {
 		r.table(t)
 	}
 	for _, f := range []string{"1", "4", "5", "6", "7"} {
@@ -180,6 +183,8 @@ func (r *runner) table(which string) {
 			r.pcLevel()
 		case "rebalance":
 			r.rebalance()
+		case "fault":
+			r.fault()
 		default:
 			r.check(fmt.Errorf("unknown table %q", which))
 		}
@@ -508,6 +513,36 @@ func (r *runner) pcLevel() {
 		fmt.Printf("%-8s %10.3f %10.3f %7.1f%% %7.1f%%\n",
 			row.Level, row.ReadMean.Milliseconds(), row.WriteMean.Milliseconds(),
 			100*row.HitRead, 100*row.HitWrite)
+	}
+}
+
+// fault prints the failure family: every strategy replays the same
+// wdev workload healthy and under each standard fault plan, and the
+// table shows the interference ratios (faulted/healthy mean response
+// time) next to the degraded-window latencies and the rebuild KPI.
+func (r *runner) fault() {
+	header("Fault family: healthy-vs-faulted interference and degraded-window KPIs (wdev)")
+	fmt.Printf("%-13s %-13s %7s %7s %10s %10s %10s %10s %11s\n",
+		"strategy", "experiment", "readX", "writeX",
+		"degRd(ms)", "degRdP99", "degWr(ms)", "degWrP99", "rebuild(s)")
+	for _, strat := range experiments.Strategies() {
+		cfg := experiments.RunConfig{
+			Trace: "wdev", Scale: r.scaleFor("wdev"), Strategy: strat,
+		}
+		if strat.IsCRAID() {
+			cfg.PCPct = 0.008
+		}
+		rows, err := experiments.RunFaultFamily(cfg)
+		if !r.check(err) {
+			return
+		}
+		for _, row := range rows {
+			fmt.Printf("%-13s %-13s %6.2fx %6.2fx %10.3f %10.3f %10.3f %10.3f %11.2f\n",
+				strat, row.Name, row.ReadMeanX, row.WriteMeanX,
+				row.DegReadMean.Milliseconds(), row.DegReadP99.Milliseconds(),
+				row.DegWriteMean.Milliseconds(), row.DegWriteP99.Milliseconds(),
+				row.RebuildDuration.Seconds())
+		}
 	}
 }
 

@@ -20,12 +20,13 @@
 // volume (all volumes share one file handle via pread-style reads).
 //
 // -workers turns on the multi-queue monitor, -lookahead additionally
-// overlaps its plan phase with the apply stage, and -maplog attaches a
+// overlaps its plan phase with the apply stage, -affinity pins each
+// shard group to one long-lived worker, and -maplog attaches a
 // dirty-translation log written through the batched log ring
 // (-maplog-sync fsyncs the file after every flushed buffer); every
-// monitor ratio and Stats field is identical at any -workers/-lookahead
-// setting, and the printed plan-ring and map-log lines report how the
-// pipeline behaved.
+// monitor ratio and Stats field is identical at any
+// -workers/-lookahead/-affinity setting, and the printed plan-ring and
+// map-log lines report how the pipeline behaved.
 package main
 
 import (
@@ -52,6 +53,8 @@ func main() {
 		"multi-queue monitor workers (0 = sequential; ratios identical at any value)")
 	lookahead := flag.Int("lookahead", 0,
 		"plan batches this far ahead of the apply stage (0 = plan between batches; ratios identical at any value)")
+	affinity := flag.Bool("affinity", false,
+		"pin each shard group to one long-lived monitor worker (ratios identical either way)")
 	maplog := flag.String("maplog", "",
 		"write the dirty-translation log to this file through the batched log ring")
 	maplogSync := flag.Bool("maplog-sync", false,
@@ -79,6 +82,7 @@ func main() {
 		MapShards:      *shards,
 		MonitorWorkers: *workers,
 		PlanLookahead:  *lookahead,
+		WorkerAffinity: *affinity,
 		MappingLog:     *maplog,
 		MapLogSync:     *maplogSync,
 		FaultSpec:      *faultSpec,

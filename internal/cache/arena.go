@@ -16,14 +16,24 @@ package cache
 // nilSlot is the null slot handle.
 const nilSlot = int32(-1)
 
+// idxCell is one keyIndex table cell: the key and its arena slot packed
+// into 16 bytes, so a 64-byte cache line holds four consecutive cells.
+// Keeping key and slot adjacent means every probe step — hash compare
+// plus slot load — touches exactly one line; with keys and slots in
+// separate arrays each step cost two.
+type idxCell struct {
+	key  Key
+	slot int32
+	_    int32 // pad to 16 bytes: cells never straddle a line boundary
+}
+
 // keyIndex is a fixed-size open-addressing hash from Key to arena slot.
 // The table is sized at construction for the policy's maximum entry
 // count at ≤ 0.5 load factor and never grows; cells with slot == nilSlot
 // are empty. Deletion uses backward shifting (no tombstones), so probe
 // chains never degrade under insert/evict churn.
 type keyIndex struct {
-	keys  []Key
-	slots []int32
+	cells []idxCell
 	mask  uint64
 	shift uint8
 }
@@ -36,13 +46,12 @@ func newKeyIndex(entries int) keyIndex {
 		bits++
 	}
 	x := keyIndex{
-		keys:  make([]Key, size),
-		slots: make([]int32, size),
+		cells: make([]idxCell, size),
 		mask:  uint64(size - 1),
 		shift: uint8(64 - bits),
 	}
-	for i := range x.slots {
-		x.slots[i] = nilSlot
+	for i := range x.cells {
+		x.cells[i].slot = nilSlot
 	}
 	return x
 }
@@ -57,12 +66,9 @@ func (x *keyIndex) home(k Key) uint64 {
 func (x *keyIndex) get(k Key) int32 {
 	i := x.home(k)
 	for {
-		s := x.slots[i]
-		if s == nilSlot {
-			return nilSlot
-		}
-		if x.keys[i] == k {
-			return s
+		c := &x.cells[i]
+		if c.slot == nilSlot || c.key == k {
+			return c.slot
 		}
 		i = (i + 1) & x.mask
 	}
@@ -74,9 +80,9 @@ func (x *keyIndex) get(k Key) int32 {
 func (x *keyIndex) findCell(k Key) (uint64, int32) {
 	i := x.home(k)
 	for {
-		s := x.slots[i]
-		if s == nilSlot || x.keys[i] == k {
-			return i, s
+		c := &x.cells[i]
+		if c.slot == nilSlot || c.key == k {
+			return i, c.slot
 		}
 		i = (i + 1) & x.mask
 	}
@@ -84,8 +90,8 @@ func (x *keyIndex) findCell(k Key) (uint64, int32) {
 
 // setCell fills an empty cell previously returned by findCell.
 func (x *keyIndex) setCell(cell uint64, k Key, s int32) {
-	x.keys[cell] = k
-	x.slots[cell] = s
+	x.cells[cell].key = k
+	x.cells[cell].slot = s
 }
 
 // put inserts k → s, assuming k is absent.
@@ -99,11 +105,11 @@ func (x *keyIndex) put(k Key, s int32) {
 func (x *keyIndex) del(k Key) {
 	i := x.home(k)
 	for {
-		s := x.slots[i]
-		if s == nilSlot {
+		c := &x.cells[i]
+		if c.slot == nilSlot {
 			return // absent
 		}
-		if x.keys[i] == k {
+		if c.key == k {
 			break
 		}
 		i = (i + 1) & x.mask
@@ -113,23 +119,23 @@ func (x *keyIndex) del(k Key) {
 	j := i
 	for {
 		j = (j + 1) & x.mask
-		if x.slots[j] == nilSlot {
+		c := &x.cells[j]
+		if c.slot == nilSlot {
 			break
 		}
-		h := x.home(x.keys[j])
+		h := x.home(c.key)
 		if (j-h)&x.mask >= (j-i)&x.mask {
-			x.keys[i] = x.keys[j]
-			x.slots[i] = x.slots[j]
+			x.cells[i] = *c
 			i = j
 		}
 	}
-	x.slots[i] = nilSlot
+	x.cells[i].slot = nilSlot
 }
 
 // clear empties the table.
 func (x *keyIndex) clear() {
-	for i := range x.slots {
-		x.slots[i] = nilSlot
+	for i := range x.cells {
+		x.cells[i].slot = nilSlot
 	}
 }
 

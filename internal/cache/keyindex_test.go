@@ -1,0 +1,189 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestKeyIndexMatchesMapReference drives random put/get/del
+// interleavings through a keyIndex and a plain Go map side by side.
+// Key spaces are sized at a few multiples of capacity so probe chains
+// collide and deletions exercise the backward-shift path constantly.
+func TestKeyIndexMatchesMapReference(t *testing.T) {
+	for _, capacity := range []int{3, 8, 61, 256} {
+		rng := rand.New(rand.NewSource(int64(1000 + capacity)))
+		x := newKeyIndex(capacity)
+		ref := make(map[Key]int32)
+		keySpace := int64(4 * capacity)
+		for op := 0; op < 20000; op++ {
+			k := Key(rng.Int63n(keySpace))
+			switch {
+			case rng.Intn(10) < 5: // get
+				want, ok := ref[k]
+				if !ok {
+					want = nilSlot
+				}
+				if got := x.get(k); got != want {
+					t.Fatalf("cap %d op %d: get(%d) = %d, want %d", capacity, op, k, got, want)
+				}
+			case rng.Intn(10) < 7: // put (absent keys only; put assumes absence)
+				if _, ok := ref[k]; ok || len(ref) >= capacity {
+					continue
+				}
+				s := int32(rng.Intn(1 << 20))
+				x.put(k, s)
+				ref[k] = s
+			default: // del (present or absent)
+				x.del(k)
+				delete(ref, k)
+			}
+		}
+		// Final sweep: every model key resolves, a sample of absent keys miss.
+		for k, s := range ref {
+			if got := x.get(k); got != s {
+				t.Fatalf("cap %d final: get(%d) = %d, want %d", capacity, k, got, s)
+			}
+		}
+		for i := 0; i < 100; i++ {
+			k := Key(keySpace + rng.Int63n(keySpace))
+			if got := x.get(k); got != nilSlot {
+				t.Fatalf("cap %d final: absent get(%d) = %d", capacity, k, got)
+			}
+		}
+	}
+}
+
+// TestKeyIndexBackwardShiftWraparound pins the delete path where the
+// probe chain crosses the table's wrap boundary: keys homing to the
+// last cells spill into cell 0 and beyond, and a deletion near the end
+// must shift those wrapped successors back across the boundary.
+func TestKeyIndexBackwardShiftWraparound(t *testing.T) {
+	probe := newKeyIndex(8)
+	size := len(probe.cells)
+	// Collect keys whose home cell is within 3 of the wrap point, so a
+	// handful of inserts builds one chain spanning end → start.
+	var keys []Key
+	for k := Key(0); len(keys) < 6 && k < 1<<20; k++ {
+		if int(probe.home(k)) >= size-3 {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) < 6 {
+		t.Fatalf("found only %d wrap-homed keys", len(keys))
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		x := newKeyIndex(8)
+		ref := make(map[Key]int32)
+		for i, k := range keys {
+			x.put(k, int32(i))
+			ref[k] = int32(i)
+		}
+		// Delete a random prefix of a random permutation, checking the
+		// survivors (some stored past the wrap) after every deletion.
+		perm := rng.Perm(len(keys))
+		drop := 1 + rng.Intn(len(keys))
+		for _, pi := range perm[:drop] {
+			x.del(keys[pi])
+			delete(ref, keys[pi])
+			for _, k := range keys {
+				want, ok := ref[k]
+				if !ok {
+					want = nilSlot
+				}
+				if got := x.get(k); got != want {
+					t.Fatalf("trial %d: after del, get(%d) = %d, want %d", trial, k, got, want)
+				}
+			}
+		}
+		// Reinsert what was dropped; the chain must rebuild cleanly.
+		for _, pi := range perm[:drop] {
+			k := keys[pi]
+			x.put(k, int32(pi))
+			ref[k] = int32(pi)
+		}
+		for _, k := range keys {
+			if got := x.get(k); got != ref[k] {
+				t.Fatalf("trial %d: after reinsert, get(%d) = %d, want %d", trial, k, got, ref[k])
+			}
+		}
+	}
+}
+
+// TestKeyIndexProbeAllocFree gates the packed-cell probe loops: get,
+// put, del and findCell must not allocate — they are inner loops of
+// every policy's Access/Insert/Remove path.
+func TestKeyIndexProbeAllocFree(t *testing.T) {
+	x := newKeyIndex(1024)
+	for i := 0; i < 1024; i++ {
+		x.put(Key(i*7), int32(i))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 1024; i++ {
+			if x.get(Key(i*7)) != int32(i) {
+				t.Error("resident key missing")
+			}
+		}
+		x.del(Key(7 * 513))
+		if cell, s := x.findCell(Key(7 * 513)); s == nilSlot {
+			x.setCell(cell, Key(7*513), 513)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("keyIndex probe loop allocates: %v allocs/run", allocs)
+	}
+}
+
+// benchIndex builds a table of n resident keys plus a shuffled probe
+// order large enough to defeat the prefetcher.
+func benchIndex(n int) (*keyIndex, []Key) {
+	x := newKeyIndex(n)
+	keys := make([]Key, n)
+	rng := rand.New(rand.NewSource(9))
+	for i := range keys {
+		keys[i] = Key(int64(i)*64 + rng.Int63n(64))
+		x.put(keys[i], int32(i))
+	}
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	return &x, keys
+}
+
+// BenchmarkKeyIndexProbeHit measures resident-key probes on a table an
+// order of magnitude past L2, where the packed 16-byte cells' one line
+// per probe step (vs two in the split keys/slots layout) dominates.
+func BenchmarkKeyIndexProbeHit(b *testing.B) {
+	x, keys := benchIndex(1 << 18)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.get(keys[i&(1<<18-1)]) == nilSlot {
+			b.Fatal("resident key missing")
+		}
+	}
+}
+
+// BenchmarkKeyIndexProbeMiss measures absent-key probes (the Insert
+// fast path's findCell shape: walk to the first empty cell).
+func BenchmarkKeyIndexProbeMiss(b *testing.B) {
+	x, keys := benchIndex(1 << 18)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.get(keys[i&(1<<18-1)]+1<<40) != nilSlot {
+			b.Fatal("phantom key resident")
+		}
+	}
+}
+
+// BenchmarkKeyIndexChurn measures the evict-reinsert shape: one
+// backward-shift delete plus one put per operation.
+func BenchmarkKeyIndexChurn(b *testing.B) {
+	x, keys := benchIndex(1 << 18)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i&(1<<18-1)]
+		x.del(k)
+		x.put(k, int32(i))
+	}
+}

@@ -1,15 +1,24 @@
 package cache
 
-// agingSlot is one arena entry of the priority heap shared by LFUDA and
-// GDSF. pos is the slot's heap index while live and the freelist link
-// while free.
-type agingSlot struct {
+// The per-entry state of the priority heap shared by LFUDA and GDSF is
+// split hot/cold by access frequency. A heap fix runs O(log n) `less`
+// comparisons and each one reads only (prio, seq) — so those two fields
+// live alone in a 16-byte agingHot (four entries per cache line) instead
+// of sharing a 48-byte struct with metadata the comparison never reads.
+// agingHot is one hot arena entry: the policy's K_i plus the insertion
+// sequence tie-break (older entries lose first).
+type agingHot struct {
+	prio float64
+	seq  uint64
+}
+
+// agingCold is the cold side-array entry: fields touched at most once
+// per access (freq/size feed the priority recompute) or only on
+// insert/evict/iteration (key). The heap's sift loops never read it.
+type agingCold struct {
 	key  Key
 	freq int64
 	size int64
-	prio float64 // the policy's K_i
-	seq  uint64  // tie-break: older entries lose first
-	pos  int32
 }
 
 // agingPolicy implements the GreedyDual family: each entry carries a
@@ -19,15 +28,20 @@ type agingSlot struct {
 //	LFUDA: K_i = C_i·F_i + L         (C_i = 1)
 //	GDSF:  K_i = C_i·F_i/S_i + L
 //
-// Entries live in a flat []agingSlot arena; the heap orders int32 slot
-// handles, and residency is resolved by the shared keyIndex — no Go
-// map, no per-entry heap objects. (prio, seq) is a total order, so the
-// victim sequence is independent of the heap's internal layout and
-// bit-identical to the container/heap-based reference.
+// Entries live in flat hot/cold arenas indexed by the same int32 slot
+// handle; the heap orders handles, and residency is resolved by the
+// shared keyIndex — no Go map, no per-entry heap objects. pos is a
+// third side-array: the slot's heap index while live (written by swap,
+// never read by less) and the freelist link while free. (prio, seq) is
+// a total order, so the victim sequence is independent of the heap's
+// internal layout and bit-identical to the container/heap-based
+// reference.
 type agingPolicy struct {
 	name     string
 	capacity int
-	slots    []agingSlot
+	hot      []agingHot
+	cold     []agingCold
+	pos      []int32
 	idx      keyIndex
 	heap     []int32
 	free     int32
@@ -44,7 +58,9 @@ func newAgingPolicy(name string, capacity int, useSize bool) *agingPolicy {
 	return &agingPolicy{
 		name:     name,
 		capacity: capacity,
-		slots:    make([]agingSlot, capacity),
+		hot:      make([]agingHot, capacity),
+		cold:     make([]agingCold, capacity),
+		pos:      make([]int32, capacity),
 		idx:      newKeyIndex(capacity),
 		heap:     make([]int32, 0, capacity),
 		free:     nilSlot,
@@ -81,18 +97,18 @@ func (p *agingPolicy) priority(freq, size int64) float64 {
 // --- int32 min-heap over (prio, seq) ---
 
 func (p *agingPolicy) less(a, b int32) bool {
-	sa, sb := &p.slots[a], &p.slots[b]
-	if sa.prio != sb.prio {
-		return sa.prio < sb.prio
+	ha, hb := &p.hot[a], &p.hot[b]
+	if ha.prio != hb.prio {
+		return ha.prio < hb.prio
 	}
-	return sa.seq < sb.seq
+	return ha.seq < hb.seq
 }
 
 func (p *agingPolicy) swap(i, j int) {
 	h := p.heap
 	h[i], h[j] = h[j], h[i]
-	p.slots[h[i]].pos = int32(i)
-	p.slots[h[j]].pos = int32(j)
+	p.pos[h[i]] = int32(i)
+	p.pos[h[j]] = int32(j)
 }
 
 func (p *agingPolicy) up(i int) {
@@ -133,7 +149,7 @@ func (p *agingPolicy) fix(i int) {
 }
 
 func (p *agingPolicy) push(s int32) {
-	p.slots[s].pos = int32(len(p.heap))
+	p.pos[s] = int32(len(p.heap))
 	p.heap = append(p.heap, s)
 	p.up(len(p.heap) - 1)
 }
@@ -168,13 +184,13 @@ func (p *agingPolicy) Access(k Key, size int64) {
 	if s == nilSlot {
 		return
 	}
-	e := &p.slots[s]
-	e.freq++
+	c := &p.cold[s]
+	c.freq++
 	if size > 0 {
-		e.size = size
+		c.size = size
 	}
-	e.prio = p.priority(e.freq, e.size)
-	p.fix(int(e.pos))
+	p.hot[s].prio = p.priority(c.freq, c.size)
+	p.fix(int(p.pos[s]))
 }
 
 // Insert implements Policy.
@@ -188,15 +204,15 @@ func (p *agingPolicy) Insert(k Key, size int64) (Key, bool) {
 	evicted := false
 	if len(p.heap) >= p.capacity {
 		min := p.popMin()
-		vk := p.slots[min].key
+		vk := p.cold[min].key
 		p.idx.del(vk)
-		p.age = p.slots[min].prio // dynamic aging: L becomes the evicted key's K
+		p.age = p.hot[min].prio // dynamic aging: L becomes the evicted key's K
 		victim, evicted = vk, true
 		s = min // reuse the victim's slot for the newcomer
 	} else {
 		s = p.free
 		if s != nilSlot {
-			p.free = p.slots[s].pos
+			p.free = p.pos[s]
 		} else {
 			s = p.used
 			p.used++
@@ -206,9 +222,8 @@ func (p *agingPolicy) Insert(k Key, size int64) (Key, bool) {
 		size = 1
 	}
 	p.seq++
-	e := &p.slots[s]
-	e.key, e.freq, e.size, e.seq = k, 1, size, p.seq
-	e.prio = p.priority(e.freq, e.size)
+	p.cold[s] = agingCold{key: k, freq: 1, size: size}
+	p.hot[s] = agingHot{prio: p.priority(1, size), seq: p.seq}
 	if evicted {
 		p.idx.put(k, s) // re-probe: del may have shifted the cell
 	} else {
@@ -233,9 +248,9 @@ func (p *agingPolicy) Remove(k Key) bool {
 	if s == nilSlot {
 		return false
 	}
-	p.removeAt(int(p.slots[s].pos))
+	p.removeAt(int(p.pos[s]))
 	p.idx.del(k)
-	p.slots[s].pos = p.free // freelist link
+	p.pos[s] = p.free // freelist link
 	p.free = s
 	return true
 }
@@ -253,7 +268,7 @@ func (p *agingPolicy) Clear() {
 func (p *agingPolicy) Keys() []Key {
 	out := make([]Key, 0, len(p.heap))
 	for _, s := range p.heap {
-		out = append(out, p.slots[s].key)
+		out = append(out, p.cold[s].key)
 	}
 	return out
 }

@@ -290,6 +290,17 @@ type span struct {
 	// survives no device loss (including a SpreadLayout over RAID-0,
 	// which asserts as Redundant but reports zero parity units).
 	red raid.Redundant
+
+	// Pending degraded-read run: consecutive extents of one read walk
+	// that land device-contiguously on the same dead disk coalesce into
+	// a single reconstruction (one peer read per survivor, one
+	// aggregated decode charge for the whole run) instead of one
+	// fan-out per stripe-row unit. degN == 0 means no run is pending;
+	// flushDegradedRead (fault.go) drains it.
+	degDisk int   // layout disk index of the run's dead disk
+	degLog  int64 // logical address of the run's first block (geometry probe)
+	degBlk  int64 // device block where the run starts
+	degN    int64 // blocks accumulated
 }
 
 func newSpan(arr *Array, layout raid.Layout, disks []int, base int64) *span {
@@ -310,14 +321,30 @@ func newSpan(arr *Array, layout raid.Layout, disks []int, base int64) *span {
 func (s *span) read(j *join, block, count int64) {
 	s.curJoin = j
 	s.layout.ForEachExtent(block, count, s.rdFn)
+	if s.degN > 0 {
+		s.flushDegradedRead()
+	}
 	s.curJoin = nil
 }
 
-// readExtent issues one extent's read against curJoin.
+// readExtent issues one extent's read against curJoin. Extents on a
+// dead disk are not reconstructed one by one: device-contiguous runs on
+// the same dead disk accumulate (a large request walking consecutive
+// stripe rows hits the dead disk's units back to back whenever the dead
+// disk carries data in those rows — the uniform-row invariant makes the
+// unit ranges adjacent) and flush as one reconstruction at the first
+// break or at the end of the walk.
 func (s *span) readExtent(e raid.Extent) {
 	dev := s.disks[e.Data.Disk]
 	if s.arr.deviceDown(dev) {
-		s.degradedRead(e)
+		if s.degN > 0 {
+			if s.degDisk == e.Data.Disk && s.degBlk+s.degN == e.Data.Block {
+				s.degN += e.Count
+				return
+			}
+			s.flushDegradedRead()
+		}
+		s.degDisk, s.degLog, s.degBlk, s.degN = e.Data.Disk, e.Logical, e.Data.Block, e.Count
 		return
 	}
 	s.arr.Submit(dev, disk.OpRead, s.base+e.Data.Block, e.Count, s.curJoin.branch())

@@ -159,6 +159,17 @@ type Config struct {
 	// (plan between apply steps); ineffective unless MonitorWorkers
 	// and MapShards allow concurrent planning at all.
 	PlanLookahead int
+	// WorkerAffinity pins each shard group to one persistent planner
+	// goroutine for a whole replay (beginPlanning..endPlanning) instead
+	// of spawning fresh goroutines per batch: on wide hosts the Go
+	// scheduler then tends to keep worker g on one OS thread, so group
+	// g's index shards stay resident in that core's cache across
+	// batches. Pure scheduling policy — the classification work, its
+	// order and its results are identical, so Stats and every counter
+	// remain bit-identical with the knob on or off. Default off;
+	// ineffective unless MonitorWorkers and MapShards allow concurrent
+	// planning at all.
+	WorkerAffinity bool
 	// MapLogSync asks the mapping log's background writer to fsync the
 	// log device after every flushed buffer (mapcache.LogRing's
 	// SetSyncOnFlush), closing the paper's §4.2 NVRAM assumption down

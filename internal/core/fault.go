@@ -176,15 +176,23 @@ func (r *retryOp) complete(at sim.Time) {
 	}
 }
 
-// degradedRead serves a read extent whose data disk is down: read the
-// surviving units of the stripe row — every group disk holds its unit
-// of the row at the same device block range, the uniform-row invariant
-// of the rotation tables — then pay the XOR/GF(256) reconstruction
-// cost before completing the client branch. With more failures than
-// parity units the extent is lost: it completes immediately, is
-// counted, and the submission that walked it reports a LostError.
-func (s *span) degradedRead(e raid.Extent) {
+// flushDegradedRead serves the span's pending degraded-read run — one
+// or more device-contiguous extents whose data disk is down (batched by
+// readExtent): read the surviving units of the covered stripe rows in
+// one submission per peer — every group disk holds its units of those
+// rows at the same device block ranges, the uniform-row invariant of
+// the rotation tables — then pay one aggregated XOR/GF(256)
+// reconstruction charge for the whole run before completing the client
+// branch. The peer set and the erasure count are resolved once from the
+// run's first block: for a fixed dead disk they are the same for every
+// row of its group, and device states cannot change mid-walk (fault
+// events are engine events, never re-entrant into a walk). With more
+// failures than parity units the run is lost: it completes immediately,
+// is counted, and the submission that walked it reports a LostError.
+func (s *span) flushDegradedRead() {
 	f := s.arr.faults
+	count, logical, blk := s.degN, s.degLog, s.base+s.degBlk
+	s.degN = 0
 	br := s.curJoin.branch()
 	now := s.arr.Eng.Now()
 	if s.red == nil {
@@ -192,7 +200,7 @@ func (s *span) degradedRead(e raid.Extent) {
 		s.arr.Eng.AfterTimed(0, br)
 		return
 	}
-	peers := s.red.RowPeers(e.Logical, f.peerBuf[:0])
+	peers := s.red.RowPeers(logical, f.peerBuf[:0])
 	f.peerBuf = peers[:0]
 	missing := 1
 	for _, p := range peers {
@@ -206,11 +214,10 @@ func (s *span) degradedRead(e raid.Extent) {
 		return
 	}
 	f.stats.DegradedReads++
-	f.stats.DegradedBlocks += e.Count
+	f.stats.DegradedBlocks += count
 	// Reconstruction compute: proportional to the blocks combined and
-	// to how many erasures the decode solves.
-	delay := sim.Time(e.Count) * sim.Time(missing) * f.reconPerBlock
-	blk := s.base + e.Data.Block
+	// to how many erasures the decode solves, charged once per run.
+	delay := sim.Time(count) * sim.Time(missing) * f.reconPerBlock
 	eng := s.arr.Eng
 	sub := s.arr.newJoin(func(sim.Time) { eng.AfterTimed(delay, br) })
 	for _, p := range peers {
@@ -219,7 +226,7 @@ func (s *span) degradedRead(e raid.Extent) {
 			continue
 		}
 		f.stats.PeerReads++
-		s.arr.submit(dev, disk.OpRead, blk, e.Count, false, sub.branch())
+		s.arr.submit(dev, disk.OpRead, blk, count, false, sub.branch())
 	}
 	sub.seal(now)
 }
@@ -525,28 +532,38 @@ func (rt *FaultRuntime) startRebuild(dev int, rateMBps float64) {
 	job.step()
 }
 
-// step launches the next stripe-row reconstruction, or finishes the
-// rebuild when every span walk is exhausted.
+// rebuildBatchRows is how many consecutive stripe rows one rebuild step
+// reconstructs as a single device-contiguous run (RebuildWalker.NextRun):
+// one read per surviving peer, one aggregated decode charge and one
+// spare write cover the whole batch, so the per-row join/submission
+// overhead — and the geometry resolution — amortizes 8x while the
+// rate pacing still bounds the burst to a fraction of a stripe-unit
+// second at default rates.
+const rebuildBatchRows = 8
+
+// step launches the next stripe-row batch, or finishes the rebuild when
+// every span walk is exhausted.
 func (r *rebuildJob) step() {
 	for r.cur < len(r.walks) {
 		sw := r.walks[r.cur]
-		blk, n, peers, ok := sw.w.Next()
+		blk, n, rows, peers, ok := sw.w.NextRun(rebuildBatchRows)
 		if !ok {
 			r.cur++
 			continue
 		}
-		r.row(sw, blk, n, peers)
+		r.run(sw, blk, n, rows, peers)
 		return
 	}
 	r.rt.finishRebuild(r.dev)
 }
 
-// row reconstructs one stripe-row unit: read the surviving peers, pay
-// the decode, write the unit to the spare, then schedule the next row
-// no earlier than the rate limit allows (pacing is by row start, so a
-// loaded array that services rows slowly is simply late, never
-// bursty).
-func (r *rebuildJob) row(sw spanWalk, blk, n int64, peers []int) {
+// run reconstructs one batch of consecutive stripe rows: read the
+// surviving peers once across the whole run, pay the aggregated decode,
+// write the run to the spare in one submission, then schedule the next
+// batch no earlier than the rate limit allows (pacing is by batch
+// start and sized to the batch, so a loaded array that services a
+// batch slowly is simply late, never bursty).
+func (r *rebuildJob) run(sw spanWalk, blk, n, rows int64, peers []int) {
 	rt := r.rt
 	f := rt.arr.faults
 	eng := rt.arr.Eng
@@ -557,7 +574,7 @@ func (r *rebuildJob) row(sw spanWalk, blk, n int64, peers []int) {
 	sub := rt.arr.newJoin(func(sim.Time) {
 		eng.After(f.reconPerBlock*sim.Time(n), func() {
 			wr := rt.arr.newJoin(func(sim.Time) {
-				f.stats.RebuildRows++
+				f.stats.RebuildRows += rows
 				f.stats.RebuildBlocks += n
 				next := start + pace
 				if next < eng.Now() {

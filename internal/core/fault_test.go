@@ -43,12 +43,17 @@ func installPlan(t *testing.T, arr *Array, vol Volume, spec string) *FaultRuntim
 // (including Errors and Rejected).
 func replayFaultMQ(t *testing.T, recs []trace.Record, spec string, shards, workers, lookahead int) (mqOutcome, FaultStats, []disk.Stats) {
 	t.Helper()
+	return replayFaultMQAffinity(t, recs, spec, shards, workers, lookahead, testAffinity())
+}
+
+func replayFaultMQAffinity(t *testing.T, recs []trace.Record, spec string, shards, workers, lookahead int, affinity bool) (mqOutcome, FaultStats, []disk.Stats) {
+	t.Helper()
 	plan, err := fault.ParsePlan(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	eng := sim.NewEngine()
-	c, arr := newMQCRAID(eng, 64, shards, workers, lookahead)
+	c, arr := newMQCRAIDAffinity(eng, 64, shards, workers, lookahead, affinity)
 	rt := InstallFaults(arr, c, plan, testFaultOptions)
 	n, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{})
 	if err != nil {
@@ -82,31 +87,37 @@ func replayFaultMQ(t *testing.T, recs []trace.Record, spec string, shards, worke
 func TestFaultDeterminismAcrossPipelines(t *testing.T) {
 	const spec = "seed=9;transient:1@5ms-25ms,rate=0.05,lat=3;fail:2@10ms;rebuild:2@20ms,rate=64"
 	recs := randomWorkload(11, 3000, 12000)
-	ref, refFaults, refDevs := replayFaultMQ(t, recs, spec, 1, 1, 0)
+	ref, refFaults, refDevs := replayFaultMQAffinity(t, recs, spec, 1, 1, 0, false)
 	if refFaults.Failures != 1 || refFaults.RebuildRows == 0 {
 		t.Fatalf("plan did not exercise the fabric: %+v", refFaults)
 	}
 	if refFaults.LostExtents != 0 {
 		t.Fatalf("single failure lost %d extents", refFaults.LostExtents)
 	}
+	affinities := []bool{false, true}
+	if raceEnabled {
+		affinities = []bool{testAffinity()}
+	}
 	for _, shards := range []int{1, 2, 5, 16} {
 		for _, workers := range []int{1, 2, 8} {
-			for _, lookahead := range []int{0, 1} {
-				if shards == 1 && workers == 1 && lookahead == 0 {
-					continue
-				}
-				got, gotFaults, gotDevs := replayFaultMQ(t, recs, spec, shards, workers, lookahead)
-				if got != ref {
-					t.Errorf("shards=%d workers=%d lookahead=%d: controller outcome diverged",
-						shards, workers, lookahead)
-				}
-				if gotFaults != refFaults {
-					t.Errorf("shards=%d workers=%d lookahead=%d: fault stats diverged:\n  %+v\n  %+v",
-						shards, workers, lookahead, gotFaults, refFaults)
-				}
-				if !reflect.DeepEqual(gotDevs, refDevs) {
-					t.Errorf("shards=%d workers=%d lookahead=%d: device counters diverged",
-						shards, workers, lookahead)
+			for _, lookahead := range []int{0, 1, 2} {
+				for _, affinity := range affinities {
+					if shards == 1 && workers == 1 && lookahead == 0 && !affinity {
+						continue
+					}
+					got, gotFaults, gotDevs := replayFaultMQAffinity(t, recs, spec, shards, workers, lookahead, affinity)
+					if got != ref {
+						t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: controller outcome diverged",
+							shards, workers, lookahead, affinity)
+					}
+					if gotFaults != refFaults {
+						t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: fault stats diverged:\n  %+v\n  %+v",
+							shards, workers, lookahead, affinity, gotFaults, refFaults)
+					}
+					if !reflect.DeepEqual(gotDevs, refDevs) {
+						t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: device counters diverged",
+							shards, workers, lookahead, affinity)
+					}
 				}
 			}
 		}
@@ -162,6 +173,73 @@ func TestDegradedReadRAID5EveryBlockReadable(t *testing.T) {
 	if st.DegradedReads != wantDeg || st.DegradedBlocks != wantDeg || st.PeerReads != wantPeer {
 		t.Fatalf("degraded counters %+v, reference wants %d reads / %d peer reads",
 			st, wantDeg, wantPeer)
+	}
+	if s := arr.Device(dead).Stats(); s.Reads != 0 || s.Rejected != 0 {
+		t.Fatalf("dead device was consulted: %+v", s)
+	}
+}
+
+// TestDegradedReadCoalescesContiguousRows pins the row-batched
+// degraded-read contract against the per-unit reference: a read
+// spanning many stripe rows reconstructs each device-contiguous run of
+// dead-disk units with ONE peer submission per survivor and one
+// aggregated reconstruction charge, while DegradedBlocks and the
+// per-block compute total stay exactly what the per-unit walk would
+// report. Parity rotation breaks the dead disk's data runs every
+// group-size rows, so the reference predicts both the run count and
+// where each run starts.
+func TestDegradedReadCoalescesContiguousRows(t *testing.T) {
+	const dead = 2
+	eng := sim.NewEngine()
+	arr := nullArray(eng, 5, 10000)
+	lay := raid.NewRAID5(5, 5, 160, 4)
+	ctl := NewRAIDController(arr, lay, []int{0, 1, 2, 3, 4}, 0)
+	rt := installPlan(t, arr, ctl, fmt.Sprintf("seed=1;fail:%d@0s", dead))
+
+	// Per-unit reference walk over the whole address space, emulating
+	// device-block coalescing: consecutive dead-disk blocks extend the
+	// run; a device-block gap (a parity row of the dead disk) starts a
+	// new one.
+	var wantRuns, wantBlocks, wantPeer, runLen, maxRun int64
+	nextBlk := int64(-1)
+	for b := int64(0); b < lay.DataBlocks(); b++ {
+		p := lay.Locate(b)
+		if p.Disk != dead {
+			continue
+		}
+		wantBlocks++
+		if p.Block == nextBlk {
+			nextBlk++
+			runLen++
+		} else {
+			wantRuns++
+			wantPeer += int64(len(lay.RowPeers(b, nil)))
+			nextBlk = p.Block + 1
+			runLen = 1
+		}
+		if runLen > maxRun {
+			maxRun = runLen
+		}
+	}
+	if wantRuns <= 1 || wantRuns >= wantBlocks {
+		t.Fatalf("reference degenerate: %d runs over %d blocks", wantRuns, wantBlocks)
+	}
+
+	recon := testFaultOptions.ReconPerBlock
+	got := submitAndRun(eng, ctl, disk.OpRead, 0, lay.DataBlocks())
+	// Runs reconstruct as parallel branches of the request join on
+	// instant devices: completion is gated by the longest run's
+	// aggregated charge.
+	if want := sim.Time(maxRun) * recon; got != want {
+		t.Fatalf("coalesced read took %v, want longest run %d blocks * recon = %v", got, maxRun, want)
+	}
+	st := rt.Stats()
+	if st.LostExtents != 0 {
+		t.Fatalf("single failure lost %d extents", st.LostExtents)
+	}
+	if st.DegradedReads != wantRuns || st.DegradedBlocks != wantBlocks || st.PeerReads != wantPeer {
+		t.Fatalf("degraded counters %+v, per-unit reference wants %d runs / %d blocks / %d peer reads",
+			st, wantRuns, wantBlocks, wantPeer)
 	}
 	if s := arr.Device(dead).Stats(); s.Reads != 0 || s.Rejected != 0 {
 		t.Fatalf("dead device was consulted: %+v", s)
@@ -370,8 +448,9 @@ func TestFaultTransientRetryBudget(t *testing.T) {
 }
 
 // TestFaultRebuildWalksAndRestoresDevice pins the rebuild pipeline on
-// a quiet array: the walk reads every surviving peer once per row,
-// writes every row onto the spare, paces to the configured rate, and
+// a quiet array: the walk covers every row, batches rebuildBatchRows
+// consecutive rows per step (one read per surviving peer and one spare
+// write per batch), paces each batch to the configured rate, and
 // rejoins the device — after which reads are served natively again.
 func TestFaultRebuildWalksAndRestoresDevice(t *testing.T) {
 	const dead = 1
@@ -383,22 +462,24 @@ func TestFaultRebuildWalksAndRestoresDevice(t *testing.T) {
 	rt := installPlan(t, arr, ctl, plan) // installPlan drains: rebuild completes here
 
 	rows := lay.BlocksPerDisk() / lay.StripeUnitBlocks()
+	batches := (rows + rebuildBatchRows - 1) / rebuildBatchRows
 	st := rt.Stats()
 	if st.RebuildRows != rows || st.RebuildBlocks != lay.BlocksPerDisk() {
 		t.Fatalf("rebuild covered %d rows / %d blocks, want %d / %d",
 			st.RebuildRows, st.RebuildBlocks, rows, lay.BlocksPerDisk())
 	}
-	if s := arr.Device(dead).Stats(); s.Writes != rows {
-		t.Fatalf("spare received %d writes, want one per row (%d)", s.Writes, rows)
+	if s := arr.Device(dead).Stats(); s.Writes != batches {
+		t.Fatalf("spare received %d writes, want one per row batch (%d)", s.Writes, batches)
 	}
-	if st.PeerReads != rows*int64(len(lay.DiskPeers(dead, nil))) {
-		t.Fatalf("rebuild issued %d peer reads, want %d per row", st.PeerReads, rows)
+	if want := batches * int64(len(lay.DiskPeers(dead, nil))); st.PeerReads != want {
+		t.Fatalf("rebuild issued %d peer reads, want %d (one per peer per batch)", st.PeerReads, want)
 	}
-	// Pacing: row starts are rate-limited, so the span from first to
-	// last completion covers at least (rows-1) paced gaps.
-	pace := sim.Time(float64(lay.StripeUnitBlocks()*disk.BlockSize) * 1000 / 64)
-	if d := st.RebuildDuration(); d < sim.Time(rows-1)*pace {
-		t.Fatalf("rebuild duration %v under the rate-limit floor %v", d, sim.Time(rows-1)*pace)
+	// Pacing: batch starts are rate-limited and each full batch's pace
+	// covers its rebuildBatchRows rows, so the span from first to last
+	// completion covers at least batches-1 full-batch gaps.
+	pace := sim.Time(float64(rebuildBatchRows*lay.StripeUnitBlocks()*disk.BlockSize) * 1000 / 64)
+	if d := st.RebuildDuration(); d < sim.Time(batches-1)*pace {
+		t.Fatalf("rebuild duration %v under the rate-limit floor %v", d, sim.Time(batches-1)*pace)
 	}
 	// The device rejoined: reads are native (no reconstruction delay,
 	// no degraded counters moving).

@@ -2,6 +2,7 @@ package core
 
 import (
 	"os"
+	"strconv"
 	"testing"
 
 	"craid/internal/disk"
@@ -12,19 +13,33 @@ import (
 
 // testLookahead is the PlanLookahead baseline the multi-queue tests
 // build controllers with. CI re-runs the equivalence suite with
-// CRAID_TEST_LOOKAHEAD=1 so every property here is checked with the
-// plan stage overlapping the apply stage (tests that sweep lookahead
-// explicitly override it per controller).
+// CRAID_TEST_LOOKAHEAD set to 1 and 2 so every property here is checked
+// with the plan stage overlapping the apply stage, at both one and two
+// batches of depth (tests that sweep lookahead explicitly override it
+// per controller).
 func testLookahead() int {
-	if os.Getenv("CRAID_TEST_LOOKAHEAD") == "1" {
-		return 1
+	if n, err := strconv.Atoi(os.Getenv("CRAID_TEST_LOOKAHEAD")); err == nil && n > 0 {
+		return n
 	}
 	return 0
 }
 
+// testAffinity is the WorkerAffinity baseline: CI re-runs the
+// equivalence suite with CRAID_TEST_AFFINITY=1 so every property is
+// also checked with persistent shard-group planner workers.
+func testAffinity() bool {
+	return os.Getenv("CRAID_TEST_AFFINITY") == "1"
+}
+
 // newMQCRAID is newShardedCRAID with a monitor-worker count and an
-// explicit lookahead depth.
+// explicit lookahead depth (worker affinity from CRAID_TEST_AFFINITY).
 func newMQCRAID(eng *sim.Engine, cachePerDisk int64, shards, workers, lookahead int) (*CRAID, *Array) {
+	return newMQCRAIDAffinity(eng, cachePerDisk, shards, workers, lookahead, testAffinity())
+}
+
+// newMQCRAIDAffinity is newMQCRAID with an explicit affinity setting,
+// for the tests that sweep the full pipeline matrix.
+func newMQCRAIDAffinity(eng *sim.Engine, cachePerDisk int64, shards, workers, lookahead int, affinity bool) (*CRAID, *Array) {
 	arr := nullArray(eng, 4, 100000)
 	disks := []int{0, 1, 2, 3}
 	paLayout := raid.NewRAID5(4, 4, 4096, 4)
@@ -36,6 +51,7 @@ func newMQCRAID(eng *sim.Engine, cachePerDisk int64, shards, workers, lookahead 
 		MapShards:      shards,
 		MonitorWorkers: workers,
 		PlanLookahead:  lookahead,
+		WorkerAffinity: affinity,
 	}, true, disks, 0, paLayout, disks, cachePerDisk)
 	return c, arr
 }
@@ -59,9 +75,13 @@ func replayMQ(t *testing.T, recs []trace.Record, cachePerDisk int64, shards, wor
 }
 
 func replayMQLookahead(t *testing.T, recs []trace.Record, cachePerDisk int64, shards, workers, lookahead int, cfg ReplayConfig) (mqOutcome, MQStats) {
+	return replayMQMatrix(t, recs, cachePerDisk, shards, workers, lookahead, testAffinity(), cfg)
+}
+
+func replayMQMatrix(t *testing.T, recs []trace.Record, cachePerDisk int64, shards, workers, lookahead int, affinity bool, cfg ReplayConfig) (mqOutcome, MQStats) {
 	t.Helper()
 	eng := sim.NewEngine()
-	c, arr := newMQCRAID(eng, cachePerDisk, shards, workers, lookahead)
+	c, arr := newMQCRAIDAffinity(eng, cachePerDisk, shards, workers, lookahead, affinity)
 	n, _, err := ReplayWith(eng, c, trace.NewSlice(recs), cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -88,17 +108,19 @@ func TestMonitorWorkersLatencyHistogramsIdentical(t *testing.T) {
 	if _, _, err := ReplayWith(eng1, ref, trace.NewSlice(recs), ReplayConfig{}); err != nil {
 		t.Fatal(err)
 	}
-	for _, lookahead := range []int{0, 1} {
-		eng2 := sim.NewEngine()
-		mq, _ := newMQCRAID(eng2, 64, 16, 8, lookahead)
-		if _, _, err := ReplayWith(eng2, mq, trace.NewSlice(recs), ReplayConfig{}); err != nil {
-			t.Fatal(err)
-		}
-		if !mq.ReadLatency().Equal(ref.ReadLatency()) {
-			t.Errorf("lookahead=%d: read histograms diverged: %v vs %v", lookahead, mq.ReadLatency(), ref.ReadLatency())
-		}
-		if !mq.WriteLatency().Equal(ref.WriteLatency()) {
-			t.Errorf("lookahead=%d: write histograms diverged: %v vs %v", lookahead, mq.WriteLatency(), ref.WriteLatency())
+	for _, lookahead := range []int{0, 1, 2} {
+		for _, affinity := range []bool{false, true} {
+			eng2 := sim.NewEngine()
+			mq, _ := newMQCRAIDAffinity(eng2, 64, 16, 8, lookahead, affinity)
+			if _, _, err := ReplayWith(eng2, mq, trace.NewSlice(recs), ReplayConfig{}); err != nil {
+				t.Fatal(err)
+			}
+			if !mq.ReadLatency().Equal(ref.ReadLatency()) {
+				t.Errorf("lookahead=%d affinity=%v: read histograms diverged: %v vs %v", lookahead, affinity, mq.ReadLatency(), ref.ReadLatency())
+			}
+			if !mq.WriteLatency().Equal(ref.WriteLatency()) {
+				t.Errorf("lookahead=%d affinity=%v: write histograms diverged: %v vs %v", lookahead, affinity, mq.WriteLatency(), ref.WriteLatency())
+			}
 		}
 	}
 }
@@ -112,17 +134,57 @@ func TestMonitorWorkersLatencyHistogramsIdentical(t *testing.T) {
 // concurrently with the apply stage's mutations (serialized only by
 // the plan gate), so this is also the gate's race proof.
 func TestMonitorWorkersStatsBitIdentical(t *testing.T) {
-	for _, seed := range []int64{1, 7, 23} {
+	seeds := []int64{1, 7, 23}
+	affinities := []bool{false, true}
+	if raceEnabled {
+		// One seed and the CI job's affinity setting: the race matrix
+		// jobs sweep CRAID_TEST_AFFINITY, and the plain run covers the
+		// full cross product.
+		seeds = seeds[:1]
+		affinities = []bool{testAffinity()}
+	}
+	for _, seed := range seeds {
 		recs := randomWorkload(seed, 4000, 12000)
-		ref, _ := replayMQLookahead(t, recs, 64, 1, 1, 0, ReplayConfig{})
+		ref, _ := replayMQMatrix(t, recs, 64, 1, 1, 0, false, ReplayConfig{})
 		for _, shards := range []int{1, 2, 5, 16} {
 			for _, workers := range []int{1, 2, 8} {
-				for _, lookahead := range []int{0, 1} {
-					got, _ := replayMQLookahead(t, recs, 64, shards, workers, lookahead, ReplayConfig{})
-					if got != ref {
-						t.Errorf("seed %d shards=%d workers=%d lookahead=%d: outcome diverged\n got %+v\nwant %+v",
-							seed, shards, workers, lookahead, got, ref)
+				for _, lookahead := range []int{0, 1, 2} {
+					for _, affinity := range affinities {
+						got, _ := replayMQMatrix(t, recs, 64, shards, workers, lookahead, affinity, ReplayConfig{})
+						if got != ref {
+							t.Errorf("seed %d shards=%d workers=%d lookahead=%d affinity=%v: outcome diverged\n got %+v\nwant %+v",
+								seed, shards, workers, lookahead, affinity, got, ref)
+						}
 					}
+				}
+			}
+		}
+	}
+}
+
+// TestLookaheadDepthEquivalence sweeps the plan stage deep: depths 0-3
+// exercise the plan ring at every occupancy (the ring holds depth+1
+// stitch arenas, and the stage channel buffers depth-1 batches), with
+// and without affinity workers, against the sequential reference. Small
+// batches force many ring rotations so a depth-dependent aliasing bug
+// would corrupt a plan the apply stage is still draining.
+func TestLookaheadDepthEquivalence(t *testing.T) {
+	recs := randomWorkload(31, 3000, 12000)
+	affinities := []bool{false, true}
+	if raceEnabled {
+		affinities = []bool{testAffinity()} // CI jobs sweep the env knob
+	}
+	ref, _ := replayMQMatrix(t, recs, 64, 1, 1, 0, false, ReplayConfig{})
+	for _, lookahead := range []int{0, 1, 2, 3} {
+		for _, affinity := range affinities {
+			for _, cfg := range []ReplayConfig{{}, {BatchSize: 32, RingDepth: 8}} {
+				got, mq := replayMQMatrix(t, recs, 64, 16, 8, lookahead, affinity, cfg)
+				if got != ref {
+					t.Errorf("lookahead=%d affinity=%v cfg=%+v: outcome diverged\n got %+v\nwant %+v",
+						lookahead, affinity, cfg, got, ref)
+				}
+				if mq.Planned == 0 {
+					t.Errorf("lookahead=%d affinity=%v: planner never ran", lookahead, affinity)
 				}
 			}
 		}

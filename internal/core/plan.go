@@ -124,6 +124,13 @@ type batchPlanner interface {
 	// strictly before the plan stage starts and strictly after it
 	// exits.
 	setLookahead(active bool)
+	// beginPlanning/endPlanning bracket one whole replay: a volume may
+	// pin long-lived per-shard-group planning resources (the affinity
+	// workers) for the replay's duration. Always called in pairs from
+	// the apply goroutine, around every pipeline mode including
+	// synchronous planning.
+	beginPlanning()
+	endPlanning()
 }
 
 var _ batchPlanner = (*CRAID)(nil)
@@ -171,6 +178,30 @@ func (c *CRAID) planDepth() int {
 // after it is joined, so both the apply helpers and the planner's
 // workers read a stable value.
 func (c *CRAID) setLookahead(active bool) { c.gated = active }
+
+// beginPlanning implements batchPlanner: with Config.WorkerAffinity it
+// starts the planner's persistent shard-group workers for the replay's
+// duration, so group g is always classified by the same goroutine (and,
+// in steady state, the same OS thread — keeping that group's index
+// shards hot in one core's cache) instead of a goroutine spawned per
+// batch.
+func (c *CRAID) beginPlanning() {
+	if !c.cfg.WorkerAffinity || c.cfg.MonitorWorkers <= 1 {
+		return
+	}
+	if c.mq == nil {
+		c.mq = newPlanner(c)
+	}
+	c.mq.startWorkers()
+}
+
+// endPlanning implements batchPlanner: it releases the affinity
+// workers, if any. Safe to call without a matching beginPlanning.
+func (c *CRAID) endPlanning() {
+	if c.mq != nil {
+		c.mq.stopWorkers()
+	}
+}
 
 // submitPlanned implements batchPlanner — and carries the one join
 // choreography both submission paths share (Submit delegates here
@@ -283,6 +314,65 @@ type planner struct {
 
 	out []planOut // stitched plan arenas, rotated per batch
 	cur int
+
+	// Affinity mode (Config.WorkerAffinity): instead of spawning one
+	// goroutine per non-empty group per batch, beginPlanning starts
+	// workers-1 persistent goroutines, each bound to one shard group for
+	// the whole replay. plan() posts one token per busy group and
+	// collects one completion per token; the channel handoffs give the
+	// same happens-before edges the per-batch WaitGroup gave, and the
+	// classification itself is byte-for-byte the same work, so results
+	// stay bit-identical — only goroutine identity (and thus cache
+	// residency of each group's shards) changes.
+	affWork []chan struct{} // affWork[g-1] wakes group g's worker
+	affDone chan struct{}   // one token per completed group
+	affQuit chan struct{}   // closed by stopWorkers
+	affOn   bool
+}
+
+// startWorkers begins affinity mode: one persistent worker per shard
+// group 1..workers-1 (group 0 is classified by the planning goroutine
+// itself, as in spawn mode). Idempotent per begin/end bracket.
+func (p *planner) startWorkers() {
+	if p.workers <= 1 || p.affOn {
+		return
+	}
+	if p.affWork == nil {
+		p.affWork = make([]chan struct{}, p.workers-1)
+		for i := range p.affWork {
+			p.affWork[i] = make(chan struct{}, 1)
+		}
+		p.affDone = make(chan struct{}, p.workers-1)
+	}
+	p.affQuit = make(chan struct{})
+	for g := 1; g < p.workers; g++ {
+		go p.affinityWorker(g, p.affQuit)
+	}
+	p.affOn = true
+}
+
+// stopWorkers exits affinity mode, terminating the persistent workers.
+// plan() has always drained affDone before returning, so no worker is
+// mid-classification here.
+func (p *planner) stopWorkers() {
+	if !p.affOn {
+		return
+	}
+	p.affOn = false
+	close(p.affQuit)
+}
+
+// affinityWorker classifies its group on demand until quit closes.
+func (p *planner) affinityWorker(g int, quit chan struct{}) {
+	for {
+		select {
+		case <-p.affWork[g-1]:
+			p.classify(g)
+			p.affDone <- struct{}{}
+		case <-quit:
+			return
+		}
+	}
 }
 
 // planOut is one batch's stitched plan storage.
@@ -360,19 +450,34 @@ func (p *planner) plan(recs []trace.Record) []recordPlan {
 		p.cur = 0
 	}
 	p.split(recs)
-	var wg sync.WaitGroup
-	for g := 1; g < p.workers; g++ {
-		if len(p.tasks[g]) == 0 {
-			continue
+	if p.affOn {
+		busy := 0
+		for g := 1; g < p.workers; g++ {
+			if len(p.tasks[g]) == 0 {
+				continue
+			}
+			p.affWork[g-1] <- struct{}{}
+			busy++
 		}
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			p.classify(g)
-		}(g)
+		p.classify(0) // the planning goroutine is worker 0
+		for ; busy > 0; busy-- {
+			<-p.affDone
+		}
+	} else {
+		var wg sync.WaitGroup
+		for g := 1; g < p.workers; g++ {
+			if len(p.tasks[g]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				p.classify(g)
+			}(g)
+		}
+		p.classify(0) // the planning goroutine is worker 0
+		wg.Wait()
 	}
-	p.classify(0) // the planning goroutine is worker 0
-	wg.Wait()
 	return p.stitch(recs)
 }
 

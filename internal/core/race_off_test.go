@@ -1,0 +1,11 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. The
+// equivalence matrices shrink their seed sweep under -race: the
+// detector makes each replay ~20x slower, and one seed already drives
+// every interleaving the gate must serialize — the remaining seeds only
+// re-derive the same schedule with different data, which the plain run
+// covers in full.
+const raceEnabled = false

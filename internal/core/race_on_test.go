@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. See
+// race_off_test.go for why the equivalence matrices key off it.
+const raceEnabled = true

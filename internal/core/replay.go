@@ -386,6 +386,7 @@ func ReplayWith(eng *sim.Engine, vol Volume, r trace.Reader, cfg ReplayConfig) (
 	cu := &batchCursor{free: src.free}
 	var ps *planStage
 	if bp != nil {
+		bp.beginPlanning()
 		if depth := bp.planDepth(); depth > 0 {
 			bp.setLookahead(true)
 			ps = startPlanStage(src, bp, depth)
@@ -407,6 +408,11 @@ func ReplayWith(eng *sim.Engine, vol Volume, r trace.Reader, cfg ReplayConfig) (
 			// disengages: its workers read the gated flag.
 			<-ps.done
 			bp.setLookahead(false)
+		}
+		if bp != nil {
+			// After the plan stage (if any) has parked: no classification
+			// can be in flight when the affinity workers are released.
+			bp.endPlanning()
 		}
 	}()
 

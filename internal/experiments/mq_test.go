@@ -78,6 +78,41 @@ func TestPlanLookaheadCellEquivalence(t *testing.T) {
 	}
 }
 
+// TestWorkerAffinityCellEquivalence pins the affinity knob at the
+// experiment level: pinning shard groups to long-lived planner workers
+// reports exactly the per-batch scheduler's Stats, latencies and
+// request count, across both synchronous and lookahead planning.
+func TestWorkerAffinityCellEquivalence(t *testing.T) {
+	for _, lookahead := range []int{0, 2} {
+		base := RunConfig{
+			Trace: "wdev", Scale: QuickScale, Strategy: CRAID5,
+			PCPct: 0.008, MapShards: 16, MonitorWorkers: 4,
+			PlanLookahead: lookahead,
+		}
+		ref, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := base
+		cfg.WorkerAffinity = true
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *got.CRAID != *ref.CRAID {
+			t.Errorf("lookahead=%d: affinity stats diverged\n got %+v\nwant %+v",
+				lookahead, *got.CRAID, *ref.CRAID)
+		}
+		if got.Requests != ref.Requests ||
+			got.ReadMean != ref.ReadMean || got.WriteMean != ref.WriteMean {
+			t.Errorf("lookahead=%d: affinity latencies diverged", lookahead)
+		}
+		if got.MQ.Batches == 0 || got.MQ.Planned == 0 {
+			t.Errorf("lookahead=%d: planner never ran: %+v", lookahead, got.MQ)
+		}
+	}
+}
+
 // TestMappingLogCell pins the batched dirty-log plumbing: a cell with
 // MappingLog set writes a recoverable ring-flushed log and reports the
 // ring's counters, without perturbing the monitor's results.

@@ -74,6 +74,19 @@ func SetDefaultPlanLookahead(n int) {
 	defaultPlanLookahead = n
 }
 
+// defaultWorkerAffinity is OR-ed with each cell's
+// RunConfig.WorkerAffinity. cmd/craidbench and cmd/craidsim thread
+// their -affinity flags through here.
+var defaultWorkerAffinity = false
+
+// SetDefaultWorkerAffinity pins each shard group to one long-lived
+// planner worker in every cell's monitor (a no-op below 2 workers).
+// Call before RunAll, not concurrently with it. Results are
+// bit-identical either way; only cache residency and wall-clock change.
+func SetDefaultWorkerAffinity(on bool) {
+	defaultWorkerAffinity = on
+}
+
 // RunAll executes every config, fanning the cells out over a bounded
 // worker pool. Successful results are deterministic regardless of
 // worker count: results[i] always corresponds to cfgs[i]. Once any

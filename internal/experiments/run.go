@@ -190,6 +190,12 @@ type RunConfig struct {
 	// default synchronous planning). Stats and ratios are
 	// bit-identical at every value.
 	PlanLookahead int
+	// WorkerAffinity pins each shard group to one long-lived planner
+	// worker for the whole replay instead of handing groups out per
+	// batch, keeping a group's index shards hot in one worker's cache.
+	// Pure scheduling policy: Stats and ratios are bit-identical either
+	// way. Only meaningful with MonitorWorkers > 1.
+	WorkerAffinity bool
 
 	// FaultSpec, when non-empty, installs a deterministic failure plan
 	// (fault.ParsePlan syntax: "seed=7;fail:2@5s;rebuild:2@10s,rate=64")
@@ -543,6 +549,7 @@ func buildVolume(eng *sim.Engine, cfg RunConfig, dataset int64) (core.Volume, *c
 	if lookahead == 0 {
 		lookahead = defaultPlanLookahead
 	}
+	affinity := cfg.WorkerAffinity || defaultWorkerAffinity
 	if workers > 1 && shards == 0 {
 		// No shard count requested anywhere: concurrency needs
 		// disjoint shard groups to own, so give each worker a few
@@ -561,6 +568,7 @@ func buildVolume(eng *sim.Engine, cfg RunConfig, dataset int64) (core.Volume, *c
 		MapShards:      shards,
 		MonitorWorkers: workers,
 		PlanLookahead:  lookahead,
+		WorkerAffinity: affinity,
 		MapLogSync:     cfg.MapLogSync,
 	}
 	if cfg.Instant && cfg.PCBlocks > 0 {

@@ -201,3 +201,28 @@ func (w *RebuildWalker) Next() (block, count int64, peers []int, ok bool) {
 	w.row++
 	return block, w.unit, w.peers, true
 }
+
+// NextRun returns the device block range of the next up-to-maxRows
+// stripe rows as ONE contiguous run, with the row count it covers.
+// Consecutive rows of a rebuild are always device-contiguous — unit r
+// occupies exactly [r*unit, (r+1)*unit) on every group disk — so a
+// batch of rows is one read per peer and one write to the spare, and
+// the group/rotation geometry is resolved once per batch instead of
+// once per unit. Covers exactly the blocks repeated Next calls cover,
+// in the same order (property-pinned in degraded_test.go). maxRows < 1
+// is treated as 1.
+func (w *RebuildWalker) NextRun(maxRows int64) (block, count int64, rows int64, peers []int, ok bool) {
+	if w.row >= w.rows {
+		return 0, 0, 0, nil, false
+	}
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	rows = w.rows - w.row
+	if rows > maxRows {
+		rows = maxRows
+	}
+	block = w.row * w.unit
+	w.row += rows
+	return block, rows * w.unit, rows, w.peers, true
+}

@@ -241,3 +241,128 @@ func TestRebuildWalkerRejectsBadDisk(t *testing.T) {
 		}()
 	}
 }
+
+// TestRebuildWalkerNextRunMatchesNext pins the row-batched walk against
+// the per-unit reference: for every batch size, NextRun must cover
+// exactly the blocks repeated Next calls cover, in the same order, as
+// contiguous runs whose row counts sum to Rows(), with the same peer
+// set at every step.
+func TestRebuildWalkerNextRunMatchesNext(t *testing.T) {
+	for name, l := range degradedLayouts(t) {
+		for _, d := range []int{0, l.Disks() - 1} {
+			// Per-unit reference walk.
+			ref := NewRebuildWalker(l, d)
+			var refBlocks []int64
+			for {
+				blk, n, _, ok := ref.Next()
+				if !ok {
+					break
+				}
+				for b := blk; b < blk+n; b++ {
+					refBlocks = append(refBlocks, b)
+				}
+			}
+			rows := NewRebuildWalker(l, d).Rows()
+			for _, maxRows := range []int64{0, 1, 2, 3, 8, rows, rows + 5} {
+				w := NewRebuildWalker(l, d)
+				var gotBlocks []int64
+				var gotRows int64
+				for {
+					blk, n, nrows, peers, ok := w.NextRun(maxRows)
+					if !ok {
+						break
+					}
+					if n != nrows*w.UnitBlocks() {
+						t.Fatalf("%s disk %d maxRows %d: run count %d != rows %d * unit %d",
+							name, d, maxRows, n, nrows, w.UnitBlocks())
+					}
+					want := maxRows
+					if want < 1 {
+						want = 1
+					}
+					if nrows > want {
+						t.Fatalf("%s disk %d: NextRun(%d) returned %d rows", name, d, maxRows, nrows)
+					}
+					if !reflect.DeepEqual(sortedCopy(peers), sortedCopy(w.Peers())) {
+						t.Fatalf("%s disk %d maxRows %d: run peers %v, walker peers %v",
+							name, d, maxRows, peers, w.Peers())
+					}
+					for b := blk; b < blk+n; b++ {
+						gotBlocks = append(gotBlocks, b)
+					}
+					gotRows += nrows
+				}
+				if gotRows != rows {
+					t.Fatalf("%s disk %d maxRows %d: covered %d rows, want %d",
+						name, d, maxRows, gotRows, rows)
+				}
+				if !reflect.DeepEqual(gotBlocks, refBlocks) {
+					t.Fatalf("%s disk %d maxRows %d: batched coverage diverges from per-unit walk",
+						name, d, maxRows)
+				}
+			}
+		}
+	}
+}
+
+// TestRebuildWalkerNextRunAllocFree gates the batched walk at zero
+// allocations per step: the peers slice is owned by the walker and a
+// run is pure index arithmetic, so a full-device walk must not touch
+// the heap.
+func TestRebuildWalkerNextRunAllocFree(t *testing.T) {
+	l := NewRAID5(5, 5, 160, 4)
+	w := NewRebuildWalker(l, 2)
+	allocs := testing.AllocsPerRun(100, func() {
+		w.row = 0
+		for {
+			_, _, _, _, ok := w.NextRun(8)
+			if !ok {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("NextRun walk allocates %v per full pass, want 0", allocs)
+	}
+}
+
+func benchRebuildLayout() Redundant { return NewRAID5(10, 10, 400000, 32) }
+
+// BenchmarkRebuildWalkerNext measures the per-unit reference walk.
+func BenchmarkRebuildWalkerNext(b *testing.B) {
+	w := NewRebuildWalker(benchRebuildLayout(), 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		w.row = 0
+		for {
+			blk, n, _, ok := w.Next()
+			if !ok {
+				break
+			}
+			sink += blk + n
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkRebuildWalkerNextRun measures the row-batched walk at the
+// core's rebuild batch size.
+func BenchmarkRebuildWalkerNextRun(b *testing.B) {
+	w := NewRebuildWalker(benchRebuildLayout(), 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		w.row = 0
+		for {
+			blk, n, _, _, ok := w.NextRun(8)
+			if !ok {
+				break
+			}
+			sink += blk + n
+		}
+	}
+	_ = sink
+}

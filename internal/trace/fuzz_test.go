@@ -75,6 +75,77 @@ func FuzzParseMSR(f *testing.F) {
 	})
 }
 
+// drainCount is drain plus bookkeeping: it reports how many records
+// parsed and whether the stream ended cleanly at EOF (rather than at a
+// malformed line).
+func drainCount(t *testing.T, r Reader) (n int64, clean bool) {
+	t.Helper()
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return n, true
+		}
+		if err != nil {
+			return n, false
+		}
+		if rec.Block < 0 {
+			t.Fatalf("record %d: negative block %d", n, rec.Block)
+		}
+		if rec.Count < 1 {
+			t.Fatalf("record %d: count %d < 1", n, rec.Count)
+		}
+		n++
+		if n > 1<<20 {
+			t.Fatal("reader did not terminate")
+		}
+	}
+}
+
+// FuzzParseMSRPerVolume fuzzes the per-volume split path end to end the
+// way RunMSRVolumes drives it: enumerate DiskNumbers with MSRVolumes,
+// then parse one filtered stream per volume over independent
+// SectionReaders of the same bytes (the shared-pread-handle layout).
+// Arbitrary input must never panic any stage, and whenever every stream
+// ends cleanly the per-volume streams must partition the joint stream
+// record for record.
+func FuzzParseMSRPerVolume(f *testing.F) {
+	f.Add("1,h,0,Read,4096,4096,1\n2,h,3,Write,0,512,1\n3,h,0,Read,8192,512,1\n") // volumes interleave
+	f.Add("1,h,2,Read,1,1,1\n2,h,2,Write,0,0,1\n")                                // malformed line inside one volume
+	f.Add("1,h,0,Read,1,1,1\n2,h,-1,Read,1,1,1\n")                                // negative volume number
+	f.Add("1,h,0,Read,1,1,1\n2,h,x,Read,1,1,1\n")                                 // volume column corrupt mid-stream
+	f.Add("1,h,7,read,1,1\n2,h,7,write,1,1\n")                                    // short lines, one volume
+	f.Add("# c\n\n1,h,1,Read,1,1,1\n2,h,1,Flush,1,1,1\n3,h,2,Read,1,1,1\n")       // bad op in one volume only
+	f.Add("x,h,0,Read,1,1,1\n1,h,1,Read,1,1,1\n")                                 // bad timestamp, good volumes
+	f.Fuzz(func(t *testing.T, data string) {
+		at := strings.NewReader(data)
+		size := int64(len(data))
+		section := func() io.Reader { return io.NewSectionReader(at, 0, size) }
+		vols, err := MSRVolumes(section())
+		if err != nil {
+			return // a corrupt volume column must error, not panic
+		}
+		truncated := len(vols) > 8
+		if truncated {
+			vols = vols[:8] // bound fuzz cost; the split logic is per-volume
+		}
+		total, clean := drainCount(t, NewMSRReader(section()))
+		var split int64
+		allClean := true
+		for _, v := range vols {
+			r := NewMSRReader(section())
+			r.Volume = v
+			n, c := drainCount(t, r)
+			split += n
+			allClean = allClean && c
+		}
+		// MSRVolumes enumerated every DiskNumber, so with every stream
+		// clean each joint record belongs to exactly one filtered stream.
+		if clean && allClean && !truncated && split != total {
+			t.Fatalf("per-volume split parsed %d records, joint stream %d", split, total)
+		}
+	})
+}
+
 func FuzzParseBlk(f *testing.F) {
 	f.Add("0.000000 0 R 2048 8\n1.5 0 W 4096 16\n")
 	f.Add("0.1 dev READ 0 1\n")
