@@ -13,6 +13,7 @@
 //	craidbench -workers 4       # multi-queue monitor workers per cell (ratios unchanged)
 //	craidbench -workers 4 -lookahead 1   # overlap planning with apply (ratios unchanged)
 //	craidbench -workers 4 -affinity      # pin shard groups to long-lived workers (ratios unchanged)
+//	craidbench -remote http://host:8440  # run every cell through a craidd fabric
 //	craidbench -cpuprofile cpu.pb.gz -table 2   # attach pprof evidence
 //
 // The -budget flag scales each workload so roughly that many gigabytes
@@ -34,6 +35,13 @@
 // pipeline stage, classifying batch k+1 while batch k commits — same
 // guarantee: every table is byte-identical at any -lookahead value.
 //
+// The -remote flag routes every simulation cell through a craidd
+// experiment fabric (cmd/craidd) instead of running them in-process:
+// cells are content-addressed, so a warm fabric cache answers a whole
+// re-run without recomputing anything, and the printed tables are
+// byte-identical to a local run either way (only the `--` timing
+// footers differ).
+//
 // The -cpuprofile and -memprofile flags write pprof profiles covering
 // the whole run, so performance PRs can attach before/after evidence
 // gathered from exactly the paper workloads.
@@ -49,6 +57,7 @@ import (
 	"time"
 
 	"craid/internal/experiments"
+	"craid/internal/fabric"
 	"craid/internal/workload"
 )
 
@@ -62,6 +71,8 @@ func main() {
 	workers := flag.Int("workers", 0, "multi-queue monitor workers per CRAID (0 = sequential)")
 	lookahead := flag.Int("lookahead", 0, "plan batches this far ahead of the apply stage (0 = plan between batches)")
 	affinity := flag.Bool("affinity", false, "pin each shard group to one long-lived monitor worker (ratios unchanged)")
+	remote := flag.String("remote", "",
+		"run simulation cells through the craidd fabric at this URL instead of in-process")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
@@ -70,6 +81,9 @@ func main() {
 	experiments.SetDefaultMonitorWorkers(*workers)
 	experiments.SetDefaultPlanLookahead(*lookahead)
 	experiments.SetDefaultWorkerAffinity(*affinity)
+	if *remote != "" {
+		experiments.SetExecutor(fabric.NewClient(*remote))
+	}
 
 	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 

@@ -10,6 +10,8 @@
 //	craidsim -file wdev.trace -format native -dataset-gb 4 -strategy CRAID-5 -pc 0.01
 //	craidsim -file msr.csv -format msr -volume 2 -dataset-gb 4
 //	craidsim -file msr.csv -format msr -pervolume -dataset-gb 4
+//	craidsim -trace wdev -remote http://host:8440
+//	craidsim -trace wdev -out result.json
 //
 // With -file, the named trace file replaces the preset generator:
 // -format picks the parser (native, msr, blk), -dataset-gb sizes the
@@ -27,6 +29,13 @@
 // monitor ratio and Stats field is identical at any
 // -workers/-lookahead/-affinity setting, and the printed plan-ring and
 // map-log lines report how the pipeline behaved.
+//
+// -remote runs the cell on a craidd experiment fabric (cmd/craidd)
+// instead of in-process: the config travels by value, a fabric worker
+// simulates it, and a warm fabric cache answers repeats without
+// recomputing — the printed result is identical either way. -out
+// writes the full JSON result to a file while the human-readable
+// stats still print to stdout (use -json for JSON on stdout instead).
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 
 	"craid/internal/disk"
 	"craid/internal/experiments"
+	"craid/internal/fabric"
 	"craid/internal/metrics"
 )
 
@@ -70,6 +80,10 @@ func main() {
 		"deterministic failure plan, e.g. \"seed=7;fail:2@5s;rebuild:2@10s,rate=64;crash@20s\"")
 	jsonOut := flag.Bool("json", false,
 		"emit the full result (RunResult with replay, map-log and fault KPIs) as one JSON object")
+	outFile := flag.String("out", "",
+		"also write the full JSON result to this file (stdout keeps the human-readable stats)")
+	remote := flag.String("remote", "",
+		"run the cell on the craidd fabric at this URL instead of in-process")
 	flag.Parse()
 
 	cfg := experiments.RunConfig{
@@ -98,6 +112,19 @@ func main() {
 		}
 		cfg.DatasetBlocks = int64(*datasetGB * 1e9 / disk.BlockSize)
 		cfg.Scale = experiments.ScaleForBlocks(cfg.DatasetBlocks)
+	}
+
+	if *remote != "" {
+		if *perVolume {
+			// -pervolume fans one shared file handle into sibling cells;
+			// an open handle cannot travel to fabric workers.
+			fmt.Fprintln(os.Stderr, "craidsim: -pervolume cells share a local file handle; they cannot run on -remote")
+			os.Exit(1)
+		}
+		if *maplog != "" {
+			fmt.Fprintln(os.Stderr, "craidsim: -maplog writes a local file; it cannot run on -remote")
+			os.Exit(1)
+		}
 	}
 
 	if *perVolume {
@@ -135,12 +162,25 @@ func main() {
 		return
 	}
 
-	res, err := experiments.Run(cfg)
+	var res experiments.RunResult
+	var err error
+	if *remote != "" {
+		res, err = fabric.NewClient(*remote).Run(cfg)
+	} else {
+		res, err = experiments.Run(cfg)
+	}
 	if err != nil {
 		// Includes a dying mapping-log device (LogRing.Err surfaces at
 		// each apply-step flush) and data lost beyond redundancy.
 		fmt.Fprintln(os.Stderr, "craidsim:", err)
 		os.Exit(1)
+	}
+
+	if *outFile != "" {
+		if err := writeResultFile(*outFile, res); err != nil {
+			fmt.Fprintln(os.Stderr, "craidsim:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *jsonOut {
@@ -215,4 +255,19 @@ func ratioOf(a, b int64) float64 {
 		return 0
 	}
 	return float64(a) / float64(b)
+}
+
+// writeResultFile writes the full result as indented JSON to path,
+// atomically (temp + rename) so a crashed run never leaves a torn
+// file for downstream tooling to choke on.
+func writeResultFile(path string, res experiments.RunResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }

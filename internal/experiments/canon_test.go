@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"craid/internal/core"
+	"craid/internal/sim"
+)
+
+// goldenConfigs pairs representative configs with their frozen content
+// addresses. These hashes are CACHE KEYS: a fabric result store
+// written by this PR must still be readable by the next one, so if
+// this test fails the encoder changed observably and canonVersion MUST
+// be bumped (which retires old cache entries) — do not just update the
+// hex strings.
+func goldenConfigs() ([]RunConfig, []string) {
+	vol := 3
+	cfgs := []RunConfig{
+		{},
+		{Trace: "wdev", Scale: 0.002, Strategy: CRAID5, PCPct: 0.008, Policy: "WLRU"},
+		{Trace: "cello99", Scale: 1, Duration: 2 * sim.Hour, Strategy: CRAID5PlusSSD,
+			PCPct: 0.032, Policy: "ARC", MapShards: 16, MonitorWorkers: 4, PlanLookahead: 2,
+			WorkerAffinity: true, FaultSpec: "seed=7;fail:2@5s;rebuild:2@10s,rate=64",
+			MappingLog: "dirty.log", MapLogSync: true, ReplayBatch: 512, ReplayRing: 8,
+			Bursty: true, TrackLoad: true, TrackSeq: true},
+		{TraceFile: "msr.csv", TraceFormat: "msr", TraceVolume: &vol, DatasetBlocks: 1 << 20,
+			Scale: 0.25, Strategy: RAID5Plus},
+		{Trace: "webusers", Scale: 1, Strategy: CRAID5, Policy: "LRU", Instant: true,
+			PCBlocks: 2000, PCLevel: core.PCLevel(2)},
+	}
+	hashes := []string{
+		"c90b95e8474b20d17a9dce3550d785286bee8bc91545ddc6612cc0e05fd31d83",
+		"dfcaeb7f263199fce9ca8f615aeff848fa654378fc6ea62583764ac0428c5e2d",
+		"4560eb9c50b672b66bab4aa2b5a27ad3bd9ff5aeb499710a9e60038c4a80c327",
+		"394184308f23840f77c8d7d36d90a52b72a1475e5bf8f32f2bdec5e6b447224e",
+		"9816286a7a6813f2706fc8e0ca4d9dff6092b4e656e45ca5541f16b3e6775ba2",
+	}
+	return cfgs, hashes
+}
+
+func TestConfigHashStable(t *testing.T) {
+	cfgs, want := goldenConfigs()
+	for i, cfg := range cfgs {
+		got, err := ConfigHash(cfg)
+		if err != nil {
+			t.Fatalf("cfg %d: %v", i, err)
+		}
+		if got != want[i] {
+			t.Errorf("cfg %d: hash drifted to %s (want %s) — cache keys changed; bump canonVersion",
+				i, got, want[i])
+		}
+	}
+}
+
+func TestConfigEncodeRoundTrip(t *testing.T) {
+	cfgs, _ := goldenConfigs()
+	for i, cfg := range cfgs {
+		enc, err := EncodeConfig(cfg)
+		if err != nil {
+			t.Fatalf("cfg %d: %v", i, err)
+		}
+		dec, err := DecodeConfig(enc)
+		if err != nil {
+			t.Fatalf("cfg %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(dec, cfg) {
+			t.Errorf("cfg %d: round trip mutated config:\n got %+v\nwant %+v", i, dec, cfg)
+		}
+	}
+}
+
+func TestConfigHashDistinguishesEveryField(t *testing.T) {
+	// Flipping any single field must change the content address —
+	// a field the hash ignores would serve a wrong cached result.
+	base := RunConfig{Trace: "wdev", Scale: 0.002, Strategy: CRAID5, PCPct: 0.008}
+	vol := 1
+	muts := map[string]func(*RunConfig){
+		"Trace":          func(c *RunConfig) { c.Trace = "cello99" },
+		"Scale":          func(c *RunConfig) { c.Scale = 0.004 },
+		"Duration":       func(c *RunConfig) { c.Duration = sim.Hour },
+		"Strategy":       func(c *RunConfig) { c.Strategy = CRAID5Plus },
+		"PCPct":          func(c *RunConfig) { c.PCPct = 0.016 },
+		"Policy":         func(c *RunConfig) { c.Policy = "ARC" },
+		"TraceFile":      func(c *RunConfig) { c.TraceFile = "x.trace" },
+		"TraceFormat":    func(c *RunConfig) { c.TraceFormat = "msr" },
+		"TraceVolume":    func(c *RunConfig) { c.TraceVolume = &vol },
+		"DatasetBlocks":  func(c *RunConfig) { c.DatasetBlocks = 1024 },
+		"MapShards":      func(c *RunConfig) { c.MapShards = 8 },
+		"MonitorWorkers": func(c *RunConfig) { c.MonitorWorkers = 2 },
+		"PlanLookahead":  func(c *RunConfig) { c.PlanLookahead = 1 },
+		"WorkerAffinity": func(c *RunConfig) { c.WorkerAffinity = true },
+		"FaultSpec":      func(c *RunConfig) { c.FaultSpec = "seed=7;fail:2@5s" },
+		"MappingLog":     func(c *RunConfig) { c.MappingLog = "d.log" },
+		"MapLogSync":     func(c *RunConfig) { c.MapLogSync = true },
+		"ReplayBatch":    func(c *RunConfig) { c.ReplayBatch = 256 },
+		"ReplayRing":     func(c *RunConfig) { c.ReplayRing = 2 },
+		"Instant":        func(c *RunConfig) { c.Instant = true },
+		"PCBlocks":       func(c *RunConfig) { c.PCBlocks = 100 },
+		"PCLevel":        func(c *RunConfig) { c.PCLevel = core.PCLevel(1) },
+		"Bursty":         func(c *RunConfig) { c.Bursty = true },
+		"TrackLoad":      func(c *RunConfig) { c.TrackLoad = true },
+		"TrackSeq":       func(c *RunConfig) { c.TrackSeq = true },
+	}
+	// Every serialized RunConfig field except the excluded handle pair
+	// must have a mutation here, so new fields can't dodge the hash.
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if name == "TraceAt" || name == "TraceAtSize" {
+			continue
+		}
+		if _, ok := muts[name]; !ok {
+			t.Errorf("RunConfig.%s has no mutation in this test — add it AND extend the canonical encoder", name)
+		}
+	}
+	baseHash, err := ConfigHash(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range muts {
+		cfg := base
+		mut(&cfg)
+		h, err := ConfigHash(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h == baseHash {
+			t.Errorf("mutating %s did not change the config hash", name)
+		}
+	}
+}
+
+func TestEncodeConfigRejectsTraceAt(t *testing.T) {
+	cfg := RunConfig{Trace: "wdev", TraceAt: bytes.NewReader(nil), TraceAtSize: 1}
+	if _, err := EncodeConfig(cfg); err == nil {
+		t.Fatal("EncodeConfig accepted a config with a process-local TraceAt handle")
+	}
+	if _, err := ConfigHash(cfg); err == nil {
+		t.Fatal("ConfigHash accepted a config with a process-local TraceAt handle")
+	}
+}
+
+func TestDecodeConfigRejectsMangled(t *testing.T) {
+	enc, err := EncodeConfig(RunConfig{Trace: "wdev", Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          nil,
+		"bad version":    []byte("craid-config/999\n"),
+		"truncated":      enc[:len(enc)/2],
+		"trailing junk":  append(append([]byte{}, enc...), []byte("extra=1\n")...),
+		"swapped fields": bytes.Replace(enc, []byte("trace="), []byte("scale="), 1),
+	}
+	for name, data := range cases {
+		if _, err := DecodeConfig(data); err == nil {
+			t.Errorf("%s: DecodeConfig accepted it", name)
+		}
+	}
+}
+
+// FuzzConfigEncode drives arbitrary field values through
+// encode → decode → re-encode and requires byte-identical output (the
+// byte form is the cache key, so this is the exact property the store
+// depends on). Byte comparison rather than DeepEqual keeps NaN scales
+// in scope.
+func FuzzConfigEncode(f *testing.F) {
+	f.Add("wdev", 0.002, int64(0), "CRAID-5", 0.008, "WLRU", "", "", -1, int64(0),
+		8, 2, 1, true, "", "", false, 0, 0, false, int64(0), uint8(0), false, false, false)
+	f.Add("", math.NaN(), int64(-5), "RAID-5", math.Inf(1), "p\x00q", "a.trace", "msr", 3, int64(1<<40),
+		-1, -2, -3, false, "seed=1;crash@2s", "log\n.bin", true, 512, 4, true, int64(77), uint8(255), true, true, false)
+	f.Add("héllo\xff", -0.0, int64(1<<62), "s=t\n", 1e-300, "LRU", "=", "native", -100, int64(-1),
+		0, 0, 0, false, "", "", false, 0, 0, false, int64(0), uint8(3), false, false, true)
+	f.Fuzz(func(t *testing.T, trace string, scale float64, duration int64, strategy string,
+		pcPct float64, policy, traceFile, traceFormat string, traceVolume int, datasetBlocks int64,
+		mapShards, monitorWorkers, planLookahead int, workerAffinity bool,
+		faultSpec, mappingLog string, mapLogSync bool, replayBatch, replayRing int,
+		instant bool, pcBlocks int64, pcLevel uint8, bursty, trackLoad, trackSeq bool) {
+		cfg := RunConfig{
+			Trace: trace, Scale: scale, Duration: sim.Time(duration),
+			Strategy: Strategy(strategy), PCPct: pcPct, Policy: policy,
+			TraceFile: traceFile, TraceFormat: traceFormat, DatasetBlocks: datasetBlocks,
+			MapShards: mapShards, MonitorWorkers: monitorWorkers, PlanLookahead: planLookahead,
+			WorkerAffinity: workerAffinity, FaultSpec: faultSpec, MappingLog: mappingLog,
+			MapLogSync: mapLogSync, ReplayBatch: replayBatch, ReplayRing: replayRing,
+			Instant: instant, PCBlocks: pcBlocks, PCLevel: core.PCLevel(pcLevel),
+			Bursty: bursty, TrackLoad: trackLoad, TrackSeq: trackSeq,
+		}
+		if traceVolume >= 0 {
+			cfg.TraceVolume = &traceVolume
+		}
+		enc, err := EncodeConfig(cfg)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		dec, err := DecodeConfig(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v\n%s", err, enc)
+		}
+		re, err := EncodeConfig(dec)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("encoding not stable through a round trip:\n first %q\nsecond %q", enc, re)
+		}
+		h1, err := ConfigHash(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := ConfigHash(dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("hash differs across round trip: %s vs %s", h1, h2)
+		}
+		if len(h1) != 64 || strings.ToLower(h1) != h1 {
+			t.Fatalf("hash %q is not lowercase hex sha-256", h1)
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cell-level scheduling. RunAll used to own both halves of the matrix
+// problem — *executing* cells on a worker pool and *collecting*
+// completions back into config order. The experiment fabric needs the
+// same collection semantics over a very different executor (an HTTP
+// service streaming results from a fleet of workers, possibly out of
+// order, possibly duplicated after a lease requeue), so the two halves
+// are split: an Executor produces CellResults in any order, and
+// Collect pins the deterministic contract — results[i] always
+// corresponds to cfgs[i], and the FIRST completion for an index wins.
+
+// CellResult is one completed cell, tagged with its index in the
+// submitted batch. Exactly one of Result/Err is meaningful.
+type CellResult struct {
+	Index  int
+	Result RunResult
+	Err    error
+}
+
+// Executor runs a batch of cells, delivering each completion to emit.
+// Completions may arrive from any goroutine, in any order, and more
+// than once per index (a fabric lease requeue can race the presumed-
+// dead worker's result); Collect serializes and deduplicates. Execute
+// returns after every cell it will ever deliver has been emitted; its
+// error reports transport-level failure, not individual cell errors.
+type Executor interface {
+	Execute(cfgs []RunConfig, emit func(CellResult)) error
+}
+
+// executor overrides RunAll's cell execution when non-nil.
+// cmd/craidbench and cmd/craidsim install the fabric client here for
+// their -remote paths.
+var executor Executor
+
+// SetExecutor routes every subsequent RunAll through e (nil restores
+// the in-process worker pool). Call before RunAll, not concurrently
+// with it.
+func SetExecutor(e Executor) { executor = e }
+
+// localPool is the in-process Executor: the bounded worker pool that
+// has run the experiment matrix since PR 1. Once any cell fails,
+// cells not yet started are skipped — a bad config in a large matrix
+// should not cost the whole matrix's simulation time.
+type localPool struct{}
+
+func (localPool) Execute(cfgs []RunConfig, emit func(CellResult)) error {
+	var failed atomic.Bool
+	runCell := func(i int) {
+		if failed.Load() {
+			return
+		}
+		res, err := Run(cfgs[i])
+		if err != nil {
+			failed.Store(true)
+		}
+		emit(CellResult{Index: i, Result: res, Err: err})
+	}
+	workers := parallelism
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers <= 1 {
+		for i := range cfgs {
+			runCell(i)
+		}
+		return nil
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runCell(i)
+			}
+		}()
+	}
+	for i := range cfgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return nil
+}
+
+// Collect runs one batch through run and assembles the completions
+// into deterministic config order: the returned slice parallels the
+// submitted configs regardless of finish order, duplicate completions
+// for an index are dropped (first result wins), and the error is the
+// lowest-indexed cell error — or run's own transport error when no
+// cell failed. Cells that were never emitted (skipped after a
+// failure) are zero values.
+func Collect(n int, run func(emit func(CellResult)) error) ([]RunResult, error) {
+	results := make([]RunResult, n)
+	errs := make([]error, n)
+	seen := make([]bool, n)
+	var mu sync.Mutex
+	emit := func(cr CellResult) {
+		if cr.Index < 0 || cr.Index >= n {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if seen[cr.Index] {
+			return
+		}
+		seen[cr.Index] = true
+		results[cr.Index] = cr.Result
+		errs[cr.Index] = cr.Err
+	}
+	runErr := run(emit)
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	if runErr != nil {
+		return results, runErr
+	}
+	return results, nil
+}
+
+// RunAll executes every config, fanning the cells out over the
+// installed Executor (default: the in-process bounded worker pool).
+// Successful results are deterministic regardless of worker count or
+// completion order: results[i] always corresponds to cfgs[i].
+func RunAll(cfgs []RunConfig) ([]RunResult, error) {
+	exec := executor
+	if exec == nil {
+		exec = localPool{}
+	}
+	return Collect(len(cfgs), func(emit func(CellResult)) error {
+		return exec.Execute(cfgs, emit)
+	})
+}

@@ -2,8 +2,6 @@ package experiments
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // parallelism is the worker count RunAll uses for independent
@@ -85,57 +83,4 @@ var defaultWorkerAffinity = false
 // bit-identical either way; only cache residency and wall-clock change.
 func SetDefaultWorkerAffinity(on bool) {
 	defaultWorkerAffinity = on
-}
-
-// RunAll executes every config, fanning the cells out over a bounded
-// worker pool. Successful results are deterministic regardless of
-// worker count: results[i] always corresponds to cfgs[i]. Once any
-// cell fails, cells not yet started are skipped — a bad config in a
-// large matrix should not cost the whole matrix's simulation time —
-// and the lowest-indexed error among the cells that ran is returned.
-func RunAll(cfgs []RunConfig) ([]RunResult, error) {
-	results := make([]RunResult, len(cfgs))
-	errs := make([]error, len(cfgs))
-	var failed atomic.Bool
-	runCell := func(i int) {
-		if failed.Load() {
-			return
-		}
-		results[i], errs[i] = Run(cfgs[i])
-		if errs[i] != nil {
-			failed.Store(true)
-		}
-	}
-	workers := parallelism
-	if workers > len(cfgs) {
-		workers = len(cfgs)
-	}
-	if workers <= 1 {
-		for i := range cfgs {
-			runCell(i)
-		}
-	} else {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					runCell(i)
-				}
-			}()
-		}
-		for i := range cfgs {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
-	}
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
-	}
-	return results, nil
 }

@@ -173,8 +173,11 @@ type RunConfig struct {
 	// and safe for any number of concurrent cells. RunMSRVolumes uses
 	// this to fan a k-volume file into k parallel simulations over ONE
 	// open file instead of k. TraceFile then only labels the run.
-	TraceAt     io.ReaderAt
-	TraceAtSize int64
+	// Excluded from JSON (and from the canonical encoding, see
+	// canon.go): an open handle is process-local state, so cells
+	// carrying one never travel to remote workers or the result cache.
+	TraceAt     io.ReaderAt `json:"-"`
+	TraceAtSize int64       `json:"-"`
 
 	// MapShards shards the CRAID mapping index by archive-address
 	// range (0 = core's default single shard). Monitor ratios are

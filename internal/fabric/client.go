@@ -1,0 +1,249 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"craid/internal/experiments"
+)
+
+// Client is the submitter side of the fabric: it implements
+// experiments.Executor over a craidd service, so installing it with
+// experiments.SetExecutor routes every RunAll matrix — each paper
+// table, each figure sweep — through the work queue and its
+// content-addressed cache. Results stream back as cells finish;
+// experiments.Collect restores deterministic config order, so a remote
+// table is byte-identical to an in-process one.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a submitter for the craidd at base
+// (e.g. "http://host:8440"). The underlying HTTP client has no
+// timeout: a job holds its connection open for the whole batch.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// Execute implements experiments.Executor: canonical cells go to the
+// service as one job; cells that cannot leave the process (a TraceAt
+// handle — RunMSRVolumes' shared-file fan-out) fall back to local
+// execution under the same parallelism bound, so a mixed batch still
+// completes.
+func (c *Client) Execute(cfgs []experiments.RunConfig, emit func(experiments.CellResult)) error {
+	remoteIdx := make([]int, 0, len(cfgs))
+	var localIdx []int
+	for i, cfg := range cfgs {
+		if cfg.TraceAt != nil {
+			localIdx = append(localIdx, i)
+		} else {
+			remoteIdx = append(remoteIdx, i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	if len(localIdx) > 0 {
+		sem := make(chan struct{}, experiments.Parallelism())
+		for _, i := range localIdx {
+			i := i
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				res, err := experiments.Run(cfgs[i])
+				emit(experiments.CellResult{Index: i, Result: res, Err: err})
+			}()
+		}
+	}
+
+	var remoteErr error
+	if len(remoteIdx) > 0 {
+		cells := make([]experiments.RunConfig, len(remoteIdx))
+		for j, i := range remoteIdx {
+			// The service and its workers don't share our process-wide
+			// matrix defaults (-shards/-workers/-lookahead/-affinity),
+			// so fold them into the shipped config — which also makes
+			// them part of the content address, as they must be: they
+			// shape the result's pipeline counters.
+			cells[j] = experiments.ResolveDefaults(cfgs[i])
+		}
+		remoteErr = c.submit(cells, func(line jobLine) {
+			if line.Index < 0 || line.Index >= len(remoteIdx) {
+				return
+			}
+			cr := experiments.CellResult{Index: remoteIdx[line.Index]}
+			if line.Error != "" {
+				cr.Err = errors.New(line.Error)
+			} else if line.Result != nil {
+				cr.Result = *line.Result
+			} else {
+				cr.Err = fmt.Errorf("fabric: empty result line for cell %d", line.Index)
+			}
+			emit(cr)
+		})
+	}
+	wg.Wait()
+	return remoteErr
+}
+
+// submit POSTs one job and decodes the ndjson completion stream.
+func (c *Client) submit(cells []experiments.RunConfig, deliver func(jobLine)) error {
+	body, err := json.Marshal(jobRequest{Cells: cells})
+	if err != nil {
+		return fmt.Errorf("fabric: encoding job: %w", err)
+	}
+	resp, err := c.http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("fabric: submitting job: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("fabric: job rejected: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	dec := json.NewDecoder(resp.Body)
+	seen := 0
+	for {
+		var line jobLine
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("fabric: result stream after %d/%d cells: %w", seen, len(cells), err)
+		}
+		seen++
+		deliver(line)
+	}
+	if seen < len(cells) {
+		return fmt.Errorf("fabric: result stream ended after %d/%d cells", seen, len(cells))
+	}
+	return nil
+}
+
+// Run executes one cell through the fabric — craidsim -remote.
+func (c *Client) Run(cfg experiments.RunConfig) (experiments.RunResult, error) {
+	results, err := experiments.Collect(1, func(emit func(experiments.CellResult)) error {
+		return c.Execute([]experiments.RunConfig{cfg}, emit)
+	})
+	if err != nil {
+		return experiments.RunResult{}, err
+	}
+	return results[0], nil
+}
+
+// Stats fetches the service's scheduler/store counters.
+func (c *Client) Stats() (StatsSnapshot, error) {
+	var st StatsSnapshot
+	resp, err := c.http.Get(c.base + "/v1/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("fabric: stats: %s", resp.Status)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// Remote implements the worker API over HTTP: a worker process on
+// another host points one of these at craidd and runs Worker.Loop
+// against it (`craidd -join URL`).
+type Remote struct {
+	base string
+	http *http.Client
+}
+
+// NewRemote returns the worker-side API client for the craidd at base.
+func NewRemote(base string) *Remote {
+	return &Remote{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+func (r *Remote) post(path string, req, resp any) (int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	// Cap every control round trip; the lease long-poll adds its own
+	// wait on top of this via the request body.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := r.http.Do(hreq)
+	if err != nil {
+		return 0, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode == http.StatusOK && resp != nil {
+		if err := json.NewDecoder(hresp.Body).Decode(resp); err != nil {
+			return hresp.StatusCode, err
+		}
+	}
+	return hresp.StatusCode, nil
+}
+
+// Lease implements API.Lease over POST /v1/lease.
+func (r *Remote) Lease(maxWait time.Duration) (*Lease, error) {
+	var lr leaseResponse
+	code, err := r.post("/v1/lease", leaseRequest{WaitMillis: maxWait.Milliseconds()}, &lr)
+	if err != nil {
+		return nil, err
+	}
+	switch code {
+	case http.StatusOK:
+		return &Lease{
+			ID:     lr.LeaseID,
+			Hash:   lr.Hash,
+			Config: lr.Config,
+			TTL:    time.Duration(lr.TTLMillis) * time.Millisecond,
+		}, nil
+	case http.StatusNoContent:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("fabric: lease: HTTP %d", code)
+	}
+}
+
+// Heartbeat implements API.Heartbeat over POST /v1/heartbeat.
+func (r *Remote) Heartbeat(leaseID int64) (bool, error) {
+	code, err := r.post("/v1/heartbeat", heartbeatRequest{LeaseID: leaseID}, nil)
+	if err != nil {
+		return false, err
+	}
+	switch code {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusGone:
+		return false, nil
+	default:
+		return false, fmt.Errorf("fabric: heartbeat: HTTP %d", code)
+	}
+}
+
+// CompleteLease implements API.CompleteLease over POST /v1/complete.
+func (r *Remote) CompleteLease(leaseID int64, hash string, res experiments.RunResult, errMsg string) error {
+	req := completeRequest{LeaseID: leaseID, Hash: hash, Error: errMsg}
+	if errMsg == "" {
+		req.Result = &res
+	}
+	code, err := r.post("/v1/complete", req, nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("fabric: complete: HTTP %d", code)
+	}
+	return nil
+}

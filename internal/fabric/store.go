@@ -1,0 +1,139 @@
+// Package fabric is the distributed experiment runner: a work-queue
+// service (craidd) that schedules pure experiment cells — RunConfig
+// in, RunResult out — over a pool of in-process and remote workers,
+// streams completions back to submitters as they land, and caches
+// every finished cell content-addressed by its canonical config hash
+// so a re-run only computes the cells that actually changed.
+//
+//	submitter (craidbench -remote / craidsim -remote / fabric.Client)
+//	    │  POST /v1/jobs            ndjson results, config order restored client-side
+//	    ▼
+//	craidd ── scheduler (pending queue + lease table + waiter lists)
+//	    │            ▲
+//	    │ lease      │ complete (first result wins; duplicates dropped)
+//	    ▼            │
+//	workers: in-process goroutines and remote processes polling
+//	/v1/lease with heartbeat; expired leases are requeued
+//	    │
+//	    ▼
+//	result store: <cache>/<hh>/<hash>.json  (content-addressed RunResults)
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"craid/internal/experiments"
+)
+
+// Store is the content-addressed result cache: one JSON-encoded
+// RunResult per completed cell, keyed by the canonical config hash
+// (experiments.ConfigHash), fanned into 256 two-hex-digit directories.
+// Writes are atomic (temp file + rename), so a crashed craidd never
+// leaves a half-written entry that a warm run would trust, and
+// concurrent Puts of the same hash are idempotent — they carry
+// identical bytes by construction, because equal hashes mean equal
+// deterministic simulations.
+type Store struct {
+	dir string
+
+	mu   sync.Mutex
+	seq  int64 // temp-file uniquifier
+	hits int64
+	puts int64
+}
+
+// OpenStore opens (creating if needed) a result store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fabric: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(hash string) (string, error) {
+	if len(hash) != 64 || strings.ContainsAny(hash, "/\\.") {
+		return "", fmt.Errorf("fabric: malformed cell hash %q", hash)
+	}
+	return filepath.Join(s.dir, hash[:2], hash+".json"), nil
+}
+
+// Get loads the cached result for hash, reporting whether one exists.
+// A corrupt entry (torn by an unclean shutdown of something other than
+// the atomic writer, or hand-edited) is treated as a miss and removed,
+// so the cell is simply recomputed.
+func (s *Store) Get(hash string) (experiments.RunResult, bool, error) {
+	var res experiments.RunResult
+	p, err := s.path(hash)
+	if err != nil {
+		return res, false, err
+	}
+	data, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return res, false, nil
+	}
+	if err != nil {
+		return res, false, fmt.Errorf("fabric: store get %s: %w", hash, err)
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		os.Remove(p)
+		return experiments.RunResult{}, false, nil
+	}
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+	return res, true, nil
+}
+
+// Put stores res under hash atomically.
+func (s *Store) Put(hash string, res experiments.RunResult) error {
+	p, err := s.path(hash)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("fabric: store put %s: %w", hash, err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("fabric: store put %s: %w", hash, err)
+	}
+	s.mu.Lock()
+	s.seq++
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", p, os.Getpid(), s.seq)
+	s.mu.Unlock()
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("fabric: store put %s: %w", hash, err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fabric: store put %s: %w", hash, err)
+	}
+	s.mu.Lock()
+	s.puts++
+	s.mu.Unlock()
+	return nil
+}
+
+// Len counts the entries currently in the store (a directory walk;
+// meant for stats and tests, not hot paths).
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
