@@ -37,6 +37,39 @@ func warmCRAID(t *testing.T, policy string, shards int) (*sim.Engine, *CRAID) {
 	return eng, c
 }
 
+// replayAllocs measures the total allocations of one full replay of n
+// random records through a fresh engine and controller.
+func replayAllocs(t *testing.T, n int) float64 {
+	t.Helper()
+	recs := randomWorkload(5, n, 12000)
+	return testing.AllocsPerRun(5, func() {
+		eng := sim.NewEngine()
+		c, _ := newMQCRAIDAffinity(eng, 64, 1, 1, 0, false)
+		if _, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestReplayAllocsPerRecordZero pins the whole timed replay path —
+// scheduling, pump, cache decisions, RMW fan-out, completion events —
+// at zero allocations per record: tripling the trace must leave the
+// total allocation count within a small constant (pipeline batch
+// boundaries), i.e. every per-record control structure is pooled.
+func TestReplayAllocsPerRecordZero(t *testing.T) {
+	// The smaller run is already past pool warm-up: the freelists (joins,
+	// RMW ops, device completions) and growable structures (histogram
+	// buckets, device queues) reach their high-water marks within the
+	// first few thousand records; after that every record must ride
+	// recycled structures only.
+	small := replayAllocs(t, 6000)
+	large := replayAllocs(t, 18000)
+	if large-small > 8 {
+		t.Fatalf("replay allocations scale with the trace: %.1f for 6000 records, %.1f for 18000 (%.4f per record, want ~0)",
+			small, large, (large-small)/12000)
+	}
+}
+
 // TestSubmitWarmAllocFree is the monitor's steady-state allocation
 // gate: on a warm cache, a whole Submit — classification, policy
 // access, dirty-flip logging hooks, redirected I/O, latency recording,

@@ -80,6 +80,8 @@ type faultState struct {
 	maxAttempts   int
 	reconPerBlock sim.Time
 	retryFree     *retryOp
+	reconFree     *reconOp
+	degFree       *degWriteOp
 	peerBuf       []int // scratch for Redundant.RowPeers
 }
 
@@ -176,6 +178,44 @@ func (r *retryOp) complete(at sim.Time) {
 	}
 }
 
+// reconOp defers a reconstruction's completion by its decode charge:
+// when the peer reads' join fires, it schedules the client branch after
+// the aggregated XOR/GF(256) delay. Pooled like the array's other
+// per-I/O control structures; fireFn caches the method value across
+// recycles.
+type reconOp struct {
+	f      *faultState
+	eng    *sim.Engine
+	delay  sim.Time
+	br     func(sim.Time)
+	fireFn func(sim.Time)
+	next   *reconOp
+}
+
+func (f *faultState) newRecon(eng *sim.Engine, delay sim.Time, br func(sim.Time)) *reconOp {
+	r := f.reconFree
+	if r == nil {
+		r = &reconOp{f: f}
+		r.fireFn = r.fire
+	} else {
+		f.reconFree = r.next
+		r.next = nil
+	}
+	r.eng, r.delay, r.br = eng, delay, br
+	return r
+}
+
+// fire runs when the peer reads complete: recycle, then schedule the
+// client branch after the decode delay (br is copied out first — the op
+// must not be touched once recycled).
+func (r *reconOp) fire(sim.Time) {
+	eng, delay, br := r.eng, r.delay, r.br
+	r.br = nil
+	r.next = r.f.reconFree
+	r.f.reconFree = r
+	eng.AfterTimed(delay, br)
+}
+
 // flushDegradedRead serves the span's pending degraded-read run — one
 // or more device-contiguous extents whose data disk is down (batched by
 // readExtent): read the surviving units of the covered stripe rows in
@@ -218,8 +258,8 @@ func (s *span) flushDegradedRead() {
 	// Reconstruction compute: proportional to the blocks combined and
 	// to how many erasures the decode solves, charged once per run.
 	delay := sim.Time(count) * sim.Time(missing) * f.reconPerBlock
-	eng := s.arr.Eng
-	sub := s.arr.newJoin(func(sim.Time) { eng.AfterTimed(delay, br) })
+	ro := f.newRecon(s.arr.Eng, delay, br)
+	sub := s.arr.newJoin(ro.fireFn)
 	for _, p := range peers {
 		dev := s.disks[p]
 		if s.arr.deviceDown(dev) {
@@ -248,6 +288,57 @@ func (s *span) extentDown(e raid.Extent) bool {
 		}
 	}
 	return false
+}
+
+// degWriteOp is one degraded reconstruct-write (or survivor-leg RMW) in
+// flight: phase1 fires when the pre-reads complete and schedules phase2
+// after the reconstruction delay; phase2 issues the surviving final
+// writes and recycles the op. Pooled; both method values are cached
+// across recycles.
+type degWriteOp struct {
+	arr      *Array
+	f        *faultState
+	br       func(sim.Time)
+	count    int64
+	delay    sim.Time
+	nw       int
+	wdev     [3]int
+	wblk     [3]int64
+	phase1Fn func(sim.Time)
+	phase2Fn func()
+	next     *degWriteOp
+}
+
+func (f *faultState) newDegWrite(a *Array) *degWriteOp {
+	d := f.degFree
+	if d == nil {
+		d = &degWriteOp{arr: a, f: f}
+		d.phase1Fn = d.phase1
+		d.phase2Fn = d.phase2
+		return d
+	}
+	f.degFree = d.next
+	d.next = nil
+	return d
+}
+
+// phase1 runs when the pre-reads finish: wait out the reconstruction
+// compute before committing the writes.
+func (d *degWriteOp) phase1(sim.Time) {
+	d.arr.Eng.After(d.delay, d.phase2Fn)
+}
+
+// phase2 issues the surviving data+parity writes, then recycles the op.
+func (d *degWriteOp) phase2() {
+	arr := d.arr
+	inner := arr.newJoin(d.br)
+	for i := 0; i < d.nw; i++ {
+		arr.submit(d.wdev[i], disk.OpWrite, d.wblk[i], d.count, false, inner.branch())
+	}
+	inner.seal(arr.Eng.Now())
+	d.br = nil
+	d.next = d.f.degFree
+	d.f.degFree = d
 }
 
 // degradedWrite commits a write extent with at least one dead leg. A
@@ -312,17 +403,11 @@ func (s *span) degradedWrite(e raid.Extent) {
 	if deadData {
 		delay = sim.Time(count) * f.reconPerBlock
 	}
-	eng := s.arr.Eng
 	arr := s.arr
-	nwv, wdevv, wblkv := nw, wdev, wblk
-	phase2 := func() {
-		inner := arr.newJoin(br)
-		for i := 0; i < nwv; i++ {
-			arr.submit(wdevv[i], disk.OpWrite, wblkv[i], count, false, inner.branch())
-		}
-		inner.seal(eng.Now())
-	}
-	phase1 := arr.newJoin(func(sim.Time) { eng.After(delay, phase2) })
+	op := f.newDegWrite(arr)
+	op.br, op.count, op.delay = br, count, delay
+	op.nw, op.wdev, op.wblk = nw, wdev, wblk
+	phase1 := arr.newJoin(op.phase1Fn)
 	if deadData {
 		// Reconstruct-write pre-reads: the surviving *data* units of
 		// the row (parity legs are overwritten, their old content is

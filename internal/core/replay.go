@@ -416,7 +416,13 @@ func ReplayWith(eng *sim.Engine, vol Volume, r trace.Reader, cfg ReplayConfig) (
 		}
 	}()
 
-	var pump func(rec trace.Record, p *recordPlan)
+	// The replay keeps exactly one record in flight between schedule and
+	// pump (pump re-schedules only after submitting), so the pending
+	// record parks in captured locals and the same two closures carry the
+	// whole trace — no per-record allocation.
+	var pump func()
+	var pendRec trace.Record
+	var pendPlan *recordPlan
 	var subErr error
 	schedule := func() {
 		rec, p, ok := cu.next()
@@ -430,9 +436,11 @@ func ReplayWith(eng *sim.Engine, vol Volume, r trace.Reader, cfg ReplayConfig) (
 		if at < eng.Now() {
 			at = eng.Now() // tolerate tiny reordering from parsers
 		}
-		eng.Schedule(at, func() { pump(rec, p) })
+		pendRec, pendPlan = rec, p
+		eng.Schedule(at, pump)
 	}
-	pump = func(rec trace.Record, p *recordPlan) {
+	pump = func() {
+		rec, p := pendRec, pendPlan
 		var err error
 		if bp != nil {
 			err = bp.submitPlanned(rec, p, nil)

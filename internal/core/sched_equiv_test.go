@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"craid/internal/fault"
+	"craid/internal/sim"
+	"craid/internal/trace"
+)
+
+// withScheduler runs fn with the process default event scheduler forced
+// to kind, restoring the previous default afterwards.
+func withScheduler(kind sim.SchedulerKind, fn func()) {
+	prev := sim.DefaultScheduler()
+	sim.SetDefaultScheduler(kind)
+	defer sim.SetDefaultScheduler(prev)
+	fn()
+}
+
+// TestSchedulerReplayBitIdentical is the timing wheel's acceptance
+// property at the controller level: a full replay — stats, per-device
+// I/O totals, index population, and the response-time distributions —
+// is bit-identical between the wheel and the binary-heap engine, at
+// every pipeline shape the multi-queue matrix exercises (including the
+// CI race matrix's CRAID_TEST_LOOKAHEAD / CRAID_TEST_AFFINITY point).
+func TestSchedulerReplayBitIdentical(t *testing.T) {
+	recs := randomWorkload(11, 3000, 12000)
+	cells := []struct {
+		shards, workers, lookahead int
+		affinity                   bool
+	}{
+		{1, 1, 0, false},
+		{16, 4, 0, false},
+		{16, 4, 2, false},
+		{16, 4, 2, true},
+		{16, 4, testLookahead(), testAffinity()},
+	}
+	for _, c := range cells {
+		var wheel, heap mqOutcome
+		withScheduler(sim.SchedulerWheel, func() {
+			wheel, _ = replayMQMatrix(t, recs, 64, c.shards, c.workers, c.lookahead, c.affinity, ReplayConfig{})
+		})
+		withScheduler(sim.SchedulerHeap, func() {
+			heap, _ = replayMQMatrix(t, recs, 64, c.shards, c.workers, c.lookahead, c.affinity, ReplayConfig{})
+		})
+		if wheel != heap {
+			t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: schedulers diverged\nwheel %+v\nheap  %+v",
+				c.shards, c.workers, c.lookahead, c.affinity, wheel, heap)
+		}
+	}
+}
+
+// TestSchedulerDegradedReplayBitIdentical extends the wheel-vs-heap pin
+// to the fault fabric: disk failure at time zero, retries, degraded
+// reconstruction and a rebuild all ride timed events, so the full
+// FaultStats must agree along with the controller outcome.
+func TestSchedulerDegradedReplayBitIdentical(t *testing.T) {
+	recs := randomWorkload(9, 2000, 12000)
+	plan, err := fault.ParsePlan("seed=9;fail:2@0s;rebuild:2@50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, workers, lookahead, affinity := benchFaultParams()
+	run := func(kind sim.SchedulerKind) (out mqOutcome, fs FaultStats) {
+		withScheduler(kind, func() {
+			eng := sim.NewEngine()
+			c, arr := newMQCRAIDAffinity(eng, 64, shards, workers, lookahead, affinity)
+			rt := InstallFaults(arr, c, plan, FaultOptions{})
+			if _, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{}); err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.Err(); err != nil {
+				t.Fatal(err)
+			}
+			r, w := ioTotals(arr)
+			out = mqOutcome{
+				stats: *c.Stats(), reads: r, writes: w, maps: c.table.Len(),
+				readLat:  c.ReadLatency().String(),
+				writeLat: c.WriteLatency().String(),
+			}
+			fs = *rt.Stats()
+		})
+		return out, fs
+	}
+	wheelOut, wheelFS := run(sim.SchedulerWheel)
+	heapOut, heapFS := run(sim.SchedulerHeap)
+	if wheelOut != heapOut {
+		t.Errorf("degraded replay diverged between schedulers\nwheel %+v\nheap  %+v", wheelOut, heapOut)
+	}
+	if wheelFS != heapFS {
+		t.Errorf("fault stats diverged between schedulers\nwheel %+v\nheap  %+v", wheelFS, heapFS)
+	}
+}

@@ -115,7 +115,62 @@ type HDD struct {
 	destaging   bool
 	stalled     []*Request // writes waiting for write-cache space
 
+	// In-service completion, parked in fields rather than a closure:
+	// the busy flag admits exactly one request to the media at a time,
+	// so finish() stamps the pending completion here and schedules the
+	// one cached finishFn method value — no per-I/O allocation.
+	finDone  func(at sim.Time)
+	finFail  bool
+	finOp    Op
+	finCount int64
+	finishFn func()
+
+	// Destage completion, same single-flight argument via destaging.
+	destageN  int64
+	destageFn func()
+
+	// Freelist of write-absorb completions: unlike media service these
+	// overlap freely (the write cache admits back to back), so they pool.
+	absorbFree *absorbOp
+
 	faultState
+}
+
+// absorbOp is one write-back cache absorption waiting out the
+// controller overhead before completing; pooled on its HDD.
+type absorbOp struct {
+	d     *HDD
+	count int64
+	done  func(at sim.Time)
+	fn    func()
+	next  *absorbOp
+}
+
+func (d *HDD) newAbsorb(count int64, done func(at sim.Time)) *absorbOp {
+	a := d.absorbFree
+	if a == nil {
+		a = &absorbOp{d: d}
+		a.fn = a.fire
+	} else {
+		d.absorbFree = a.next
+		a.next = nil
+	}
+	a.count, a.done = count, done
+	return a
+}
+
+// fire completes the absorbed write: recycle first (done may submit
+// more writes and reclaim the op), then count and call back.
+func (a *absorbOp) fire() {
+	d, count, done := a.d, a.count, a.done
+	a.done = nil
+	a.next = d.absorbFree
+	d.absorbFree = a
+	d.stats.Writes++
+	d.stats.BlocksWrite += count
+	if done != nil {
+		done(d.eng.Now())
+	}
 }
 
 type segment struct {
@@ -138,6 +193,8 @@ func NewHDD(eng *sim.Engine, cfg HDDConfig) *HDD {
 	d.buildZones()
 	d.calibrateSeek()
 	d.segments = make([]segment, cfg.CacheSegments)
+	d.finishFn = d.finished
+	d.destageFn = d.destaged
 	return d
 }
 
@@ -292,14 +349,8 @@ func (d *HDD) absorbWrite(r *Request) {
 	d.addDirtyRange(r.Block, r.Block+r.Count)
 	// Freshly written data is also readable from the cache.
 	d.installSegment(r.Block, r.Block+r.Count)
-	done := r.Done
-	d.eng.After(d.cfg.ControllerOver, func() {
-		d.stats.Writes++
-		d.stats.BlocksWrite += r.Count
-		if done != nil {
-			done(d.eng.Now())
-		}
-	})
+	a := d.newAbsorb(r.Count, r.Done)
+	d.eng.After(d.cfg.ControllerOver, a.fn)
 	d.kick()
 }
 
@@ -428,29 +479,39 @@ func (d *HDD) scaled(t sim.Time, r *Request) sim.Time {
 }
 
 // finish completes r after service time, updates stats and continues
-// with the next queued operation.
+// with the next queued operation. The pending completion lives in the
+// fin* fields (single-flight under the busy flag) and fires through the
+// cached finishFn, so the media path schedules no closures.
 func (d *HDD) finish(r *Request, service sim.Time) {
 	d.stats.BusyTime += service
 	done := r.Done
 	if r.fail && r.Fail != nil {
 		done = r.Fail
 	}
-	d.eng.After(service, func() {
-		d.busy = false
-		if r.fail {
-			d.stats.Errors++
-		} else if r.Op == OpRead {
-			d.stats.Reads++
-			d.stats.BlocksRead += r.Count
-		} else {
-			d.stats.Writes++
-			d.stats.BlocksWrite += r.Count
-		}
-		if done != nil {
-			done(d.eng.Now())
-		}
-		d.kick()
-	})
+	d.finDone, d.finFail, d.finOp, d.finCount = done, r.fail, r.Op, r.Count
+	d.eng.After(service, d.finishFn)
+}
+
+// finished is the media-service completion event. The fields are copied
+// out before the callback runs: done may submit more I/O, which (with
+// busy already cleared) can start the next service and restamp them.
+func (d *HDD) finished() {
+	done, fail, op, count := d.finDone, d.finFail, d.finOp, d.finCount
+	d.finDone = nil
+	d.busy = false
+	if fail {
+		d.stats.Errors++
+	} else if op == OpRead {
+		d.stats.Reads++
+		d.stats.BlocksRead += count
+	} else {
+		d.stats.Writes++
+		d.stats.BlocksWrite += count
+	}
+	if done != nil {
+		done(d.eng.Now())
+	}
+	d.kick()
 }
 
 // mediaTime computes seek + rotational + transfer time for a contiguous
@@ -509,15 +570,20 @@ func (d *HDD) startDestage() {
 	d.destaging = true
 	service := d.mediaTime(r.start, r.end-r.start, true)
 	d.stats.BusyTime += service
-	d.eng.After(service, func() {
-		d.destaging = false
-		d.dirty -= r.end - r.start
-		if d.dirty < 0 {
-			d.dirty = 0
-		}
-		d.admitStalled()
-		d.kick()
-	})
+	d.destageN = r.end - r.start
+	d.eng.After(service, d.destageFn)
+}
+
+// destaged is the destage completion event (single-flight under the
+// destaging flag, fired through the cached destageFn).
+func (d *HDD) destaged() {
+	d.destaging = false
+	d.dirty -= d.destageN
+	if d.dirty < 0 {
+		d.dirty = 0
+	}
+	d.admitStalled()
+	d.kick()
 }
 
 // admitStalled moves stalled writes whose blocks now fit into the

@@ -45,7 +45,61 @@ type SSD struct {
 	// idle. FIFO per channel; requests reserve all their channels.
 	chanFree []sim.Time
 
+	// pages is the per-submit channel page-count scratch; Submit fully
+	// consumes it before returning, so one buffer serves every request.
+	pages []int64
+
+	// Freelist of in-flight completions: channels overlap requests
+	// freely, so completions pool like the HDD's absorb ops.
+	opFree *ssdOp
+
 	faultState
+}
+
+// ssdOp is one request in flight between Submit and its completion
+// event; pooled on its SSD so the submit path allocates nothing.
+type ssdOp struct {
+	d     *SSD
+	fail  bool
+	op    Op
+	count int64
+	done  func(at sim.Time)
+	fn    func()
+	next  *ssdOp
+}
+
+func (d *SSD) newOp(r *Request, done func(at sim.Time)) *ssdOp {
+	o := d.opFree
+	if o == nil {
+		o = &ssdOp{d: d}
+		o.fn = o.fire
+	} else {
+		d.opFree = o.next
+		o.next = nil
+	}
+	o.fail, o.op, o.count, o.done = r.fail, r.Op, r.Count, done
+	return o
+}
+
+// fire completes the request: recycle first (done may submit further
+// I/O and reclaim the op), then count and call back.
+func (o *ssdOp) fire() {
+	d, fail, op, count, done := o.d, o.fail, o.op, o.count, o.done
+	o.done = nil
+	o.next = d.opFree
+	d.opFree = o
+	if fail {
+		d.stats.Errors++
+	} else if op == OpRead {
+		d.stats.Reads++
+		d.stats.BlocksRead += count
+	} else {
+		d.stats.Writes++
+		d.stats.BlocksWrite += count
+	}
+	if done != nil {
+		done(d.eng.Now())
+	}
 }
 
 // NewSSD builds an SSD from cfg, attached to eng.
@@ -53,8 +107,17 @@ func NewSSD(eng *sim.Engine, cfg SSDConfig) *SSD {
 	if cfg.Channels <= 0 || cfg.CapacityBlocks <= 0 {
 		panic("disk: invalid SSD config")
 	}
-	return &SSD{eng: eng, cfg: cfg, chanFree: make([]sim.Time, cfg.Channels)}
+	return &SSD{
+		eng:      eng,
+		cfg:      cfg,
+		chanFree: make([]sim.Time, cfg.Channels),
+		pages:    make([]int64, cfg.Channels),
+	}
 }
+
+// RetainsRequests reports that the SSD copies everything it needs out
+// of the request during Submit, so callers may reuse the structure.
+func (d *SSD) RetainsRequests() bool { return false }
 
 // CapacityBlocks implements Device.
 func (d *SSD) CapacityBlocks() int64 { return d.cfg.CapacityBlocks }
@@ -104,7 +167,10 @@ func (d *SSD) Submit(r *Request) {
 	}
 
 	// Count pages per channel for this request.
-	pages := make([]int64, d.cfg.Channels)
+	pages := d.pages
+	for i := range pages {
+		pages[i] = 0
+	}
 	for b := r.Block; b < r.Block+r.Count; b++ {
 		pages[int(b%int64(d.cfg.Channels))]++
 	}
@@ -131,18 +197,6 @@ func (d *SSD) Submit(r *Request) {
 	if r.fail && r.Fail != nil {
 		done = r.Fail
 	}
-	d.eng.Schedule(finish, func() {
-		if r.fail {
-			d.stats.Errors++
-		} else if r.Op == OpRead {
-			d.stats.Reads++
-			d.stats.BlocksRead += r.Count
-		} else {
-			d.stats.Writes++
-			d.stats.BlocksWrite += r.Count
-		}
-		if done != nil {
-			done(d.eng.Now())
-		}
-	})
+	o := d.newOp(r, done)
+	d.eng.Schedule(finish, o.fn)
 }

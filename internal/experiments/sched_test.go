@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"craid/internal/sim"
+)
+
+// TestSchedulerRunAllEquivalence pins the timing-wheel engine at the
+// experiment level: a RunAll matrix simulated under the wheel scheduler
+// reports results bit-identical to the binary-heap engine's, cell for
+// cell — the canon hashes, stats and latency distributions all ride the
+// event order, so this is the end-to-end form of the wheel's FIFO
+// contract.
+func TestSchedulerRunAllEquivalence(t *testing.T) {
+	var cfgs []RunConfig
+	for _, strategy := range []Strategy{RAID5, CRAID5, CRAID5Plus} {
+		for _, tr := range []string{"wdev", "webresearch"} {
+			cfgs = append(cfgs, RunConfig{
+				Trace: tr, Scale: QuickScale, Strategy: strategy,
+				Policy: "WLRU", Instant: true, PCBlocks: 2000,
+			})
+		}
+	}
+	prev := sim.DefaultScheduler()
+	defer sim.SetDefaultScheduler(prev)
+
+	sim.SetDefaultScheduler(sim.SchedulerWheel)
+	wheel, err := RunAll(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetDefaultScheduler(sim.SchedulerHeap)
+	heap, err := RunAll(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wheel) != len(heap) {
+		t.Fatalf("%d wheel results, %d heap results", len(wheel), len(heap))
+	}
+	for i := range wheel {
+		a, b := wheel[i], heap[i]
+		if (a.CRAID == nil) != (b.CRAID == nil) {
+			t.Errorf("result %d: CRAID stats presence diverged", i)
+			continue
+		}
+		if a.CRAID != nil && *a.CRAID != *b.CRAID {
+			t.Errorf("result %d: CRAID stats diverged\nwheel %+v\nheap  %+v", i, *a.CRAID, *b.CRAID)
+		}
+		a.CRAID, b.CRAID = nil, nil
+		// Ring back-pressure is wall-clock telemetry, not simulation
+		// output; see TestRunAllDeterministicAcrossParallelism.
+		a.Replay.ReaderStalls, b.Replay.ReaderStalls = 0, 0
+		a.Replay.ReplayStalls, b.Replay.ReplayStalls = 0, 0
+		a.Replay.RingHighWater, b.Replay.RingHighWater = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("result %d: diverged\nwheel %+v\nheap  %+v", i, a, b)
+		}
+	}
+}

@@ -327,6 +327,13 @@ func TestFabricEndToEndMatchesLocalAndCaches(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range want {
+		// Ring back-pressure is wall-clock telemetry, not simulation
+		// output (see TestRunAllDeterministicAcrossParallelism): under
+		// host load the fabric and local runs can fill the replay ring
+		// differently without any result diverging.
+		got[i].Replay.ReaderStalls, want[i].Replay.ReaderStalls = 0, 0
+		got[i].Replay.ReplayStalls, want[i].Replay.ReplayStalls = 0, 0
+		got[i].Replay.RingHighWater, want[i].Replay.RingHighWater = 0, 0
 		if !reflect.DeepEqual(got[i], want[i]) {
 			t.Errorf("cell %d differs across the fabric:\n got %+v\nwant %+v", i, got[i], want[i])
 		}
@@ -344,6 +351,11 @@ func TestFabricEndToEndMatchesLocalAndCaches(t *testing.T) {
 	}
 	if n := computed.Load(); n != 3 {
 		t.Fatalf("warm run recomputed cells: total %d, want still 3", n)
+	}
+	for i := range got2 {
+		got2[i].Replay.ReaderStalls = 0
+		got2[i].Replay.ReplayStalls = 0
+		got2[i].Replay.RingHighWater = 0
 	}
 	if !reflect.DeepEqual(got2, got) {
 		t.Fatal("warm-cache results differ from cold results")

@@ -58,6 +58,12 @@ type Index interface {
 	Lookup(orig int64) (Mapping, bool)
 	LookupRun(orig, max int64) (Mapping, int64, bool)
 
+	// IsDirty reports whether orig is mapped with its dirty flag set,
+	// in O(1): the eviction path probes dirtiness for a window of
+	// victim candidates per eviction, and a tree descent per probe
+	// dominated whole replays before this existed.
+	IsDirty(orig int64) bool
+
 	// Insert adds or replaces one mapping; InsertRun inserts the n
 	// consecutive translations orig+i → cache+i.
 	Insert(m Mapping)
@@ -126,6 +132,13 @@ type Table struct {
 	// transition on the apply path; Write contracts not to retain the
 	// slice, so reusing one buffer is safe.
 	logRec [recordSize]byte
+
+	// dirty is the O(1) membership set behind IsDirty: the Orig of
+	// every mapping whose Dirty flag is set. Maintained at the same
+	// choke points that write the persistent dirty log. Mutated only on
+	// the single-threaded apply path; IsDirty runs there too (the
+	// eviction victim scan), never concurrently with a mutation.
+	dirty dirtySet
 }
 
 var _ Index = (*Table)(nil)
@@ -234,6 +247,17 @@ func (t *Table) Lookup(orig int64) (Mapping, bool) {
 	return t.shards[t.idx(orig)].lookup(orig)
 }
 
+// IsDirty reports whether orig is mapped with its dirty flag set, in
+// O(1) via the dirty-membership set (equivalent to Lookup + Dirty,
+// property-pinned by the table tests).
+func (t *Table) IsDirty(orig int64) bool { return t.dirty.has(orig) }
+
+// dirtyAdd records orig as dirty in the membership set.
+func (t *Table) dirtyAdd(orig int64) { t.dirty.add(orig) }
+
+// dirtyDel removes orig from the membership set.
+func (t *Table) dirtyDel(orig int64) { t.dirty.del(orig) }
+
 // Insert adds or replaces the mapping for m.Orig.
 func (t *Table) Insert(m Mapping) {
 	t.init()
@@ -245,9 +269,11 @@ func (t *Table) Insert(m Mapping) {
 	t.size += s.size - before
 	switch {
 	case m.Dirty:
+		t.dirtyAdd(m.Orig)
 		t.appendLog(logInsert, m)
 	case s.existed && s.replaced.Dirty:
 		// A clean copy replaced a dirty one: the dirty state is gone.
+		t.dirtyDel(m.Orig)
 		t.appendLog(logClean, Mapping{Orig: m.Orig})
 	}
 }
@@ -271,6 +297,7 @@ func (t *Table) Remove(orig int64) bool {
 		s.ver++
 		s.size--
 		t.size--
+		t.dirtyDel(orig)
 		t.appendLog(logRemove, Mapping{Orig: orig})
 	}
 	return removed
@@ -422,6 +449,7 @@ func (t *Table) Clear() {
 		t.shards[i].ver++
 	}
 	t.size = 0
+	t.dirty.clear()
 }
 
 // --- persistent dirty log ---

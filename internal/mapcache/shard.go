@@ -118,8 +118,10 @@ func (s *shard) setDirty(t *Table, orig int64, dirty bool) bool {
 			if n.m.Dirty != dirty {
 				n.m.Dirty = dirty
 				if dirty {
+					t.dirtyAdd(orig)
 					t.appendLog(logInsert, n.m)
 				} else {
+					t.dirtyDel(orig)
 					t.appendLog(logClean, Mapping{Orig: orig})
 				}
 			}
@@ -160,8 +162,10 @@ func (s *shard) setDirtyRun(t *Table, orig, end int64, dirty bool) int64 {
 		if cur.m.Dirty != dirty {
 			cur.m.Dirty = dirty
 			if dirty {
+				t.dirtyAdd(cur.m.Orig)
 				t.appendLog(logInsert, cur.m)
 			} else {
+				t.dirtyDel(cur.m.Orig)
 				t.appendLog(logClean, Mapping{Orig: cur.m.Orig})
 			}
 		}
@@ -219,6 +223,7 @@ func (s *shard) removeRun(t *Table, orig, end int64) int64 {
 				s.ver++
 				s.size--
 				removed++
+				t.dirtyDel(k)
 				t.appendLog(logRemove, Mapping{Orig: k})
 			}
 		}

@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"craid/internal/sim"
@@ -64,9 +65,12 @@ func (w *Welford) CV() float64 {
 
 // LatencyHist is a latency histogram with logarithmic buckets (~3%
 // resolution), supporting percentiles over millions of samples in
-// constant memory.
+// constant memory. Buckets live in a dense []int64 (at most ~8 KiB,
+// grown on demand) indexed by a constant-time math/bits bucketing with
+// edges bit-identical to the floating-point log2 reference the
+// histogram originally used (pinned by property tests).
 type LatencyHist struct {
-	buckets map[int]int64
+	buckets []int64
 	count   int64
 	sum     float64
 	max     sim.Time
@@ -74,16 +78,85 @@ type LatencyHist struct {
 
 // NewLatencyHist returns an empty histogram.
 func NewLatencyHist() *LatencyHist {
-	return &LatencyHist{buckets: make(map[int]int64)}
+	return &LatencyHist{}
 }
 
 const latBucketsPerOctave = 16
 
-func latBucket(t sim.Time) int {
+// latBucketRef is the floating-point reference bucketing. It remains
+// the definition of the bucket edges: latThresh below is derived from
+// it at init, and the property suite pins latBucket against it.
+func latBucketRef(t sim.Time) int {
 	if t <= 0 {
 		return 0
 	}
 	return int(math.Floor(math.Log2(float64(t)) * latBucketsPerOctave))
+}
+
+// latThresh[k][j] is the smallest t in octave k (bits.Len64(t)-1 == k)
+// whose reference bucket is >= 16k+j. Row entry 0 is the octave floor;
+// entries that no t in the octave reaches hold MaxUint64. Because
+// float64(t) rounds, samples at the top of a large octave can land in
+// bucket 16(k+1) — hence 17 entries, not 16.
+var latThresh [63][17]uint64
+
+func init() {
+	for k := 0; k < 63; k++ {
+		lo := uint64(1) << uint(k)
+		hi := lo<<1 - 1
+		if k == 62 {
+			hi = uint64(math.MaxInt64)
+		}
+		row := &latThresh[k]
+		row[0] = lo
+		for j := 1; j <= 16; j++ {
+			target := k*latBucketsPerOctave + j
+			if latBucketRef(sim.Time(hi)) < target {
+				row[j] = math.MaxUint64
+				continue
+			}
+			a, b := lo, hi
+			for a < b {
+				m := a + (b-a)/2
+				if latBucketRef(sim.Time(m)) >= target {
+					b = m
+				} else {
+					a = m + 1
+				}
+			}
+			row[j] = a
+		}
+	}
+}
+
+// latBucket computes the reference bucket in constant time: locate the
+// octave with bits.Len64, then binary-search the 17 precomputed
+// thresholds in four compares.
+func latBucket(t sim.Time) int {
+	if t <= 0 {
+		return 0
+	}
+	u := uint64(t)
+	k := bits.Len64(u) - 1
+	row := &latThresh[k]
+	j := 0
+	if u >= row[16] {
+		j = 16
+	} else {
+		if u >= row[j+8] {
+			j += 8
+		}
+		if u >= row[j+4] {
+			j += 4
+		}
+		if u >= row[j+2] {
+			j += 2
+		}
+		if u >= row[j+1] {
+			j++
+		}
+	}
+	return k*latBucketsPerOctave + j
 }
 
 func latBucketValue(b int) sim.Time {
@@ -92,7 +165,13 @@ func latBucketValue(b int) sim.Time {
 
 // Add records one latency sample.
 func (h *LatencyHist) Add(t sim.Time) {
-	h.buckets[latBucket(t)]++
+	b := latBucket(t)
+	if b >= len(h.buckets) {
+		grown := make([]int64, b+1)
+		copy(grown, h.buckets)
+		h.buckets = grown
+	}
+	h.buckets[b]++
 	h.count++
 	h.sum += float64(t)
 	if t > h.max {
@@ -126,11 +205,6 @@ func (h *LatencyHist) Percentile(p float64) sim.Time {
 	if p > 1 {
 		p = 1
 	}
-	keys := make([]int, 0, len(h.buckets))
-	for b := range h.buckets {
-		keys = append(keys, b)
-	}
-	sort.Ints(keys)
 	target := int64(math.Ceil(p * float64(h.count)))
 	if target < 1 {
 		target = 1
@@ -139,8 +213,11 @@ func (h *LatencyHist) Percentile(p float64) sim.Time {
 		return h.max
 	}
 	var cum int64
-	for _, b := range keys {
-		cum += h.buckets[b]
+	for b, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
 		if cum >= target {
 			v := latBucketValue(b)
 			if v > h.max {
@@ -165,13 +242,19 @@ func (h *LatencyHist) Equal(o *LatencyHist) bool {
 	if h.count != o.count || h.sum != o.sum || h.max != o.max {
 		return false
 	}
-	for b, n := range h.buckets {
-		if o.buckets[b] != n {
-			return false
-		}
+	n := len(h.buckets)
+	if len(o.buckets) > n {
+		n = len(o.buckets)
 	}
-	for b, n := range o.buckets {
-		if h.buckets[b] != n {
+	for b := 0; b < n; b++ {
+		var a, c int64
+		if b < len(h.buckets) {
+			a = h.buckets[b]
+		}
+		if b < len(o.buckets) {
+			c = o.buckets[b]
+		}
+		if a != c {
 			return false
 		}
 	}

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -291,8 +292,165 @@ func sortFloat(a []float64) {
 
 func BenchmarkLatencyHistAdd(b *testing.B) {
 	h := NewLatencyHist()
+	h.Add(sim.Time(1000000)) // pre-grow the dense bucket array
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Add(sim.Time(i%1000000 + 1))
+	}
+}
+
+// BenchmarkLatencyHistAddRef measures the retained floating-point
+// reference bucketing for comparison with the bits-based path.
+func BenchmarkLatencyHistAddRef(b *testing.B) {
+	m := make(map[int]int64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m[latBucketRef(sim.Time(i%1000000+1))]++
+	}
+}
+
+// TestLatencyHistAddAllocFree gates the steady-state Add path at zero
+// allocations once the dense array has grown.
+func TestLatencyHistAddAllocFree(t *testing.T) {
+	h := NewLatencyHist()
+	h.Add(sim.Time(1) << 40)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 1; i <= 1000; i++ {
+			h.Add(sim.Time(i) * 7919)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("LatencyHist.Add allocated %.1f per 1000 samples, want 0", allocs)
+	}
+}
+
+// TestPropertyLatBucketMatchesReference pins the constant-time
+// bits-based bucketing bit-identical to the floating-point log2
+// reference: exhaustively for small t, at every octave boundary and
+// precomputed threshold edge, and over random 63-bit samples.
+func TestPropertyLatBucketMatchesReference(t *testing.T) {
+	check := func(v sim.Time) {
+		if got, want := latBucket(v), latBucketRef(v); got != want {
+			t.Fatalf("latBucket(%d) = %d, reference %d", v, got, want)
+		}
+	}
+	for v := sim.Time(-2); v < 1<<20; v++ {
+		check(v)
+	}
+	for k := uint(0); k < 63; k++ {
+		for _, d := range []int64{-2, -1, 0, 1, 2} {
+			v := int64(1)<<k + d
+			if v > 0 {
+				check(sim.Time(v))
+			}
+		}
+		for j := 0; j <= 16; j++ {
+			th := latThresh[k][j]
+			for _, d := range []uint64{0, 1} {
+				if th == 0 || th > uint64(1)<<62*2 {
+					continue
+				}
+				v := th - d
+				if v > 0 && v <= uint64(1)<<62 {
+					check(sim.Time(v))
+				}
+			}
+		}
+	}
+	check(sim.Time(1)<<62 + 12345)
+	check(sim.MaxTime)
+	check(sim.MaxTime - 1)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2_000_000; i++ {
+		check(sim.Time(rng.Int63() + 1))
+	}
+}
+
+// refLatencyHist is the original map-backed histogram, retained as the
+// property-pin reference for the dense implementation.
+type refLatencyHist struct {
+	buckets map[int]int64
+	count   int64
+	max     sim.Time
+}
+
+func (h *refLatencyHist) add(t sim.Time) {
+	h.buckets[latBucketRef(t)]++
+	h.count++
+	if t > h.max {
+		h.max = t
+	}
+}
+
+func (h *refLatencyHist) percentile(p float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	keys := make([]int, 0, len(h.buckets))
+	for b := range h.buckets {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	target := int64(math.Ceil(p * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	if target >= h.count {
+		return h.max
+	}
+	var cum int64
+	for _, b := range keys {
+		cum += h.buckets[b]
+		if cum >= target {
+			v := latBucketValue(b)
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// TestPropertyLatencyHistMatchesMapReference streams random latency
+// mixes through the dense histogram and the retained map reference and
+// requires identical counts, maxima and percentile curves.
+func TestPropertyLatencyHistMatchesMapReference(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewLatencyHist()
+		ref := &refLatencyHist{buckets: make(map[int]int64)}
+		for i := 0; i < 50000; i++ {
+			var v sim.Time
+			switch rng.Intn(4) {
+			case 0:
+				v = sim.Time(rng.Int63n(int64(200 * sim.Microsecond)))
+			case 1:
+				v = sim.Time(rng.Int63n(int64(20 * sim.Millisecond)))
+			case 2:
+				v = sim.Time(rng.Int63n(int64(5 * sim.Second)))
+			default:
+				v = sim.Time(rng.Int63())
+			}
+			h.Add(v)
+			ref.add(v)
+		}
+		if h.Count() != ref.count || h.Max() != ref.max {
+			t.Fatalf("seed %d: count/max diverged from reference", seed)
+		}
+		for p := 0.0; p <= 1.0; p += 0.001 {
+			if got, want := h.Percentile(p), ref.percentile(p); got != want {
+				t.Fatalf("seed %d: P%.3f = %v, reference %v", seed, p, got, want)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// firing is one observed event dispatch: the engine clock at dispatch
+// plus the identity of the scheduled callback.
+type firing struct {
+	at Time
+	id int
+}
+
+// script is a deterministic schedule-order torture script: a mix of
+// immediate, near, far, overflow-distance and same-instant events,
+// some scheduled from inside callbacks, replayed identically against
+// two engines.
+type scriptOp struct {
+	delay Time // relative to the clock when the op executes
+	nest  int  // how many chained events this callback schedules
+}
+
+func runScript(kind SchedulerKind, ops []scriptOp) []firing {
+	eng := NewEngineScheduler(kind)
+	var log []firing
+	id := 0
+	var schedule func(op scriptOp)
+	schedule = func(op scriptOp) {
+		myID := id
+		id++
+		nest := op.nest
+		delay := op.delay
+		eng.After(op.delay, func() {
+			log = append(log, firing{eng.Now(), myID})
+			for i := 0; i < nest; i++ {
+				schedule(scriptOp{delay: delay/2 + Time(i), nest: 0})
+			}
+		})
+	}
+	for _, op := range ops {
+		schedule(op)
+	}
+	eng.Run()
+	return log
+}
+
+// randomScript generates delays spanning every wheel level, the
+// same-tick ring, and the overflow heap.
+func randomScript(rng *rand.Rand, n int) []scriptOp {
+	spans := []Time{
+		0,                // same instant → ring
+		100,              // sub-tick
+		50 * Microsecond, // level 0
+		5 * Millisecond,  // level 1
+		2 * Second,       // level 2
+		30 * Second,      // beyond the 17.2s horizon → overflow
+	}
+	ops := make([]scriptOp, n)
+	for i := range ops {
+		span := spans[rng.Intn(len(spans))]
+		d := span
+		if span > 0 {
+			d = Time(rng.Int63n(int64(span))) + 1
+		}
+		nest := 0
+		if rng.Intn(4) == 0 {
+			nest = rng.Intn(3) + 1
+		}
+		ops[i] = scriptOp{delay: d, nest: nest}
+	}
+	return ops
+}
+
+// TestSchedulerTortureWheelVsHeap replays randomized schedule-order
+// scripts against both queue implementations and requires the full
+// firing sequence — instant AND callback identity — to be identical.
+func TestSchedulerTortureWheelVsHeap(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ops := randomScript(rng, 400)
+		wheel := runScript(SchedulerWheel, ops)
+		heap := runScript(SchedulerHeap, ops)
+		if len(wheel) != len(heap) {
+			t.Fatalf("seed %d: wheel fired %d events, heap %d", seed, len(wheel), len(heap))
+		}
+		for i := range wheel {
+			if wheel[i] != heap[i] {
+				t.Fatalf("seed %d: firing %d differs: wheel %+v heap %+v", seed, i, wheel[i], heap[i])
+			}
+		}
+	}
+}
+
+// TestSchedulerFIFOSameInstant pins the global FIFO contract directly:
+// events scheduled for one future instant, interleaved with events at
+// other instants and in shuffled submission order, fire in exactly
+// submission order on both schedulers.
+func TestSchedulerFIFOSameInstant(t *testing.T) {
+	for _, kind := range []SchedulerKind{SchedulerWheel, SchedulerHeap} {
+		rng := rand.New(rand.NewSource(7))
+		eng := NewEngineScheduler(kind)
+		const target = 3 * Millisecond
+		var got []int
+		want := make([]int, 0, 500)
+		for i := 0; i < 500; i++ {
+			id := i
+			got := &got
+			eng.Schedule(target, func() { *got = append(*got, id) })
+			want = append(want, id)
+			// Noise at other instants must not perturb the order.
+			if rng.Intn(3) == 0 {
+				eng.Schedule(Time(rng.Int63n(int64(10*Millisecond)))+1, func() {})
+			}
+		}
+		eng.Run()
+		if len(got) != len(want) {
+			t.Fatalf("%v: fired %d of %d same-instant events", kind, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: same-instant event %d fired out of order (got id %d)", kind, i, got[i])
+			}
+		}
+	}
+}
+
+// TestSchedulerRunUntilLateInsert pins a wheel-specific edge: RunUntil
+// peeks (draining a future slot into the fire buffer) without firing
+// it; events scheduled afterwards for earlier instants must still fire
+// first.
+func TestSchedulerRunUntilLateInsert(t *testing.T) {
+	for _, kind := range []SchedulerKind{SchedulerWheel, SchedulerHeap} {
+		eng := NewEngineScheduler(kind)
+		var log []firing
+		eng.Schedule(5*Millisecond, func() { log = append(log, firing{eng.Now(), 1}) })
+		eng.RunUntil(1 * Millisecond) // peeks at the 5ms event, fires nothing
+		if len(log) != 0 {
+			t.Fatalf("%v: RunUntil fired past its deadline", kind)
+		}
+		// Earlier than the already-peeked event, later than now.
+		eng.Schedule(2*Millisecond, func() { log = append(log, firing{eng.Now(), 2}) })
+		eng.Schedule(5*Millisecond-Time(1), func() { log = append(log, firing{eng.Now(), 3}) })
+		eng.Run()
+		want := []firing{{2 * Millisecond, 2}, {5*Millisecond - 1, 3}, {5 * Millisecond, 1}}
+		if len(log) != len(want) {
+			t.Fatalf("%v: fired %d events, want %d", kind, len(log), len(want))
+		}
+		for i := range want {
+			if log[i] != want[i] {
+				t.Fatalf("%v: firing %d = %+v, want %+v", kind, i, log[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSchedulerOverflowPromotion drives events far beyond the wheel
+// horizon and checks they fire at the right instants in the right
+// order, with the overflow counters recording the trip.
+func TestSchedulerOverflowPromotion(t *testing.T) {
+	eng := NewEngineScheduler(SchedulerWheel)
+	var log []Time
+	for _, at := range []Time{90 * Second, 30 * Second, 60 * Second, 30 * Second} {
+		eng.Schedule(at, func() { log = append(log, eng.Now()) })
+	}
+	eng.Schedule(1*Millisecond, func() {})
+	eng.Run()
+	want := []Time{1 * Millisecond}
+	_ = want
+	wantFar := []Time{30 * Second, 30 * Second, 60 * Second, 90 * Second}
+	if len(log) != len(wantFar) {
+		t.Fatalf("fired %d far events, want %d", len(log), len(wantFar))
+	}
+	for i := range wantFar {
+		if log[i] != wantFar[i] {
+			t.Fatalf("far event %d fired at %v, want %v", i, log[i], wantFar[i])
+		}
+	}
+	st := eng.SchedStats()
+	if st.Deferred != 4 || st.Promoted != 4 {
+		t.Fatalf("overflow stats = deferred %d promoted %d, want 4/4", st.Deferred, st.Promoted)
+	}
+}
+
+// TestEngineScheduleAllocFree gates the steady-state event path at
+// zero allocations per event for both schedulers: after warmup the
+// wheel recycles nodes from its freelist and the heap reuses its
+// backing array.
+func TestEngineScheduleAllocFree(t *testing.T) {
+	for _, kind := range []SchedulerKind{SchedulerWheel, SchedulerHeap} {
+		eng := NewEngineScheduler(kind)
+		var fn func(Time)
+		n := 0
+		fn = func(at Time) {
+			if n++; n < 5000 {
+				eng.AfterTimed(Time(n%4096)+1, fn)
+			}
+		}
+		// Warm up: grow the ring/heap/freelist and fault in all slots.
+		eng.AfterTimed(1, fn)
+		eng.Run()
+		allocs := testing.AllocsPerRun(10, func() {
+			n = 0
+			eng.AfterTimed(1, fn)
+			eng.Run()
+		})
+		if allocs != 0 {
+			t.Fatalf("%v: %.1f allocs per 5000-event run, want 0", kind, allocs)
+		}
+	}
+}
+
+// TestGlobalSchedStats checks the process-wide aggregation: counters
+// advance by at least the events a run fires.
+func TestGlobalSchedStats(t *testing.T) {
+	before := GlobalSchedStats()
+	eng := NewEngineScheduler(SchedulerWheel)
+	for i := 1; i <= 100; i++ {
+		eng.Schedule(Time(i)*Microsecond, func() {})
+	}
+	eng.Run()
+	after := GlobalSchedStats()
+	if d := after.Fired - before.Fired; d < 100 {
+		t.Fatalf("global Fired advanced by %d, want >= 100", d)
+	}
+	if eng.SchedStats().Fired != 100 {
+		t.Fatalf("engine Fired = %d, want 100", eng.SchedStats().Fired)
+	}
+}

@@ -11,6 +11,8 @@ package sim
 import (
 	"fmt"
 	"math"
+	"os"
+	"sync/atomic"
 	"time"
 )
 
@@ -60,85 +62,256 @@ func eventLess(a, b event) bool {
 	return a.seq < b.seq
 }
 
-// Engine is a discrete-event simulation loop. The zero value is not
-// usable; create one with NewEngine.
-//
-// The event queue is a hand-rolled binary heap over event values (not
-// pointers): scheduling allocates nothing once the backing array has
-// grown, which matters because every simulated I/O is at least one
-// event.
-//
-// Events scheduled for the *current* instant bypass the heap into a
-// FIFO ring: zero-delay completions (instant devices, same-tick
-// callback chains) dominate many workloads and need no ordering work
-// beyond arrival order. Correctness of the split: once the clock
-// reaches T, every new at=T event lands in the ring with a sequence
-// number above all at=T events still in the heap (which were scheduled
-// while now < T), so draining heap-at-T before the ring preserves
-// global FIFO order among same-instant events.
-type Engine struct {
-	now      Time
-	seq      uint64
-	queue    []event
-	ring     []event // FIFO of events due at the current instant
-	ringHead int
-	stopped  bool
-}
-
-// push adds ev to the heap.
-func (e *Engine) push(ev event) {
-	e.queue = append(e.queue, ev)
-	q := e.queue
-	i := len(q) - 1
+// heapPushEvent adds ev to the binary min-heap in *q.
+func heapPushEvent(q *[]event, ev event) {
+	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if !eventLess(q[i], q[p]) {
+		if !eventLess(h[i], h[p]) {
 			break
 		}
-		q[i], q[p] = q[p], q[i]
+		h[i], h[p] = h[p], h[i]
 		i = p
 	}
 }
 
-// pop removes and returns the earliest event.
-func (e *Engine) pop() event {
-	q := e.queue
-	top := q[0]
-	n := len(q) - 1
-	q[0] = q[n]
-	q[n] = event{} // release callback references
-	e.queue = q[:n]
-	q = e.queue
+// heapPopEvent removes and returns the earliest event in *q.
+func heapPopEvent(q *[]event) event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release callback references
+	*q = h[:n]
+	h = *q
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		min := i
-		if l < n && eventLess(q[l], q[min]) {
+		if l < n && eventLess(h[l], h[min]) {
 			min = l
 		}
-		if r < n && eventLess(q[r], q[min]) {
+		if r < n && eventLess(h[r], h[min]) {
 			min = r
 		}
 		if min == i {
 			break
 		}
-		q[i], q[min] = q[min], q[i]
+		h[i], h[min] = h[min], h[i]
 		i = min
 	}
 	return top
 }
 
+// SchedulerKind selects the timed-queue implementation behind an
+// Engine. Both schedulers implement the exact same contract — events
+// fire in (instant, schedule order) — so every experiment produces
+// bit-identical results under either; the wheel is simply cheaper per
+// event. The heap remains selectable as an escape hatch for one PR.
+type SchedulerKind uint8
+
+const (
+	// SchedulerWheel is the hierarchical timing wheel (the default):
+	// O(1) schedule, near-O(1) dispatch, overflow heap for far-future
+	// events. See wheel.go.
+	SchedulerWheel SchedulerKind = iota
+	// SchedulerHeap is the original binary heap over event values.
+	SchedulerHeap
+)
+
+// String names the scheduler kind ("wheel" or "heap").
+func (k SchedulerKind) String() string {
+	if k == SchedulerHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
+// ParseScheduler converts a -scheduler flag value to a SchedulerKind.
+func ParseScheduler(s string) (SchedulerKind, error) {
+	switch s {
+	case "wheel":
+		return SchedulerWheel, nil
+	case "heap":
+		return SchedulerHeap, nil
+	}
+	return SchedulerWheel, fmt.Errorf("sim: unknown scheduler %q (want wheel or heap)", s)
+}
+
+// defaultScheduler holds the process-wide SchedulerKind used by
+// NewEngine. Atomic because experiment workers construct engines on
+// concurrent goroutines.
+var defaultScheduler atomic.Uint32
+
+// SetDefaultScheduler selects the queue implementation NewEngine uses.
+// It is process-wide (like runtime GOMAXPROCS) rather than a RunConfig
+// field so the canonical experiment-config encoding — and every frozen
+// config hash derived from it — is unaffected by A/B runs.
+func SetDefaultScheduler(k SchedulerKind) { defaultScheduler.Store(uint32(k)) }
+
+// DefaultScheduler reports the SchedulerKind NewEngine will use.
+func DefaultScheduler() SchedulerKind { return SchedulerKind(defaultScheduler.Load()) }
+
+func init() {
+	// CRAID_SIM_SCHEDULER=heap|wheel flips the whole process for A/B
+	// runs of the full test suite (CI runs one leg with heap).
+	if v := os.Getenv("CRAID_SIM_SCHEDULER"); v != "" {
+		if k, err := ParseScheduler(v); err == nil {
+			SetDefaultScheduler(k)
+		}
+	}
+}
+
+// SchedStats counts scheduler activity. Engine counters are cumulative
+// per engine; GlobalSchedStats aggregates across all engines in the
+// process (flushed at the end of each Run/RunUntil), which is what the
+// craidbench per-table footer reports.
+type SchedStats struct {
+	Fired    int64              // events dispatched (timed queue + same-tick ring)
+	Ring     int64              // of Fired, same-instant ring events
+	Level    [wheelLevels]int64 // wheel placements per level (incl. cascade re-placements)
+	Deferred int64              // placements into the far-future overflow heap
+	Promoted int64              // overflow events promoted back into the wheel
+	Cascaded int64              // events redistributed by slot cascades
+}
+
+var globalSched struct {
+	fired    atomic.Int64
+	ring     atomic.Int64
+	level    [wheelLevels]atomic.Int64
+	deferred atomic.Int64
+	promoted atomic.Int64
+	cascaded atomic.Int64
+}
+
+// GlobalSchedStats returns scheduler counters aggregated across every
+// engine in the process. Engines flush when Run/RunUntil returns, so
+// totals are exact between runs.
+func GlobalSchedStats() SchedStats {
+	s := SchedStats{
+		Fired:    globalSched.fired.Load(),
+		Ring:     globalSched.ring.Load(),
+		Deferred: globalSched.deferred.Load(),
+		Promoted: globalSched.promoted.Load(),
+		Cascaded: globalSched.cascaded.Load(),
+	}
+	for i := range s.Level {
+		s.Level[i] = globalSched.level[i].Load()
+	}
+	return s
+}
+
+// Engine is a discrete-event simulation loop. The zero value is not
+// usable; create one with NewEngine.
+//
+// The timed queue is either a hierarchical timing wheel (the default;
+// see wheel.go) or the original hand-rolled binary heap over event
+// values — both allocation-free in steady state, both firing events in
+// exactly (instant, schedule order).
+//
+// Events scheduled for the *current* instant bypass the timed queue
+// into a FIFO ring: zero-delay completions (instant devices, same-tick
+// callback chains) dominate many workloads and need no ordering work
+// beyond arrival order. Correctness of the split: once the clock
+// reaches T, every new at=T event lands in the ring with a sequence
+// number above all at=T events still in the timed queue (which were
+// scheduled while now < T), so draining queue-at-T before the ring
+// preserves global FIFO order among same-instant events.
+type Engine struct {
+	now      Time
+	seq      uint64
+	queue    []event // binary heap (SchedulerHeap only)
+	wheel    *wheelQ // timing wheel (SchedulerWheel only)
+	ring     []event // FIFO of events due at the current instant
+	ringHead int
+	stopped  bool
+	kind     SchedulerKind
+	stats    SchedStats // cumulative for this engine
+	flushed  SchedStats // portion already added to the global counters
+}
+
 // NewEngine returns an engine with the clock at zero and no pending
-// events.
+// events, using the process default scheduler (see SetDefaultScheduler).
 func NewEngine() *Engine {
-	return &Engine{}
+	return NewEngineScheduler(DefaultScheduler())
+}
+
+// NewEngineScheduler returns an engine backed by the given queue
+// implementation regardless of the process default.
+func NewEngineScheduler(k SchedulerKind) *Engine {
+	e := &Engine{kind: k}
+	if k == SchedulerWheel {
+		e.wheel = newWheelQ(&e.stats)
+	}
+	return e
+}
+
+// Scheduler reports which queue implementation backs this engine.
+func (e *Engine) Scheduler() SchedulerKind { return e.kind }
+
+// SchedStats returns this engine's cumulative scheduler counters.
+func (e *Engine) SchedStats() SchedStats { return e.stats }
+
+// flushStats publishes counter deltas to the process-wide aggregate.
+func (e *Engine) flushStats() {
+	d, f := e.stats, e.flushed
+	if d == f {
+		return
+	}
+	globalSched.fired.Add(d.Fired - f.Fired)
+	globalSched.ring.Add(d.Ring - f.Ring)
+	globalSched.deferred.Add(d.Deferred - f.Deferred)
+	globalSched.promoted.Add(d.Promoted - f.Promoted)
+	globalSched.cascaded.Add(d.Cascaded - f.Cascaded)
+	for i := range d.Level {
+		globalSched.level[i].Add(d.Level[i] - f.Level[i])
+	}
+	e.flushed = d
+}
+
+// qPush adds a future event to the timed queue.
+func (e *Engine) qPush(ev event) {
+	if e.wheel != nil {
+		e.wheel.push(ev)
+		return
+	}
+	heapPushEvent(&e.queue, ev)
+}
+
+// qLen reports the number of events in the timed queue.
+func (e *Engine) qLen() int {
+	if e.wheel != nil {
+		return e.wheel.n
+	}
+	return len(e.queue)
+}
+
+// qMin reports the earliest timed-queue instant, if any.
+func (e *Engine) qMin() (Time, bool) {
+	if e.wheel != nil {
+		return e.wheel.min()
+	}
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// qPop removes and returns the earliest timed-queue event.
+func (e *Engine) qPop() event {
+	if e.wheel != nil {
+		return e.wheel.pop()
+	}
+	return heapPopEvent(&e.queue)
 }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of scheduled, not-yet-fired events.
-func (e *Engine) Pending() int { return len(e.queue) + len(e.ring) - e.ringHead }
+func (e *Engine) Pending() int { return e.qLen() + len(e.ring) - e.ringHead }
 
 // Schedule registers fn to run at the absolute simulated instant at.
 // Scheduling in the past (at < Now) panics: it always indicates a
@@ -152,7 +325,7 @@ func (e *Engine) Schedule(at Time, fn func()) {
 		e.ring = append(e.ring, event{at: at, seq: e.seq, fn: fn})
 		return
 	}
-	e.push(event{at: at, seq: e.seq, fn: fn})
+	e.qPush(event{at: at, seq: e.seq, fn: fn})
 }
 
 // ScheduleTimed registers fn to run at the absolute instant at,
@@ -167,7 +340,7 @@ func (e *Engine) ScheduleTimed(at Time, fn func(Time)) {
 		e.ring = append(e.ring, event{at: at, seq: e.seq, tfn: fn})
 		return
 	}
-	e.push(event{at: at, seq: e.seq, tfn: fn})
+	e.qPush(event{at: at, seq: e.seq, tfn: fn})
 }
 
 // After registers fn to run delay nanoseconds after the current instant.
@@ -195,10 +368,11 @@ func (e *Engine) Stop() { e.stopped = true }
 // returns false if no events remain.
 func (e *Engine) Step() bool {
 	var ev event
+	t, ok := e.qMin()
 	switch {
-	case len(e.queue) > 0 && e.queue[0].at == e.now:
-		// Heap events due now predate everything in the ring.
-		ev = e.pop()
+	case ok && t == e.now:
+		// Timed-queue events due now predate everything in the ring.
+		ev = e.qPop()
 	case e.ringHead < len(e.ring):
 		ev = e.ring[e.ringHead]
 		e.ring[e.ringHead] = event{} // release callback references
@@ -206,11 +380,13 @@ func (e *Engine) Step() bool {
 		if e.ringHead == len(e.ring) {
 			e.ring, e.ringHead = e.ring[:0], 0
 		}
-	case len(e.queue) > 0:
-		ev = e.pop() // the ring is empty: safe to advance the clock
+		e.stats.Ring++
+	case ok:
+		ev = e.qPop() // the ring is empty: safe to advance the clock
 	default:
 		return false
 	}
+	e.stats.Fired++
 	e.now = ev.at
 	if ev.fn != nil {
 		ev.fn()
@@ -225,6 +401,7 @@ func (e *Engine) Run() {
 	e.stopped = false
 	for !e.stopped && e.Step() {
 	}
+	e.flushStats()
 }
 
 // RunUntil processes events with timestamps <= deadline, then advances
@@ -232,12 +409,19 @@ func (e *Engine) Run() {
 // scheduled beyond the deadline stay queued.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for !e.stopped &&
-		((e.ringHead < len(e.ring) && e.now <= deadline) ||
-			(len(e.queue) > 0 && e.queue[0].at <= deadline)) {
-		e.Step()
+	for !e.stopped {
+		if e.ringHead < len(e.ring) && e.now <= deadline {
+			e.Step()
+			continue
+		}
+		if t, ok := e.qMin(); ok && t <= deadline {
+			e.Step()
+			continue
+		}
+		break
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
+	e.flushStats()
 }

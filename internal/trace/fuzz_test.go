@@ -2,6 +2,8 @@ package trace
 
 import (
 	"io"
+	"math"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -142,6 +144,66 @@ func FuzzParseMSRPerVolume(f *testing.F) {
 		// clean each joint record belongs to exactly one filtered stream.
 		if clean && allClean && !truncated && split != total {
 			t.Fatalf("per-volume split parsed %d records, joint stream %d", split, total)
+		}
+	})
+}
+
+// FuzzParseIntBytes pins the byte-slice integer fast path to strconv:
+// for every input the value must match bit for bit and the error must
+// agree in presence (the fallback delegates to strconv, so messages
+// match by construction whenever the fast path rejects).
+func FuzzParseIntBytes(f *testing.F) {
+	f.Add("0")
+	f.Add("-1")
+	f.Add("+42")
+	f.Add("9223372036854775807")  // MaxInt64
+	f.Add("-9223372036854775808") // MinInt64
+	f.Add("9223372036854775808")  // overflow
+	f.Add("99999999999999999999999999")
+	f.Add("000000000000000000000007") // long but in range
+	f.Add("12x3")
+	f.Add("")
+	f.Add("-")
+	f.Add(" 5")
+	f.Fuzz(func(t *testing.T, s string) {
+		got, gotErr := parseIntBytes([]byte(s))
+		want, wantErr := strconv.ParseInt(s, 10, 64)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("parseIntBytes(%q) err = %v, strconv err = %v", s, gotErr, wantErr)
+		}
+		if gotErr == nil && got != want {
+			t.Fatalf("parseIntBytes(%q) = %d, strconv = %d", s, got, want)
+		}
+	})
+}
+
+// FuzzParseFloatBytes pins the byte-slice float fast path to strconv:
+// identical bits for every accepted input (the fast path only fires
+// when one IEEE division is provably exact, so this must hold for all
+// inputs, not just friendly ones).
+func FuzzParseFloatBytes(f *testing.F) {
+	f.Add("0.000000")
+	f.Add("1.5")
+	f.Add("123456789.123456")  // 15 significant digits
+	f.Add("1234567890.123456") // 16: must fall back, still match
+	f.Add("-0.0")
+	f.Add("5.")
+	f.Add(".5")
+	f.Add("1e308")
+	f.Add("NaN")
+	f.Add("Inf")
+	f.Add("0.0000000000000000000000001")
+	f.Add("..")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		got, gotErr := parseFloatBytes([]byte(s))
+		want, wantErr := strconv.ParseFloat(s, 64)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("parseFloatBytes(%q) err = %v, strconv err = %v", s, gotErr, wantErr)
+		}
+		if gotErr == nil && math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("parseFloatBytes(%q) = %x (%g), strconv = %x (%g)",
+				s, math.Float64bits(got), got, math.Float64bits(want), want)
 		}
 	})
 }

@@ -59,6 +59,48 @@ func benchReader(b *testing.B, input string, open func(io.Reader) Reader) {
 	}
 }
 
+// drainAllocs measures the total allocations of constructing a reader
+// over input and draining it.
+func drainAllocs(t *testing.T, input string, open func(io.Reader) Reader) float64 {
+	t.Helper()
+	return testing.AllocsPerRun(10, func() {
+		r := open(strings.NewReader(input))
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestParsersZeroAllocPerLine pins the parse loops at zero allocations
+// per record: growing the input 20x must not change the total
+// allocation count (construction and the scanner's buffers are the
+// only allocations, and they are independent of trace length).
+func TestParsersZeroAllocPerLine(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(int) string
+		open  func(io.Reader) Reader
+	}{
+		{"native", buildNative, func(r io.Reader) Reader { return NewNativeReader(r) }},
+		{"msr", buildMSR, func(r io.Reader) Reader { return NewMSRReader(r) }},
+		{"blk", buildBlk, func(r io.Reader) Reader { return NewBlkReader(r) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			small := drainAllocs(t, tc.build(500), tc.open)
+			large := drainAllocs(t, tc.build(10000), tc.open)
+			if large != small {
+				t.Fatalf("allocations scale with trace length: %.1f for 500 records, %.1f for 10000 (want equal; %+.4f per line)",
+					small, large, (large-small)/9500)
+			}
+		})
+	}
+}
+
 func BenchmarkNativeReader(b *testing.B) {
 	in := buildNative(10000)
 	benchReader(b, in, func(r io.Reader) Reader { return NewNativeReader(r) })

@@ -12,10 +12,9 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 
 	"craid/internal/disk"
 	"craid/internal/sim"
@@ -110,27 +109,6 @@ func (w *Writer) Flush() error {
 	return w.w.Flush()
 }
 
-// cutField splits s at the first run of spaces or tabs: it returns the
-// leading field and the remainder with its leading separators removed.
-// Unlike strings.Fields it allocates nothing — the hot trace-replay
-// loops parse millions of lines, so each line must cost one allocation
-// (the scanner's line copy), not one per field.
-func cutField(s string) (field, rest string) {
-	i := 0
-	for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
-		i++
-	}
-	j := i
-	for j < len(s) && s[j] != ' ' && s[j] != '\t' {
-		j++
-	}
-	k := j
-	for k < len(s) && (s[k] == ' ' || s[k] == '\t') {
-		k++
-	}
-	return s[i:j], s[k:]
-}
-
 // NativeReader parses the native format.
 type NativeReader struct {
 	sc   *bufio.Scanner
@@ -144,39 +122,41 @@ func NewNativeReader(r io.Reader) *NativeReader {
 	return &NativeReader{sc: sc}
 }
 
-// Next implements Reader.
+// Next implements Reader. The line stays a sub-slice of the scanner's
+// buffer end to end (fields, numeric conversion), so the steady-state
+// parse loop allocates nothing; see parsebytes.go.
 func (n *NativeReader) Next() (Record, error) {
 	for n.sc.Scan() {
 		n.line++
-		line := strings.TrimSpace(n.sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(n.sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		f0, rest := cutField(line)
-		f1, rest := cutField(rest)
-		f2, rest := cutField(rest)
-		f3, rest := cutField(rest)
-		if f3 == "" || rest != "" {
-			return Record{}, fmt.Errorf("trace: line %d: want 4 fields, got %d", n.line, len(strings.Fields(line)))
+		f0, rest := cutFieldBytes(line)
+		f1, rest := cutFieldBytes(rest)
+		f2, rest := cutFieldBytes(rest)
+		f3, rest := cutFieldBytes(rest)
+		if len(f3) == 0 || len(rest) != 0 {
+			return Record{}, fmt.Errorf("trace: line %d: want 4 fields, got %d", n.line, len(bytes.Fields(line)))
 		}
-		us, err := strconv.ParseInt(f0, 10, 64)
+		us, err := parseIntBytes(f0)
 		if err != nil {
 			return Record{}, fmt.Errorf("trace: line %d: time: %w", n.line, err)
 		}
 		var op disk.Op
-		switch f1 {
-		case "R", "r":
+		switch {
+		case len(f1) == 1 && (f1[0] == 'R' || f1[0] == 'r'):
 			op = disk.OpRead
-		case "W", "w":
+		case len(f1) == 1 && (f1[0] == 'W' || f1[0] == 'w'):
 			op = disk.OpWrite
 		default:
 			return Record{}, fmt.Errorf("trace: line %d: bad op %q", n.line, f1)
 		}
-		block, err := strconv.ParseInt(f2, 10, 64)
+		block, err := parseIntBytes(f2)
 		if err != nil || block < 0 {
 			return Record{}, fmt.Errorf("trace: line %d: bad block %q", n.line, f2)
 		}
-		count, err := strconv.ParseInt(f3, 10, 64)
+		count, err := parseIntBytes(f3)
 		if err != nil || count < 1 {
 			return Record{}, fmt.Errorf("trace: line %d: bad count %q", n.line, f3)
 		}
@@ -200,6 +180,14 @@ func (n *NativeReader) Next() (Record, error) {
 // Size are bytes. The wdev and proj workloads in the paper use this
 // format (Narayanan et al., "Write off-loading").
 
+// Static byte patterns for the MSR column scan, hoisted so the parse
+// loop never materializes them per line.
+var (
+	commaSep = []byte(",")
+	msrRead  = []byte("read")
+	msrWrite = []byte("write")
+)
+
 // MSRReader parses MSR-Cambridge storage traces. Timestamps are
 // rebased so the first record is at time 0; byte offsets are converted
 // to 4 KiB blocks (rounded down for offset, up for end).
@@ -220,31 +208,32 @@ func NewMSRReader(r io.Reader) *MSRReader {
 	return &MSRReader{sc: sc, Volume: -1}
 }
 
-// Next implements Reader.
+// Next implements Reader. Like NativeReader.Next, the line is scanned
+// as byte sub-slices so the steady-state parse loop allocates nothing.
 func (m *MSRReader) Next() (Record, error) {
 	for m.sc.Scan() {
 		m.line++
-		line := strings.TrimSpace(m.sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(m.sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		f0, rest, ok0 := strings.Cut(line, ",")
-		_, rest, ok1 := strings.Cut(rest, ",") // hostname, unused
-		f2, rest, ok2 := strings.Cut(rest, ",")
-		f3, rest, ok3 := strings.Cut(rest, ",")
-		f4, rest, ok4 := strings.Cut(rest, ",")
-		f5, _, ok5 := strings.Cut(rest, ",")
+		f0, rest, ok0 := cutComma(line)
+		_, rest, ok1 := cutComma(rest) // hostname, unused
+		f2, rest, ok2 := cutComma(rest)
+		f3, rest, ok3 := cutComma(rest)
+		f4, rest, ok4 := cutComma(rest)
+		f5, _, ok5 := cutComma(rest)
 		if !ok0 || !ok1 || !ok2 || !ok3 || !ok4 {
 			return Record{}, fmt.Errorf("trace: msr line %d: want >=6 fields, got %d",
-				m.line, strings.Count(line, ",")+1)
+				m.line, bytes.Count(line, commaSep)+1)
 		}
 		_ = ok5 // a trailing 6th field needs no terminating comma
-		ft, err := strconv.ParseInt(f0, 10, 64)
+		ft, err := parseIntBytes(f0)
 		if err != nil {
 			return Record{}, fmt.Errorf("trace: msr line %d: timestamp: %w", m.line, err)
 		}
 		if m.Volume >= 0 {
-			vol, err := strconv.Atoi(f2)
+			vol, err := parseAtoiBytes(f2)
 			if err != nil {
 				return Record{}, fmt.Errorf("trace: msr line %d: disk number: %w", m.line, err)
 			}
@@ -254,18 +243,18 @@ func (m *MSRReader) Next() (Record, error) {
 		}
 		var op disk.Op
 		switch {
-		case strings.EqualFold(f3, "read"):
+		case bytes.EqualFold(f3, msrRead):
 			op = disk.OpRead
-		case strings.EqualFold(f3, "write"):
+		case bytes.EqualFold(f3, msrWrite):
 			op = disk.OpWrite
 		default:
 			return Record{}, fmt.Errorf("trace: msr line %d: bad type %q", m.line, f3)
 		}
-		off, err := strconv.ParseInt(f4, 10, 64)
+		off, err := parseIntBytes(f4)
 		if err != nil || off < 0 {
 			return Record{}, fmt.Errorf("trace: msr line %d: bad offset %q", m.line, f4)
 		}
-		size, err := strconv.ParseInt(f5, 10, 64)
+		size, err := parseIntBytes(f5)
 		if err != nil {
 			return Record{}, fmt.Errorf("trace: msr line %d: size: %w", m.line, err)
 		}
@@ -315,41 +304,50 @@ func NewBlkReader(r io.Reader) *BlkReader {
 	return &BlkReader{sc: sc}
 }
 
-// Next implements Reader.
+// Static byte patterns for the blkparse op column.
+var (
+	blkRead  = []byte("R")
+	blkReadL = []byte("READ")
+	blkWrite = []byte("W")
+	blkWrtL  = []byte("WRITE")
+)
+
+// Next implements Reader; byte-sliced like the other parsers, with the
+// timestamp going through parseFloatBytes' exact fast path.
 func (b *BlkReader) Next() (Record, error) {
 	const sectorsPerBlock = disk.BlockSize / 512
 	for b.sc.Scan() {
 		b.line++
-		line := strings.TrimSpace(b.sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(b.sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		f0, rest := cutField(line)
-		_, rest = cutField(rest) // device, unused
-		f2, rest := cutField(rest)
-		f3, rest := cutField(rest)
-		f4, _ := cutField(rest)
-		if f4 == "" {
-			return Record{}, fmt.Errorf("trace: blk line %d: want 5 fields, got %d", b.line, len(strings.Fields(line)))
+		f0, rest := cutFieldBytes(line)
+		_, rest = cutFieldBytes(rest) // device, unused
+		f2, rest := cutFieldBytes(rest)
+		f3, rest := cutFieldBytes(rest)
+		f4, _ := cutFieldBytes(rest)
+		if len(f4) == 0 {
+			return Record{}, fmt.Errorf("trace: blk line %d: want 5 fields, got %d", b.line, len(bytes.Fields(line)))
 		}
-		ts, err := strconv.ParseFloat(f0, 64)
+		ts, err := parseFloatBytes(f0)
 		if err != nil {
 			return Record{}, fmt.Errorf("trace: blk line %d: time: %w", b.line, err)
 		}
 		var op disk.Op
 		switch {
-		case strings.EqualFold(f2, "R"), strings.EqualFold(f2, "READ"):
+		case bytes.EqualFold(f2, blkRead), bytes.EqualFold(f2, blkReadL):
 			op = disk.OpRead
-		case strings.EqualFold(f2, "W"), strings.EqualFold(f2, "WRITE"):
+		case bytes.EqualFold(f2, blkWrite), bytes.EqualFold(f2, blkWrtL):
 			op = disk.OpWrite
 		default:
 			return Record{}, fmt.Errorf("trace: blk line %d: bad op %q", b.line, f2)
 		}
-		sector, err := strconv.ParseInt(f3, 10, 64)
+		sector, err := parseIntBytes(f3)
 		if err != nil || sector < 0 {
 			return Record{}, fmt.Errorf("trace: blk line %d: bad sector %q", b.line, f3)
 		}
-		sectors, err := strconv.ParseInt(f4, 10, 64)
+		sectors, err := parseIntBytes(f4)
 		if err != nil || sectors < 1 {
 			return Record{}, fmt.Errorf("trace: blk line %d: bad sector count %q", b.line, f4)
 		}

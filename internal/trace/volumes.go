@@ -2,11 +2,10 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
-	"strconv"
-	"strings"
 )
 
 // MSRVolumes scans an MSR-Cambridge CSV stream and returns the distinct
@@ -26,17 +25,17 @@ func MSRVolumes(r io.Reader) ([]int, error) {
 	line := 0
 	for sc.Scan() {
 		line++
-		s := strings.TrimSpace(sc.Text())
-		if s == "" || strings.HasPrefix(s, "#") {
+		s := bytes.TrimSpace(sc.Bytes())
+		if len(s) == 0 || s[0] == '#' {
 			continue
 		}
-		_, rest, ok0 := strings.Cut(s, ",")
-		_, rest, ok1 := strings.Cut(rest, ",")
-		f2, _, ok2 := strings.Cut(rest, ",")
+		_, rest, ok0 := cutComma(s)
+		_, rest, ok1 := cutComma(rest)
+		f2, _, ok2 := cutComma(rest)
 		if !ok0 || !ok1 || !ok2 {
 			return nil, fmt.Errorf("trace: msr line %d: want >=4 fields", line)
 		}
-		vol, err := strconv.Atoi(f2)
+		vol, err := parseAtoiBytes(f2)
 		if err != nil || vol < 0 {
 			return nil, fmt.Errorf("trace: msr line %d: bad disk number %q", line, f2)
 		}
