@@ -574,14 +574,17 @@ func (r *runner) pcLevel() {
 }
 
 // fault prints the failure family: every strategy replays the same
-// wdev workload healthy and under each standard fault plan, and the
-// table shows the interference ratios (faulted/healthy mean response
-// time) next to the degraded-window latencies and the rebuild KPI.
+// wdev workload healthy and under each standard fault plan (single
+// failures, a disjoint-group double fault, and — for CRAID — crash
+// storms and online expansion under load), and the table shows the
+// interference ratios (faulted/healthy mean response time) next to the
+// degraded-window latencies and the compound-failure KPIs.
 func (r *runner) fault() {
-	header("Fault family: healthy-vs-faulted interference and degraded-window KPIs (wdev)")
-	fmt.Printf("%-13s %-13s %7s %7s %10s %10s %10s %10s %11s\n",
+	header("Fault family: healthy-vs-faulted interference, degraded-window and compound KPIs (wdev)")
+	fmt.Printf("%-13s %-16s %7s %7s %10s %10s %10s %10s %11s %5s %5s %8s\n",
 		"strategy", "experiment", "readX", "writeX",
-		"degRd(ms)", "degRdP99", "degWr(ms)", "degWrP99", "rebuild(s)")
+		"degRd(ms)", "degRdP99", "degWr(ms)", "degWrP99", "rebuild(s)",
+		"lost", "rst", "upg(ms)")
 	for _, strat := range experiments.Strategies() {
 		cfg := experiments.RunConfig{
 			Trace: "wdev", Scale: r.scaleFor("wdev"), Strategy: strat,
@@ -594,11 +597,12 @@ func (r *runner) fault() {
 			return
 		}
 		for _, row := range rows {
-			fmt.Printf("%-13s %-13s %6.2fx %6.2fx %10.3f %10.3f %10.3f %10.3f %11.2f\n",
+			fmt.Printf("%-13s %-16s %6.2fx %6.2fx %10.3f %10.3f %10.3f %10.3f %11.2f %5d %5d %8.3f\n",
 				strat, row.Name, row.ReadMeanX, row.WriteMeanX,
 				row.DegReadMean.Milliseconds(), row.DegReadP99.Milliseconds(),
 				row.DegWriteMean.Milliseconds(), row.DegWriteP99.Milliseconds(),
-				row.RebuildDuration.Seconds())
+				row.RebuildDuration.Seconds(),
+				row.RebuildLostRows, row.Restarts, row.UpgradeLatency.Milliseconds())
 		}
 	}
 }

@@ -77,7 +77,10 @@ func main() {
 	perVolume := flag.Bool("pervolume", false,
 		"MSR only: split the file into volumes and simulate each in parallel")
 	faultSpec := flag.String("fault", "",
-		"deterministic failure plan, e.g. \"seed=7;fail:2@5s;rebuild:2@10s,rate=64;crash@20s\"")
+		"deterministic failure plan: events fail:D@T, transient:D@T-T2,rate,lat, rebuild:D@T,rate, crash@T, "+
+			"expand@T,disks=N[,retain], storm:crash@T,n=K,every=D, and per-device sub-plans dev:D{...}; "+
+			"compound plans compose, e.g. \"seed=7;fail:2@5s;rebuild:2@10s,rate=64;fail:12@8s;crash@20s\" "+
+			"(second fault mid-rebuild + crash-restart) or \"seed=7;expand@5s,disks=5,retain;storm:crash@10s,n=3,every=5s\"")
 	jsonOut := flag.Bool("json", false,
 		"emit the full result (RunResult with replay, map-log and fault KPIs) as one JSON object")
 	outFile := flag.String("out", "",
@@ -235,13 +238,19 @@ func main() {
 				res.DegReadMean.Milliseconds(), res.DegReadP99.Milliseconds(),
 				res.DegWriteMean.Milliseconds(), res.DegWriteP99.Milliseconds())
 		}
-		if f.RebuildRows > 0 {
-			fmt.Printf("rebuild:      %d rows (%d blocks) in %.3f ms\n",
-				f.RebuildRows, f.RebuildBlocks, res.RebuildDuration.Milliseconds())
+		if f.RebuildRows > 0 || f.RebuildLostRows > 0 {
+			fmt.Printf("rebuild:      %d rows (%d blocks) in %.3f ms, %d rows lost, %d crash-restarted walks\n",
+				f.RebuildRows, f.RebuildBlocks, res.RebuildDuration.Milliseconds(),
+				f.RebuildLostRows, f.RebuildRestarts)
 		}
 		if f.Restarts > 0 {
 			fmt.Printf("crash:        %d restarts, %d mappings recovered from the dirty log\n",
 				f.Restarts, f.RecoveredMappings)
+		}
+		if f.Upgrades > 0 {
+			fmt.Printf("expand:       %d upgrades, %d migrated, %d written back, %d invalidated, drain latency %.3f ms\n",
+				f.Upgrades, f.ExpandMigrated, f.ExpandWriteback, f.ExpandInvalidated,
+				f.UpgradeLatency().Milliseconds())
 		}
 	}
 	fmt.Printf("load balance: mean per-second cv %.3f\n", metrics.Mean(res.CVs))

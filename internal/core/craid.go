@@ -334,6 +334,12 @@ type CRAID struct {
 	// their state updates belong to the torn-down incarnation.
 	epoch uint64
 
+	// upJoin, while an ExpandWith call is on the stack, collects one
+	// branch per background chain the upgrade issues (dirty write-backs,
+	// live-block migrations) so the caller learns when the upgrade's
+	// I/O has fully drained — the upgrade-latency KPI.
+	upJoin *join
+
 	stats Stats
 }
 
@@ -349,6 +355,7 @@ type wbOp struct {
 	c       *CRAID
 	orig, n int64
 	epoch   uint64
+	up      func(sim.Time) // upgrade-join branch (ExpandWith), else nil
 	fn      func(sim.Time)
 	next    *wbOp // freelist link
 }
@@ -363,6 +370,10 @@ func (c *CRAID) newWBOp(orig, n int64) *wbOp {
 		o.next = nil
 	}
 	o.orig, o.n, o.epoch = orig, n, c.epoch
+	o.up = nil
+	if c.upJoin != nil {
+		o.up = c.upJoin.branch()
+	}
 	return o
 }
 
@@ -370,16 +381,24 @@ func (c *CRAID) newWBOp(orig, n int64) *wbOp {
 // stale epoch means a crash-restart tore the owning incarnation down
 // mid-chain: the archive update is dropped (the dirty mapping was
 // re-logged or lost with the crash, exactly as a real controller's
-// in-flight write-back dies with it).
-func (o *wbOp) done(sim.Time) {
+// in-flight write-back dies with it). An upgrade branch (ExpandWith
+// tracking drain) fires either way — on the archive write's completion
+// when the chain is live, immediately when it is stale.
+func (o *wbOp) done(at sim.Time) {
 	c := o.c
+	up := o.up
+	o.up = nil
 	if o.epoch == c.epoch {
-		detached := c.arr.newJoin(nil)
+		detached := c.arr.newJoin(up)
 		c.pa.write(detached, o.orig, o.n)
 		detached.seal(c.arr.Eng.Now())
+		up = nil
 	}
 	o.next = c.wbFree
 	c.wbFree = o
+	if up != nil {
+		up(at)
+	}
 }
 
 // ciOp is one read-miss copy-in in flight: when the P_A read serving
@@ -826,6 +845,13 @@ func (c *CRAID) rebuildPC() {
 // conservative invalidation: every live block moves now, instead of the
 // hot subset re-copying on demand later.
 func (c *CRAID) ExpandRetain(newDevs []disk.Device) ExpandStats {
+	if c.gated {
+		// Mid-replay upgrades (fault-plan expand events) fire while a
+		// lookahead plan stage may be classifying: swapping the policy
+		// and regrowing P_C are structural mutations, same as Expand's.
+		c.gate.Lock()
+		defer c.gate.Unlock()
+	}
 	var st ExpandStats
 	if len(newDevs) > 0 {
 		base := c.arr.Devices()
@@ -877,17 +903,51 @@ func (c *CRAID) ExpandRetain(newDevs []disk.Device) ExpandStats {
 		}
 		start, n := slots[i], int64(j-i)
 		st.Migrated += n
-		sub := newJoin(func(sim.Time) {
+		var up func(sim.Time)
+		if c.upJoin != nil {
+			up = c.upJoin.branch()
+		}
+		sub := newJoin(func(at sim.Time) {
 			if c.epoch != epoch {
+				if up != nil {
+					up(at)
+				}
 				return
 			}
-			detached := c.arr.newJoin(nil)
+			detached := c.arr.newJoin(up)
 			c.pc.write(detached, start, n)
 			detached.seal(c.arr.Eng.Now())
 		})
 		oldPC.read(sub, start, n)
 		sub.seal(c.arr.Eng.Now())
 		i = j
+	}
+	return st
+}
+
+// ExpandWith runs Expand (retain=false) or ExpandRetain (retain=true)
+// and additionally reports, via done, the instant the upgrade's
+// background I/O — dirty write-backs or live-block migrations — has
+// fully drained. That instant minus the call instant is the
+// upgrade-latency KPI the fault fabric records for expand@ events. An
+// upgrade that issues no background I/O drains at the call instant.
+// Chains torn down by a crash-restart (stale epoch) still count as
+// drained when their timing completes, so done always fires.
+func (c *CRAID) ExpandWith(newDevs []disk.Device, retain bool, done func(sim.Time)) ExpandStats {
+	var up *join
+	if done != nil {
+		up = c.arr.newJoin(done)
+		c.upJoin = up
+	}
+	var st ExpandStats
+	if retain {
+		st = c.ExpandRetain(newDevs)
+	} else {
+		st = c.Expand(newDevs)
+	}
+	if up != nil {
+		c.upJoin = nil
+		up.seal(c.arr.Eng.Now())
 	}
 	return st
 }

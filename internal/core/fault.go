@@ -52,13 +52,22 @@ type FaultStats struct {
 	DegradedWrites int64 // write extents committed with a dead leg
 	LostExtents    int64 // extents beyond the layout's redundancy
 
-	RebuildRows   int64    // stripe-row units reconstructed
-	RebuildBlocks int64    // blocks rewritten onto replacement disks
-	RebuildStart  sim.Time // first rebuild's start instant
-	RebuildEnd    sim.Time // last rebuild's completion instant
+	RebuildRows     int64    // stripe-row units reconstructed
+	RebuildBlocks   int64    // blocks rewritten onto replacement disks
+	RebuildLostRows int64    // rows unrecoverable: parity budget exceeded mid-walk
+	RebuildRestarts int64    // rebuilds restarted from row zero by a crash
+	RebuildStart    sim.Time // first rebuild's start instant
+	RebuildEnd      sim.Time // last rebuild's completion instant
 
 	Restarts          int64 // crash-restart events survived
 	RecoveredMappings int64 // dirty translations reinstated from the log
+
+	Upgrades          int64    // expand events fired
+	ExpandMigrated    int64    // blocks migrated by retain upgrades
+	ExpandWriteback   int64    // dirty blocks written back by invalidating upgrades
+	ExpandInvalidated int64    // mappings dropped by invalidating upgrades
+	ExpandStart       sim.Time // first expand event's instant
+	ExpandEnd         sim.Time // last upgrade's background-I/O drain instant
 }
 
 // RebuildDuration reports the wall-clock (simulated) span from the
@@ -68,6 +77,18 @@ func (s *FaultStats) RebuildDuration() sim.Time {
 		return 0
 	}
 	return s.RebuildEnd - s.RebuildStart
+}
+
+// UpgradeLatency reports the span from the first expand event to the
+// instant the last upgrade's background I/O — dirty write-backs or
+// live-block migrations — fully drained, 0 if no upgrade ran or none
+// issued background I/O. This is the interference KPI: how long the
+// upgrade competed with client traffic for the device queues.
+func (s *FaultStats) UpgradeLatency() sim.Time {
+	if s.ExpandEnd <= s.ExpandStart {
+		return 0
+	}
+	return s.ExpandEnd - s.ExpandStart
 }
 
 // faultState is the array-side fault machinery. It exists only while a
@@ -442,8 +463,20 @@ type FaultRuntime struct {
 	arr  *Array
 	vol  Volume
 	opt  FaultOptions
+	seed uint64
 	devs []*fault.Device
 	down int // devices currently routed around
+
+	// epoch counts fault-runtime incarnations: a crash-restart bumps it
+	// and every in-flight rebuild chain checks it, so chains belonging
+	// to the torn-down incarnation complete as timing only while the
+	// restarted incarnation re-walks from row zero.
+	epoch    uint64
+	rebuilds []*rebuildJob // active jobs, in start order
+
+	// deviceFactory constructs the devices expand events add to the
+	// array; without one, an expand event is a fatal plan error.
+	deviceFactory func(n int) []disk.Device
 
 	// crashSrc, when set, supplies the log image CrashRestart events
 	// recover from.
@@ -458,9 +491,24 @@ type FaultRuntime struct {
 // replay records are scheduled, so same-instant fault transitions
 // order ahead of record submissions at every pipeline setting. Call
 // once, before the replay starts.
-func InstallFaults(arr *Array, vol Volume, plan fault.Plan, opt FaultOptions) *FaultRuntime {
+//
+// The plan is validated against the array's width first: an event
+// targeting a device the array does not have (accounting for devices
+// expand events add) is an input error, reported here rather than
+// surfacing as a silent no-op deep in the disk layer. Expand events
+// additionally require a CRAID volume and a device factory
+// (SetDeviceFactory) before the first event fires.
+func InstallFaults(arr *Array, vol Volume, plan fault.Plan, opt FaultOptions) (*FaultRuntime, error) {
+	if err := plan.Validate(arr.Devices()); err != nil {
+		return nil, err
+	}
+	if plan.HasExpand() {
+		if _, ok := vol.(*CRAID); !ok {
+			return nil, fmt.Errorf("fault: expand events require a CRAID volume")
+		}
+	}
 	opt = opt.withDefaults()
-	rt := &FaultRuntime{arr: arr, vol: vol, opt: opt}
+	rt := &FaultRuntime{arr: arr, vol: vol, opt: opt, seed: plan.Seed}
 	arr.faults = &faultState{
 		retryBase:     opt.RetryBase,
 		maxAttempts:   opt.MaxAttempts,
@@ -477,7 +525,7 @@ func InstallFaults(arr *Array, vol Volume, plan fault.Plan, opt FaultOptions) *F
 	for _, ev := range plan.Events {
 		rt.schedule(ev)
 	}
-	return rt
+	return rt, nil
 }
 
 // Stats returns the runtime's counters (a live view; read after the
@@ -492,6 +540,12 @@ func (rt *FaultRuntime) Err() error { return rt.err }
 // from — e.g. a LogRing barrier over an in-memory mirror. Without one,
 // crash events restart the controller cold (all cached state lost).
 func (rt *FaultRuntime) SetCrashSource(fn func() (io.Reader, error)) { rt.crashSrc = fn }
+
+// SetDeviceFactory supplies the constructor expand events use to build
+// the n devices they add to the array. The factory runs on the sim
+// goroutine at the event's instant; device naming/indexing starts at
+// the array's width at that instant.
+func (rt *FaultRuntime) SetDeviceFactory(fn func(n int) []disk.Device) { rt.deviceFactory = fn }
 
 func (rt *FaultRuntime) schedule(ev fault.Event) {
 	eng := rt.arr.Eng
@@ -518,6 +572,63 @@ func (rt *FaultRuntime) schedule(ev fault.Event) {
 		eng.Schedule(ev.At, func() { rt.startRebuild(dev, rate) })
 	case fault.CrashRestart:
 		eng.Schedule(ev.At, func() { rt.crashRestart() })
+	case fault.Storm:
+		// A storm is sugar for N crash-restarts at a fixed cadence; each
+		// cycle schedules at install time so the sequence is bit-identical
+		// to spelling the crashes out individually.
+		for i := 0; i < ev.N; i++ {
+			eng.Schedule(ev.At+sim.Time(i)*ev.Every, func() { rt.crashRestart() })
+		}
+	case fault.Expand:
+		disks, retain := ev.Disks, ev.Retain
+		eng.Schedule(ev.At, func() { rt.expand(disks, retain) })
+	}
+}
+
+// expand fires an expand@ event: build the new devices, run the online
+// upgrade through the volume, arm injectors on the added devices, and
+// record the upgrade KPIs. The drain callback stamps ExpandEnd when the
+// upgrade's background I/O (write-backs or migrations) completes, which
+// together with ExpandStart yields the upgrade-latency KPI.
+func (rt *FaultRuntime) expand(disks int, retain bool) {
+	c, ok := rt.vol.(*CRAID)
+	if !ok {
+		rt.fatal(fmt.Errorf("fault: expand event requires a CRAID volume"))
+		return
+	}
+	if rt.deviceFactory == nil {
+		rt.fatal(fmt.Errorf("fault: expand event fired with no device factory installed"))
+		return
+	}
+	newDevs := rt.deviceFactory(disks)
+	if len(newDevs) != disks {
+		rt.fatal(fmt.Errorf("fault: device factory built %d device(s), expand wants %d", len(newDevs), disks))
+		return
+	}
+	f := rt.arr.faults
+	base := rt.arr.Devices()
+	if f.stats.ExpandStart == 0 {
+		f.stats.ExpandStart = rt.arr.Eng.Now()
+	}
+	st := c.ExpandWith(newDevs, retain, func(at sim.Time) {
+		if at > f.stats.ExpandEnd {
+			f.stats.ExpandEnd = at
+		}
+	})
+	f.stats.Upgrades++
+	f.stats.ExpandMigrated += st.Migrated
+	f.stats.ExpandWriteback += st.DirtyWriteback
+	f.stats.ExpandInvalidated += st.Invalidated
+	// The added devices join the fault fabric: failure routing state and
+	// deterministic injectors keyed by their final indices, so later
+	// events may target them.
+	f.ensure(rt.arr.Devices() - 1)
+	for i := base; i < rt.arr.Devices(); i++ {
+		d := fault.NewDevice(rt.seed, i)
+		rt.devs = append(rt.devs, d)
+		if fd, ok := rt.arr.Device(i).(disk.Faultable); ok {
+			fd.SetInjector(d)
+		}
 	}
 }
 
@@ -559,13 +670,18 @@ func (rt *FaultRuntime) spans() []*span {
 }
 
 // rebuildJob reconstructs one failed device: a sequence of per-span
-// stripe-row walks, paced to the configured rate.
+// stripe-row walks, paced to the configured rate. The epoch stamp is
+// the incarnation that launched the job: a crash-restart bumps the
+// runtime's epoch and relaunches active jobs from row zero, so a stale
+// job's in-flight chains complete as timing only.
 type rebuildJob struct {
 	rt       *FaultRuntime
 	dev      int
 	rateMBps float64
+	epoch    uint64
 	walks    []spanWalk
 	cur      int
+	lostRows int64 // rows this job declared unrecoverable
 	stepFn   func()
 }
 
@@ -596,7 +712,15 @@ func (rt *FaultRuntime) startRebuild(dev int, rateMBps float64) {
 	if f.stats.RebuildStart == 0 {
 		f.stats.RebuildStart = rt.arr.Eng.Now()
 	}
-	job := &rebuildJob{rt: rt, dev: dev, rateMBps: rateMBps}
+	rt.launchRebuild(dev, rateMBps)
+}
+
+// launchRebuild builds the walk job for dev and starts it. Shared by
+// startRebuild and the crash-restart relaunch path; the walks resolve
+// against the volume's current spans, so a post-crash relaunch walks
+// the rebuilt geometry.
+func (rt *FaultRuntime) launchRebuild(dev int, rateMBps float64) {
+	job := &rebuildJob{rt: rt, dev: dev, rateMBps: rateMBps, epoch: rt.epoch}
 	job.stepFn = job.step
 	for _, s := range rt.spans() {
 		if s.red == nil {
@@ -614,7 +738,18 @@ func (rt *FaultRuntime) startRebuild(dev int, rateMBps float64) {
 		}
 		job.walks = append(job.walks, spanWalk{s: s, w: raid.NewRebuildWalker(s.red, li)})
 	}
+	rt.rebuilds = append(rt.rebuilds, job)
 	job.step()
+}
+
+// unregister drops job from the active-rebuild registry.
+func (rt *FaultRuntime) unregister(job *rebuildJob) {
+	for i, j := range rt.rebuilds {
+		if j == job {
+			rt.rebuilds = append(rt.rebuilds[:i], rt.rebuilds[i+1:]...)
+			return
+		}
+	}
 }
 
 // rebuildBatchRows is how many consecutive stripe rows one rebuild step
@@ -627,8 +762,13 @@ func (rt *FaultRuntime) startRebuild(dev int, rateMBps float64) {
 const rebuildBatchRows = 8
 
 // step launches the next stripe-row batch, or finishes the rebuild when
-// every span walk is exhausted.
+// every span walk is exhausted. A stale epoch means a crash-restart
+// tore this job's incarnation down — the relaunched job owns the walk
+// now.
 func (r *rebuildJob) step() {
+	if r.epoch != r.rt.epoch {
+		return
+	}
 	for r.cur < len(r.walks) {
 		sw := r.walks[r.cur]
 		blk, n, rows, peers, ok := sw.w.NextRun(rebuildBatchRows)
@@ -639,7 +779,7 @@ func (r *rebuildJob) step() {
 		r.run(sw, blk, n, rows, peers)
 		return
 	}
-	r.rt.finishRebuild(r.dev)
+	r.finish()
 }
 
 // run reconstructs one batch of consecutive stripe rows: read the
@@ -655,10 +795,35 @@ func (r *rebuildJob) run(sw spanWalk, blk, n, rows int64, peers []int) {
 	start := eng.Now()
 	s := sw.s
 	dev := r.dev
+	// Re-plan around erasures that arrived since the rebuild began: every
+	// peer of this span's group that is down now is a further missing
+	// unit the decode must solve, on top of the device being rebuilt.
+	// Within the parity budget the batch proceeds with a deeper (and
+	// proportionally costlier) decode over the survivors; beyond it the
+	// rows of this span are unrecoverable and the walk aborts.
+	missing := 1
+	for _, p := range peers {
+		if d := s.disks[p]; d != dev && rt.arr.deviceDown(d) {
+			missing++
+		}
+	}
+	if missing > s.red.ParityUnits() {
+		r.abortWalk(sw, rows)
+		return
+	}
 	pace := sim.Time(float64(n*disk.BlockSize) * 1000 / r.rateMBps)
 	sub := rt.arr.newJoin(func(sim.Time) {
-		eng.After(f.reconPerBlock*sim.Time(n), func() {
+		if r.epoch != rt.epoch {
+			return
+		}
+		eng.After(f.reconPerBlock*sim.Time(n)*sim.Time(missing), func() {
+			if r.epoch != rt.epoch {
+				return
+			}
 			wr := rt.arr.newJoin(func(sim.Time) {
+				if r.epoch != rt.epoch {
+					return
+				}
 				f.stats.RebuildRows += rows
 				f.stats.RebuildBlocks += n
 				next := start + pace
@@ -682,13 +847,40 @@ func (r *rebuildJob) run(sw spanWalk, blk, n, rows int64, peers []int) {
 	sub.seal(eng.Now())
 }
 
-// finishRebuild rejoins the device: client I/O routes to it again.
-func (rt *FaultRuntime) finishRebuild(dev int) {
+// abortWalk declares the current span walk unrecoverable — a further
+// erasure pushed the group past its parity budget mid-rebuild. The
+// current batch and every row the walk had not reached count as lost,
+// and the job moves on to its remaining spans (whose groups may still
+// be within budget).
+func (r *rebuildJob) abortWalk(sw spanWalk, rows int64) {
+	lost := rows
+	for {
+		_, _, rr, _, ok := sw.w.NextRun(sw.w.Rows())
+		if !ok {
+			break
+		}
+		lost += rr
+	}
+	r.lostRows += lost
+	r.rt.arr.faults.stats.RebuildLostRows += lost
+	r.cur++
+	r.step()
+}
+
+// finish completes the job. A clean job rejoins the device — client I/O
+// routes to it again; a job that lost rows leaves the device routed
+// around forever, because the spare's content is incomplete.
+func (r *rebuildJob) finish() {
+	rt := r.rt
 	f := rt.arr.faults
-	f.failed[dev] = false
+	f.stats.RebuildEnd = rt.arr.Eng.Now()
+	rt.unregister(r)
+	if r.lostRows > 0 {
+		return
+	}
+	f.failed[r.dev] = false
 	rt.down--
 	rt.setDegraded()
-	f.stats.RebuildEnd = rt.arr.Eng.Now()
 }
 
 func (rt *FaultRuntime) crashRestart() {
@@ -714,6 +906,18 @@ func (rt *FaultRuntime) crashRestart() {
 	f := rt.arr.faults
 	f.stats.Restarts++
 	f.stats.RecoveredMappings += int64(n)
+	// Tear down in-flight rebuild chains — they died with the controller
+	// incarnation — and relaunch each active rebuild from row zero
+	// against the recovered geometry, in start order.
+	rt.epoch++
+	if len(rt.rebuilds) > 0 {
+		old := rt.rebuilds
+		rt.rebuilds = nil
+		for _, j := range old {
+			f.stats.RebuildRestarts++
+			rt.launchRebuild(j.dev, j.rateMBps)
+		}
+	}
 }
 
 // fatal records the first unrecoverable fault-processing error and

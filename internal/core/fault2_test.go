@@ -1,0 +1,601 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"craid/internal/disk"
+	"craid/internal/fault"
+	"craid/internal/mapcache"
+	"craid/internal/raid"
+	"craid/internal/sim"
+	"craid/internal/trace"
+)
+
+// testFaultClass is the CRAID_TEST_FAULT knob: which fault-scenario
+// class ("single", "double", "storm", "expand") this CI cell sweeps
+// across the full pipeline matrix. Determinism tests of the other
+// classes trim to one deep corner cell, so a matrix job stays bounded
+// while every class still runs everywhere.
+func testFaultClass() string {
+	return os.Getenv("CRAID_TEST_FAULT")
+}
+
+// sweepFaultMatrix drives run over the acceptance matrix — shards
+// {1,2,5,16} × workers {1,2,8} × lookahead {0,1,2} × affinity
+// {off,on} — skipping the (1,1,0,off) reference cell the caller
+// already replayed. Under the race detector the affinity dimension
+// collapses to the CRAID_TEST_AFFINITY baseline, and when another
+// fault class owns this CI cell the whole sweep collapses to one deep
+// corner.
+func sweepFaultMatrix(t *testing.T, class string, run func(shards, workers, lookahead int, affinity bool)) {
+	t.Helper()
+	if knob := testFaultClass(); knob != "" && knob != class {
+		run(16, 8, testLookahead(), testAffinity())
+		return
+	}
+	affinities := []bool{false, true}
+	if raceEnabled {
+		affinities = []bool{testAffinity()}
+	}
+	for _, shards := range []int{1, 2, 5, 16} {
+		for _, workers := range []int{1, 2, 8} {
+			for _, lookahead := range []int{0, 1, 2} {
+				for _, affinity := range affinities {
+					if shards == 1 && workers == 1 && lookahead == 0 && !affinity {
+						continue
+					}
+					run(shards, workers, lookahead, affinity)
+				}
+			}
+		}
+	}
+}
+
+// newMQCRAID6Affinity is the double-fault rig: a 6-disk shared-cache
+// CRAID whose cache and archive partitions are both RAID-6, so two
+// overlapping erasures stay within the parity budget.
+func newMQCRAID6Affinity(eng *sim.Engine, cachePerDisk int64, shards, workers, lookahead int, affinity bool) (*CRAID, *Array) {
+	arr := nullArray(eng, 6, 100000)
+	disks := []int{0, 1, 2, 3, 4, 5}
+	paLayout := raid.NewRAID6(6, 6, 4096, 4)
+	c := mustCRAID(arr, Config{
+		Policy:         "WLRU",
+		CachePerDisk:   cachePerDisk,
+		ParityGroup:    6,
+		StripeUnit:     4,
+		Level:          PCRaid6,
+		MapShards:      shards,
+		MonitorWorkers: workers,
+		PlanLookahead:  lookahead,
+		WorkerAffinity: affinity,
+	}, true, disks, 0, paLayout, disks, cachePerDisk)
+	return c, arr
+}
+
+// replayFaultRig is replayFaultMQAffinity over an arbitrary controller
+// rig, for the compound scenarios that need RAID-6 geometry.
+func replayFaultRig(t *testing.T, rig func(*sim.Engine, int64, int, int, int, bool) (*CRAID, *Array),
+	recs []trace.Record, spec string, shards, workers, lookahead int, affinity bool) (mqOutcome, FaultStats, []disk.Stats) {
+	t.Helper()
+	plan, err := fault.ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	c, arr := rig(eng, 64, shards, workers, lookahead, affinity)
+	rt, err := InstallFaults(arr, c, plan, testFaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.HasExpand() {
+		rt.SetDeviceFactory(nullFactory(eng))
+	}
+	n, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(recs)) {
+		t.Fatalf("replayed %d of %d", n, len(recs))
+	}
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	r, w := ioTotals(arr)
+	devs := make([]disk.Stats, arr.Devices())
+	for i := range devs {
+		devs[i] = *arr.Device(i).Stats()
+	}
+	return mqOutcome{
+		stats: *c.Stats(), reads: r, writes: w, maps: c.table.Len(),
+		readLat:  c.ReadLatency().String(),
+		writeLat: c.WriteLatency().String(),
+	}, *rt.Stats(), devs
+}
+
+// TestDoubleFaultDeterminismAcrossPipelines is the compound-failure
+// acceptance property: a second disk dies while the first one's
+// rebuild is walking, a crash-restart tears the rebuild down mid-walk,
+// and a second rebuild overlaps the restarted first — and the whole
+// outcome is bit-identical at every pipeline setting. RAID-6 keeps the
+// double erasure within budget, so nothing is lost and the walker
+// re-plans (deeper decode) instead of aborting.
+func TestDoubleFaultDeterminismAcrossPipelines(t *testing.T) {
+	const spec = "seed=9;fail:1@4ms;rebuild:1@6ms,rate=64;fail:4@9ms;crash@30ms;rebuild:4@40ms,rate=64"
+	recs := randomWorkload(13, 2500, 12000)
+	ref, refFaults, refDevs := replayFaultRig(t, newMQCRAID6Affinity, recs, spec, 1, 1, 0, false)
+	if refFaults.Failures != 2 || refFaults.Restarts != 1 {
+		t.Fatalf("plan did not exercise the compound fabric: %+v", refFaults)
+	}
+	if refFaults.RebuildRestarts == 0 {
+		t.Fatalf("crash did not restart the active rebuild: %+v", refFaults)
+	}
+	if refFaults.LostExtents != 0 || refFaults.RebuildLostRows != 0 {
+		t.Fatalf("RAID-6 double fault lost data: %+v", refFaults)
+	}
+	sweepFaultMatrix(t, "double", func(shards, workers, lookahead int, affinity bool) {
+		got, gotFaults, gotDevs := replayFaultRig(t, newMQCRAID6Affinity, recs, spec, shards, workers, lookahead, affinity)
+		if got != ref {
+			t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: controller outcome diverged",
+				shards, workers, lookahead, affinity)
+		}
+		if gotFaults != refFaults {
+			t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: fault stats diverged\n  got  %+v\n  want %+v",
+				shards, workers, lookahead, affinity, gotFaults, refFaults)
+		}
+		if !reflect.DeepEqual(gotDevs, refDevs) {
+			t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: device counters diverged",
+				shards, workers, lookahead, affinity)
+		}
+	})
+}
+
+// TestStormDeterminismAcrossPipelines pins a crash-restart storm plus a
+// heterogeneous per-device sub-plan to bit-identical outcomes across
+// the pipeline matrix.
+func TestStormDeterminismAcrossPipelines(t *testing.T) {
+	const spec = "seed=9;dev:1{transient@2ms-30ms,rate=0.05,lat=2};storm:crash@10ms,n=3,every=8ms"
+	recs := randomWorkload(11, 3000, 12000)
+	ref, refFaults, refDevs := replayFaultMQAffinity(t, recs, spec, 1, 1, 0, false)
+	if refFaults.Restarts != 3 {
+		t.Fatalf("storm fired %d restarts, want 3: %+v", refFaults.Restarts, refFaults)
+	}
+	if refFaults.Transients == 0 {
+		t.Fatalf("device sub-plan injected nothing: %+v", refFaults)
+	}
+	sweepFaultMatrix(t, "storm", func(shards, workers, lookahead int, affinity bool) {
+		got, gotFaults, gotDevs := replayFaultMQAffinity(t, recs, spec, shards, workers, lookahead, affinity)
+		if got != ref {
+			t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: controller outcome diverged",
+				shards, workers, lookahead, affinity)
+		}
+		if gotFaults != refFaults {
+			t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: fault stats diverged",
+				shards, workers, lookahead, affinity)
+		}
+		if !reflect.DeepEqual(gotDevs, refDevs) {
+			t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: device counters diverged",
+				shards, workers, lookahead, affinity)
+		}
+	})
+}
+
+// TestExpandUnderLoadDeterminismAcrossPipelines pins a mid-replay
+// retain upgrade — followed by the death and rebuild of one of the
+// devices the upgrade added — to bit-identical outcomes across the
+// pipeline matrix.
+func TestExpandUnderLoadDeterminismAcrossPipelines(t *testing.T) {
+	const spec = "seed=9;expand@6ms,disks=2,retain;fail:4@12ms;rebuild:4@16ms,rate=64"
+	recs := randomWorkload(17, 3000, 12000)
+	ref, refFaults, refDevs := replayFaultMQAffinity(t, recs, spec, 1, 1, 0, false)
+	if refFaults.Upgrades != 1 || refFaults.ExpandMigrated == 0 {
+		t.Fatalf("retain upgrade did not migrate: %+v", refFaults)
+	}
+	if refFaults.Failures != 1 || refFaults.RebuildRows == 0 {
+		t.Fatalf("post-expand failure did not rebuild: %+v", refFaults)
+	}
+	if refFaults.LostExtents != 0 {
+		t.Fatalf("expansion scenario lost extents: %+v", refFaults)
+	}
+	if len(refDevs) != 6 {
+		t.Fatalf("array holds %d devices, want 6 after the upgrade", len(refDevs))
+	}
+	sweepFaultMatrix(t, "expand", func(shards, workers, lookahead int, affinity bool) {
+		got, gotFaults, gotDevs := replayFaultMQAffinity(t, recs, spec, shards, workers, lookahead, affinity)
+		if got != ref {
+			t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: controller outcome diverged",
+				shards, workers, lookahead, affinity)
+		}
+		if gotFaults != refFaults {
+			t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: fault stats diverged\n  got  %+v\n  want %+v",
+				shards, workers, lookahead, affinity, gotFaults, refFaults)
+		}
+		if !reflect.DeepEqual(gotDevs, refDevs) {
+			t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: device counters diverged",
+				shards, workers, lookahead, affinity)
+		}
+	})
+}
+
+// TestRebuildDoubleFaultRAID6RePlansAroundSecondErasure pins the
+// mid-rebuild re-plan against a brute-force reference on a quiet
+// array: the rebuild's batch schedule is exact (null devices, paced
+// starts), so the reference walks the batch start times, decides per
+// batch how many peers survive the second erasure, and predicts
+// PeerReads and the rebuild's completion instant to the nanosecond.
+func TestRebuildDoubleFaultRAID6RePlansAroundSecondErasure(t *testing.T) {
+	const (
+		deadA   = 1
+		deadB   = 4
+		rate    = 64.0
+		tFail   = 1 * sim.Millisecond
+		tBuild  = 2 * sim.Millisecond
+		tSecond = 5 * sim.Millisecond
+	)
+	eng := sim.NewEngine()
+	arr := nullArray(eng, 6, 10000)
+	lay := raid.NewRAID6(6, 6, 160, 4)
+	ctl := NewRAIDController(arr, lay, []int{0, 1, 2, 3, 4, 5}, 0)
+	rt := installPlan(t, arr, ctl,
+		"seed=1;fail:1@1ms;rebuild:1@2ms,rate=64;fail:4@5ms")
+
+	rows := lay.BlocksPerDisk() / lay.StripeUnitBlocks()
+	peers := int64(len(lay.DiskPeers(deadA, nil)))
+	// Brute-force schedule walk: batch k starts at tBuild + k*pace (the
+	// per-batch service time on null devices is just the decode charge,
+	// well under the pace), reads one unit run from every peer alive at
+	// its start, and solves one or two erasures accordingly.
+	var wantPeer, remaining int64 = 0, rows
+	start := tBuild
+	pace := sim.Time(float64(int64(rebuildBatchRows)*lay.StripeUnitBlocks()*disk.BlockSize) * 1000 / rate)
+	for remaining > 0 {
+		batchRows := int64(rebuildBatchRows)
+		if remaining < batchRows {
+			batchRows = remaining
+		}
+		remaining -= batchRows
+		missing := int64(1)
+		if start >= tSecond {
+			missing = 2
+		}
+		wantPeer += peers - (missing - 1)
+		// The next step — the one that notices the walk is done and
+		// finishes the rebuild — is paced off this batch's start.
+		start += pace
+	}
+	wantEnd := start
+
+	st := rt.Stats()
+	if st.RebuildRows != rows || st.RebuildLostRows != 0 {
+		t.Fatalf("rebuild covered %d rows (lost %d), want all %d", st.RebuildRows, st.RebuildLostRows, rows)
+	}
+	if st.PeerReads != wantPeer {
+		t.Fatalf("rebuild issued %d peer reads, brute-force reference wants %d", st.PeerReads, wantPeer)
+	}
+	if st.RebuildEnd != wantEnd {
+		t.Fatalf("rebuild finished at %v, reference wants %v", st.RebuildEnd, wantEnd)
+	}
+	// The rebuilt device rejoined; the un-rebuilt second casualty did
+	// not, and its blocks still reconstruct (within RAID-6's budget).
+	if s := arr.Device(deadA).Stats(); s.Writes == 0 {
+		t.Fatal("spare received no rebuild writes")
+	}
+	for b := int64(0); b < lay.DataBlocks(); b++ {
+		if lay.Locate(b).Disk == deadB {
+			if got := submitAndRun(eng, ctl, disk.OpRead, b, 1); got == 0 {
+				t.Fatalf("block %d on the un-rebuilt disk served natively", b)
+			}
+			break
+		}
+	}
+	if st.LostExtents != 0 {
+		t.Fatalf("RAID-6 double fault lost %d extents", st.LostExtents)
+	}
+}
+
+// TestRebuildDoubleFaultRAID5AbortsAtParityBudget pins the loss
+// boundary: on RAID-5 a second erasure mid-rebuild exceeds the parity
+// budget exactly at the batch where it lands — the rows already walked
+// stay counted, every remaining row counts lost, the walk aborts at
+// that batch's start instant, and the device never rejoins.
+func TestRebuildDoubleFaultRAID5AbortsAtParityBudget(t *testing.T) {
+	const (
+		deadA   = 1
+		rate    = 64.0
+		tBuild  = 2 * sim.Millisecond
+		tSecond = 5 * sim.Millisecond
+	)
+	eng := sim.NewEngine()
+	arr := nullArray(eng, 4, 10000)
+	lay := raid.NewRAID5(4, 4, 160, 4)
+	ctl := NewRAIDController(arr, lay, []int{0, 1, 2, 3}, 0)
+	rt := installPlan(t, arr, ctl,
+		"seed=1;fail:1@1ms;rebuild:1@2ms,rate=64;fail:3@5ms")
+
+	rows := lay.BlocksPerDisk() / lay.StripeUnitBlocks()
+	pace := sim.Time(float64(int64(rebuildBatchRows)*lay.StripeUnitBlocks()*disk.BlockSize) * 1000 / rate)
+	// Reference: batches starting before the second failure complete;
+	// the first batch at or after it aborts the walk.
+	var wantRows int64
+	start := tBuild
+	for start < tSecond && wantRows < rows {
+		batch := int64(rebuildBatchRows)
+		if rows-wantRows < batch {
+			batch = rows - wantRows
+		}
+		wantRows += batch
+		start += pace
+	}
+	st := rt.Stats()
+	if st.RebuildRows != wantRows {
+		t.Fatalf("rebuild walked %d rows before the abort, reference wants %d", st.RebuildRows, wantRows)
+	}
+	if want := rows - wantRows; st.RebuildLostRows != want {
+		t.Fatalf("RebuildLostRows = %d, reference wants %d", st.RebuildLostRows, want)
+	}
+	if st.RebuildEnd != start {
+		t.Fatalf("walk aborted at %v, reference wants %v", st.RebuildEnd, start)
+	}
+	// The device never rejoins: a read of one of its blocks is beyond
+	// redundancy with the second disk also down.
+	for b := int64(0); b < lay.DataBlocks(); b++ {
+		if lay.Locate(b).Disk == deadA {
+			err := ctl.Submit(trace.Record{Op: disk.OpRead, Block: b, Count: 1}, func(sim.Time) {})
+			eng.Run()
+			var lost *LostError
+			if !errors.As(err, &lost) {
+				t.Fatalf("post-abort read of block %d: err = %v, want LostError", b, err)
+			}
+			break
+		}
+	}
+}
+
+// TestCrashDuringRebuildRestartsFromRowZero pins the crash/rebuild
+// interaction exactly: the crash tears down the in-flight walk
+// (stale-epoch chains complete as timing only) and relaunches it from
+// row zero at the crash instant, so the total rows counted are the
+// pre-crash progress plus one full re-walk, and the batch schedule
+// after the crash is exact.
+func TestCrashDuringRebuildRestartsFromRowZero(t *testing.T) {
+	const (
+		rate   = 64.0
+		tBuild = 2 * sim.Millisecond
+		tCrash = 5 * sim.Millisecond
+	)
+	eng := sim.NewEngine()
+	arr := nullArray(eng, 4, 100000)
+	disks := []int{0, 1, 2, 3}
+	paLayout := raid.NewRAID5(4, 4, 160, 4)
+	c := mustCRAID(arr, Config{
+		Policy:       "WLRU",
+		CachePerDisk: 64,
+		ParityGroup:  4,
+		StripeUnit:   4,
+	}, true, disks, 0, paLayout, disks, 64)
+	rt := installPlan(t, arr, c, "seed=1;fail:1@1ms;rebuild:1@2ms,rate=64;crash@5ms")
+
+	// Rows per walk: the cache partition's then the archive's.
+	pcRows := c.pc.red.BlocksPerDisk() / c.pc.red.StripeUnitBlocks()
+	paRows := paLayout.BlocksPerDisk() / paLayout.StripeUnitBlocks()
+	total := pcRows + paRows
+	pace := sim.Time(float64(int64(rebuildBatchRows)*4*disk.BlockSize) * 1000 / rate)
+	// Pre-crash progress: batches whose completion (start + decode
+	// charge, null devices) lands before the crash.
+	var preRows, walked int64
+	start := tBuild
+	for walked < total {
+		left := pcRows - walked
+		if walked >= pcRows {
+			left = total - walked
+		}
+		batch := int64(rebuildBatchRows)
+		if left < batch {
+			batch = left
+		}
+		done := start + testFaultOptions.ReconPerBlock*sim.Time(batch*4)
+		if done >= tCrash {
+			break
+		}
+		preRows += batch
+		walked += batch
+		start += pace
+	}
+	st := rt.Stats()
+	if st.Restarts != 1 || st.RebuildRestarts != 1 {
+		t.Fatalf("crash/restart counters %+v, want 1 restart of 1 rebuild", st)
+	}
+	if want := preRows + total; st.RebuildRows != want {
+		t.Fatalf("RebuildRows = %d, want %d pre-crash + %d re-walked", st.RebuildRows, preRows, total)
+	}
+	if st.RebuildLostRows != 0 {
+		t.Fatalf("restarted rebuild lost %d rows", st.RebuildLostRows)
+	}
+	// The re-walk starts at the crash instant and paces batch starts
+	// from there; the finishing step runs one pace after the last
+	// batch's start: tCrash + batches*pace.
+	batches := (pcRows + rebuildBatchRows - 1) / rebuildBatchRows
+	batches += (paRows + rebuildBatchRows - 1) / rebuildBatchRows
+	wantEnd := tCrash + sim.Time(batches)*pace
+	if st.RebuildEnd != wantEnd {
+		t.Fatalf("restarted rebuild finished at %v, reference wants %v", st.RebuildEnd, wantEnd)
+	}
+	// The device rejoined after the re-walk.
+	if got := submitAndRun(eng, c, disk.OpRead, 0, 1); got != 0 {
+		t.Fatalf("post-rebuild read took %v on instant devices", got)
+	}
+}
+
+// TestStormMatchesExplicitCrashes pins the storm generator as pure
+// sugar: storm:crash@T,n=K,every=D produces the bit-identical run to
+// spelling the K crashes out individually.
+func TestStormMatchesExplicitCrashes(t *testing.T) {
+	recs := randomWorkload(19, 2500, 12000)
+	storm, stormFaults, stormDevs := replayFaultMQAffinity(t, recs,
+		"seed=5;storm:crash@10ms,n=3,every=7ms", 2, 2, testLookahead(), testAffinity())
+	flat, flatFaults, flatDevs := replayFaultMQAffinity(t, recs,
+		"seed=5;crash@10ms;crash@17ms;crash@24ms", 2, 2, testLookahead(), testAffinity())
+	if stormFaults.Restarts != 3 {
+		t.Fatalf("storm fired %d restarts, want 3", stormFaults.Restarts)
+	}
+	if storm != flat || stormFaults != flatFaults || !reflect.DeepEqual(stormDevs, flatDevs) {
+		t.Fatal("storm run diverged from the explicit-crash spelling")
+	}
+}
+
+// TestCrashRestartStormLogRingMatchesSyncControl is the K-cycle
+// crash/recover property: a storm of crash-restart cycles over one
+// trace, each recovering from a LogRing Barrier'd in-memory mirror,
+// produces the same final Stats, fault counters, dirty mapping state,
+// histograms and log byte stream as the synchronous-log control run of
+// the same storm — the ring changes scheduling, never contents, even
+// when the controller dies K times.
+func TestCrashRestartStormLogRingMatchesSyncControl(t *testing.T) {
+	recs := randomWorkload(31, 4000, 12000)
+	const spec = "seed=5;storm:crash@12ms,n=4,every=9ms"
+
+	type outcome struct {
+		faults FaultStats
+		stats  Stats
+		dirty  []mapcache.Mapping
+		rd, wr string
+	}
+	run := func(useRing bool) (outcome, []byte) {
+		plan, err := fault.ParsePlan(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.NewEngine()
+		c, arr := newMQCRAID(eng, 64, 16, 8, testLookahead())
+		var log bytes.Buffer
+		var ring *mapcache.LogRing
+		if useRing {
+			ring = mapcache.NewLogRing(&log, 512, 3)
+			c.SetMappingLog(ring)
+		} else {
+			c.SetMappingLog(&log)
+		}
+		rt, err := InstallFaults(arr, c, plan, testFaultOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.SetCrashSource(func() (io.Reader, error) {
+			if ring != nil {
+				if err := ring.Barrier(); err != nil {
+					return nil, err
+				}
+			}
+			return bytes.NewReader(log.Bytes()), nil
+		})
+		if _, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if ring != nil {
+			if err := ring.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return outcome{
+			faults: *rt.Stats(),
+			stats:  *c.Stats(),
+			dirty:  c.table.DirtyMappings(),
+			rd:     c.ReadLatency().String(),
+			wr:     c.WriteLatency().String(),
+		}, log.Bytes()
+	}
+
+	sync, syncLog := run(false)
+	ringO, ringLog := run(true)
+	if sync.faults.Restarts != 4 {
+		t.Fatalf("storm fired %d restarts, want 4: %+v", sync.faults.Restarts, sync.faults)
+	}
+	if sync.faults.RecoveredMappings == 0 {
+		t.Fatal("no cycle recovered mappings; the workload should have dirtied the cache")
+	}
+	if ringO.faults != sync.faults {
+		t.Errorf("fault stats diverged over %d cycles:\n  ring %+v\n  sync %+v",
+			sync.faults.Restarts, ringO.faults, sync.faults)
+	}
+	if ringO.stats != sync.stats {
+		t.Error("controller stats diverged between ring and sync logs")
+	}
+	if !reflect.DeepEqual(ringO.dirty, sync.dirty) {
+		t.Error("post-storm dirty mapping state diverged")
+	}
+	if ringO.rd != sync.rd || ringO.wr != sync.wr {
+		t.Error("latency histograms diverged")
+	}
+	if !bytes.Equal(syncLog, ringLog) {
+		t.Errorf("log byte streams diverged (%d vs %d bytes)", len(syncLog), len(ringLog))
+	}
+}
+
+// TestInstallFaultsValidatesDeviceIndices pins the install-time width
+// check (satellite: today an out-of-range device was a silent no-op
+// deep in the disk layer) and the expand-requires-CRAID gate.
+func TestInstallFaultsValidatesDeviceIndices(t *testing.T) {
+	eng := sim.NewEngine()
+	arr := nullArray(eng, 4, 10000)
+	lay := raid.NewRAID5(4, 4, 160, 4)
+	ctl := NewRAIDController(arr, lay, []int{0, 1, 2, 3}, 0)
+
+	plan, err := fault.ParsePlan("seed=1;fail:9@1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InstallFaults(arr, ctl, plan, FaultOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "device 9") {
+		t.Fatalf("out-of-range device accepted at install: %v", err)
+	}
+
+	// With an expand event widening the array first, the same index is
+	// legal — but expansion itself needs a CRAID volume.
+	plan, err = fault.ParsePlan("seed=1;expand@1ms,disks=6;fail:9@2ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InstallFaults(arr, ctl, plan, FaultOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "CRAID") {
+		t.Fatalf("expand on a plain RAID controller accepted: %v", err)
+	}
+}
+
+// TestExpandInvalidateMidReplayWritesBackDirty exercises the
+// non-retain upgrade mid-replay: dirty mappings are written back, the
+// cache restarts cold on the wider array, and the upgrade KPIs record
+// the write-back volume.
+func TestExpandInvalidateMidReplayWritesBackDirty(t *testing.T) {
+	recs := randomWorkload(23, 3000, 12000)
+	_, faults, devs := replayFaultMQAffinity(t, recs,
+		"seed=3;expand@8ms,disks=1", 2, 2, testLookahead(), testAffinity())
+	if faults.Upgrades != 1 {
+		t.Fatalf("Upgrades = %d, want 1", faults.Upgrades)
+	}
+	if faults.ExpandInvalidated == 0 || faults.ExpandWriteback == 0 {
+		t.Fatalf("invalidating upgrade moved nothing: %+v", faults)
+	}
+	if faults.ExpandMigrated != 0 {
+		t.Fatalf("invalidating upgrade migrated %d blocks", faults.ExpandMigrated)
+	}
+	if len(devs) != 5 {
+		t.Fatalf("array holds %d devices, want 5", len(devs))
+	}
+	// The new device joined the cache partition and received traffic.
+	if devs[4].Reads+devs[4].Writes == 0 {
+		t.Fatal("expansion device saw no I/O")
+	}
+	if faults.ExpandStart != 8*sim.Millisecond {
+		t.Fatalf("ExpandStart = %v, want 8ms", faults.ExpandStart)
+	}
+	if faults.ExpandEnd < faults.ExpandStart {
+		t.Fatalf("ExpandEnd %v precedes ExpandStart %v", faults.ExpandEnd, faults.ExpandStart)
+	}
+}

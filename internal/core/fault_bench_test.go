@@ -57,7 +57,40 @@ func BenchmarkReplayDegraded(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		eng := sim.NewEngine()
 		c, arr := newMQCRAIDAffinity(eng, 64, shards, workers, lookahead, affinity)
-		rt := InstallFaults(arr, c, plan, FaultOptions{})
+		rt, err := InstallFaults(arr, c, plan, FaultOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{}); err != nil {
+			b.Fatal(err)
+		}
+		if err := rt.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayDoubleFault times the compound-failure path: a second
+// disk dies while the first one's rebuild is walking a RAID-6 cache
+// partition, so the fabric re-plans every remaining batch around two
+// erasures and client I/O pays double-degraded reconstruction
+// throughout.
+func BenchmarkReplayDoubleFault(b *testing.B) {
+	recs := randomWorkload(5, 2000, 12000)
+	plan, err := fault.ParsePlan("seed=9;fail:2@0s;rebuild:2@5ms,rate=64;fail:4@8ms")
+	if err != nil {
+		b.Fatal(err)
+	}
+	shards, workers, lookahead, affinity := benchFaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		c, arr := newMQCRAID6Affinity(eng, 64, shards, workers, lookahead, affinity)
+		rt, err := InstallFaults(arr, c, plan, FaultOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if _, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{}); err != nil {
 			b.Fatal(err)
 		}

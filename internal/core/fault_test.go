@@ -32,9 +32,24 @@ func installPlan(t *testing.T, arr *Array, vol Volume, spec string) *FaultRuntim
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt := InstallFaults(arr, vol, plan, testFaultOptions)
+	rt, err := InstallFaults(arr, vol, plan, testFaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
 	arr.Eng.Run()
 	return rt
+}
+
+// nullFactory is the device factory core tests hand to expand plans:
+// null devices like the rest of the test array's.
+func nullFactory(eng *sim.Engine) func(n int) []disk.Device {
+	return func(n int) []disk.Device {
+		out := make([]disk.Device, n)
+		for i := range out {
+			out[i] = disk.NewNullDevice(eng, "null", 100000)
+		}
+		return out
+	}
 }
 
 // replayFaultMQ replays recs on a fresh multi-queue CRAID with spec
@@ -54,7 +69,13 @@ func replayFaultMQAffinity(t *testing.T, recs []trace.Record, spec string, shard
 	}
 	eng := sim.NewEngine()
 	c, arr := newMQCRAIDAffinity(eng, 64, shards, workers, lookahead, affinity)
-	rt := InstallFaults(arr, c, plan, testFaultOptions)
+	rt, err := InstallFaults(arr, c, plan, testFaultOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.HasExpand() {
+		rt.SetDeviceFactory(nullFactory(eng))
+	}
 	n, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -94,34 +115,21 @@ func TestFaultDeterminismAcrossPipelines(t *testing.T) {
 	if refFaults.LostExtents != 0 {
 		t.Fatalf("single failure lost %d extents", refFaults.LostExtents)
 	}
-	affinities := []bool{false, true}
-	if raceEnabled {
-		affinities = []bool{testAffinity()}
-	}
-	for _, shards := range []int{1, 2, 5, 16} {
-		for _, workers := range []int{1, 2, 8} {
-			for _, lookahead := range []int{0, 1, 2} {
-				for _, affinity := range affinities {
-					if shards == 1 && workers == 1 && lookahead == 0 && !affinity {
-						continue
-					}
-					got, gotFaults, gotDevs := replayFaultMQAffinity(t, recs, spec, shards, workers, lookahead, affinity)
-					if got != ref {
-						t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: controller outcome diverged",
-							shards, workers, lookahead, affinity)
-					}
-					if gotFaults != refFaults {
-						t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: fault stats diverged:\n  %+v\n  %+v",
-							shards, workers, lookahead, affinity, gotFaults, refFaults)
-					}
-					if !reflect.DeepEqual(gotDevs, refDevs) {
-						t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: device counters diverged",
-							shards, workers, lookahead, affinity)
-					}
-				}
-			}
+	sweepFaultMatrix(t, "single", func(shards, workers, lookahead int, affinity bool) {
+		got, gotFaults, gotDevs := replayFaultMQAffinity(t, recs, spec, shards, workers, lookahead, affinity)
+		if got != ref {
+			t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: controller outcome diverged",
+				shards, workers, lookahead, affinity)
 		}
-	}
+		if gotFaults != refFaults {
+			t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: fault stats diverged:\n  %+v\n  %+v",
+				shards, workers, lookahead, affinity, gotFaults, refFaults)
+		}
+		if !reflect.DeepEqual(gotDevs, refDevs) {
+			t.Errorf("shards=%d workers=%d lookahead=%d affinity=%v: device counters diverged",
+				shards, workers, lookahead, affinity)
+		}
+	})
 }
 
 // TestFaultHealthyPlanLeavesRunUntouched pins that arming an empty
@@ -528,7 +536,10 @@ func TestCrashRestartLogRingMatchesSyncControl(t *testing.T) {
 		} else {
 			c.SetMappingLog(&log)
 		}
-		rt := InstallFaults(arr, c, plan, testFaultOptions)
+		rt, err := InstallFaults(arr, c, plan, testFaultOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
 		rt.SetCrashSource(func() (io.Reader, error) {
 			if ring != nil {
 				if err := ring.Barrier(); err != nil {

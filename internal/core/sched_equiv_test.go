@@ -65,7 +65,10 @@ func TestSchedulerDegradedReplayBitIdentical(t *testing.T) {
 		withScheduler(kind, func() {
 			eng := sim.NewEngine()
 			c, arr := newMQCRAIDAffinity(eng, 64, shards, workers, lookahead, affinity)
-			rt := InstallFaults(arr, c, plan, FaultOptions{})
+			rt, err := InstallFaults(arr, c, plan, FaultOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
 			if _, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{}); err != nil {
 				t.Fatal(err)
 			}
@@ -89,5 +92,57 @@ func TestSchedulerDegradedReplayBitIdentical(t *testing.T) {
 	}
 	if wheelFS != heapFS {
 		t.Errorf("fault stats diverged between schedulers\nwheel %+v\nheap  %+v", wheelFS, heapFS)
+	}
+}
+
+// TestSchedulerCompoundFaultBitIdentical extends the wheel-vs-heap pin
+// to the compound fabric: a heterogeneous per-device sub-plan, a
+// mid-replay retain upgrade, and a crash-restart storm in one run.
+// Upgrade drain joins, storm cycles and the injector windows all ride
+// timed events, so FaultStats — including the upgrade KPIs — must
+// agree along with the controller outcome.
+func TestSchedulerCompoundFaultBitIdentical(t *testing.T) {
+	recs := randomWorkload(21, 2000, 12000)
+	plan, err := fault.ParsePlan(
+		"seed=9;dev:1{transient@2ms-30ms,rate=0.05,lat=2};expand@6ms,disks=2,retain;storm:crash@12ms,n=2,every=8ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, workers, lookahead, affinity := benchFaultParams()
+	run := func(kind sim.SchedulerKind) (out mqOutcome, fs FaultStats) {
+		withScheduler(kind, func() {
+			eng := sim.NewEngine()
+			c, arr := newMQCRAIDAffinity(eng, 64, shards, workers, lookahead, affinity)
+			rt, err := InstallFaults(arr, c, plan, FaultOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt.SetDeviceFactory(nullFactory(eng))
+			if _, _, err := ReplayWith(eng, c, trace.NewSlice(recs), ReplayConfig{}); err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.Err(); err != nil {
+				t.Fatal(err)
+			}
+			r, w := ioTotals(arr)
+			out = mqOutcome{
+				stats: *c.Stats(), reads: r, writes: w, maps: c.table.Len(),
+				readLat:  c.ReadLatency().String(),
+				writeLat: c.WriteLatency().String(),
+			}
+			fs = *rt.Stats()
+		})
+		return out, fs
+	}
+	wheelOut, wheelFS := run(sim.SchedulerWheel)
+	heapOut, heapFS := run(sim.SchedulerHeap)
+	if wheelFS.Upgrades != 1 || wheelFS.Restarts != 2 {
+		t.Fatalf("compound plan did not exercise the fabric: %+v", wheelFS)
+	}
+	if wheelOut != heapOut {
+		t.Errorf("compound replay diverged between schedulers\nwheel %+v\nheap  %+v", wheelOut, heapOut)
+	}
+	if wheelFS != heapFS {
+		t.Errorf("compound fault stats diverged between schedulers\nwheel %+v\nheap  %+v", wheelFS, heapFS)
 	}
 }

@@ -26,6 +26,17 @@ type FaultRow struct {
 	DegReadMean, DegReadP99   sim.Time
 	DegWriteMean, DegWriteP99 sim.Time
 	RebuildDuration           sim.Time
+
+	// Compound-failure KPIs, copied out of the faulted run's
+	// FaultStats for the double-fault / upgrade / storm rows.
+	Restarts        int64    // crash-restart cycles survived
+	RebuildRestarts int64    // rebuilds a crash restarted from row zero
+	RebuildLostRows int64    // rows unrecoverable mid-rebuild
+	LostExtents     int64    // extents beyond redundancy
+	Upgrades        int64    // expand events fired
+	ExpandMigrated  int64    // blocks a retain upgrade moved
+	ExpandWriteback int64    // dirty blocks an invalidating upgrade flushed
+	UpgradeLatency  sim.Time // expand instant → background-I/O drain
 }
 
 // RunFault replays cfg twice — once healthy, once with spec installed —
@@ -38,6 +49,12 @@ func RunFault(name string, cfg RunConfig, spec string) (FaultRow, error) {
 	if err != nil {
 		return FaultRow{}, fmt.Errorf("experiments: healthy baseline: %w", err)
 	}
+	return faultRowFrom(name, cfg, spec, healthy)
+}
+
+// faultRowFrom replays cfg with spec installed and assembles the
+// comparison row against an already-computed healthy baseline.
+func faultRowFrom(name string, cfg RunConfig, spec string, healthy RunResult) (FaultRow, error) {
 	cfg.FaultSpec = spec
 	faulted, err := Run(cfg)
 	if err != nil {
@@ -56,14 +73,26 @@ func RunFault(name string, cfg RunConfig, spec string) (FaultRow, error) {
 		DegWriteP99:     faulted.DegWriteP99,
 		RebuildDuration: faulted.RebuildDuration,
 	}
+	if fs := faulted.Fault; fs != nil {
+		row.Restarts = fs.Restarts
+		row.RebuildRestarts = fs.RebuildRestarts
+		row.RebuildLostRows = fs.RebuildLostRows
+		row.LostExtents = fs.LostExtents
+		row.Upgrades = fs.Upgrades
+		row.ExpandMigrated = fs.ExpandMigrated
+		row.ExpandWriteback = fs.ExpandWriteback
+		row.UpgradeLatency = fs.UpgradeLatency()
+	}
 	return row, nil
 }
 
-// RunFaultFamily runs the standard failure experiments against cfg:
-// a disk death with a later rebuild-under-load, a transient error
-// window, and — for CRAID strategies — a crash-restart recovering from
-// the dirty-translation log. Each row compares against the same healthy
-// baseline workload.
+// RunFaultFamily runs the standard failure experiments against cfg: a
+// disk death with a later rebuild-under-load, a transient error
+// window, a double fault (a second disk dying in a disjoint parity
+// group while the first rebuild runs), and — for CRAID strategies —
+// crash-restart, crash-during-rebuild, a crash storm, and online
+// expansion under load in both invalidate and retain flavors. Every
+// row compares against one shared healthy baseline run.
 func RunFaultFamily(cfg RunConfig) ([]FaultRow, error) {
 	dur := cfg.Duration
 	if dur <= 0 {
@@ -82,14 +111,35 @@ func RunFaultFamily(cfg RunConfig) ([]FaultRow, error) {
 			fmtSimTime(dur/4), fmtSimTime(dur/2))},
 		{"transient", fmt.Sprintf("seed=1;transient:3@%s-%s,rate=0.02,lat=4",
 			fmtSimTime(dur/4), fmtSimTime(3*dur/4))},
+		// A second disk dies in a different parity group (the testbed's
+		// archive groups are 10 wide) while the first one's rebuild is
+		// pending, then rebuilds too: two degraded groups and two
+		// overlapping rebuild walks contend with the monitor.
+		{"double-fault", fmt.Sprintf("seed=1;fail:2@%s;rebuild:2@%s,rate=64;fail:12@%s;rebuild:12@%s,rate=64",
+			fmtSimTime(dur/4), fmtSimTime(dur/2), fmtSimTime(3*dur/8), fmtSimTime(5*dur/8))},
 	}
 	if cfg.Strategy.IsCRAID() {
-		exps = append(exps, exp{"crash-restart",
-			fmt.Sprintf("seed=1;crash@%s", fmtSimTime(dur/2))})
+		exps = append(exps,
+			exp{"crash-restart",
+				fmt.Sprintf("seed=1;crash@%s", fmtSimTime(dur/2))},
+			exp{"crash-in-rebuild",
+				fmt.Sprintf("seed=1;fail:2@%s;rebuild:2@%s,rate=64;crash@%s",
+					fmtSimTime(dur/8), fmtSimTime(dur/4), fmtSimTime(dur/2))},
+			exp{"storm",
+				fmt.Sprintf("seed=1;storm:crash@%s,n=3,every=%s",
+					fmtSimTime(dur/4), fmtSimTime(dur/4))},
+			exp{"expand", fmt.Sprintf("seed=1;expand@%s,disks=5", fmtSimTime(dur/2))},
+			exp{"expand-retain", fmt.Sprintf("seed=1;expand@%s,disks=5,retain", fmtSimTime(dur/2))},
+		)
+	}
+	cfg.FaultSpec = ""
+	healthy, err := Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: healthy baseline: %w", err)
 	}
 	rows := make([]FaultRow, 0, len(exps))
 	for _, e := range exps {
-		row, err := RunFault(e.name, cfg, e.spec)
+		row, err := faultRowFrom(e.name, cfg, e.spec, healthy)
 		if err != nil {
 			return nil, err
 		}

@@ -96,11 +96,12 @@ func TestRunFaultRowComparesHealthyBaseline(t *testing.T) {
 }
 
 // TestRunFaultFamilyCRAID runs the standard failure family end to end
-// on a small workload: a fail+rebuild row, a transient row, and — for
-// the CRAID strategy — a crash-restart row.
+// on a small workload: fail+rebuild, transient and double-fault rows,
+// plus the CRAID-only crash-restart, crash-in-rebuild, storm and both
+// expansion rows — one healthy baseline shared by all of them.
 func TestRunFaultFamilyCRAID(t *testing.T) {
 	if testing.Short() {
-		t.Skip("six full replays")
+		t.Skip("nine full replays")
 	}
 	cfg := faultTestConfig()
 	cfg.Scale = ScaleFor("wdev", 0.02)
@@ -108,12 +109,15 @@ func TestRunFaultFamilyCRAID(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("family produced %d rows, want 3 for a CRAID strategy", len(rows))
+	if len(rows) != 8 {
+		t.Fatalf("family produced %d rows, want 8 for a CRAID strategy", len(rows))
 	}
 	byName := map[string]FaultRow{}
-	for _, r := range rows {
+	for i, r := range rows {
 		byName[r.Name] = r
+		if i > 0 && r.Healthy.ReadMean != rows[0].Healthy.ReadMean {
+			t.Errorf("row %q re-ran the healthy baseline", r.Name)
+		}
 	}
 	if r := byName["fail+rebuild"]; r.Faulted.Fault == nil || r.Faulted.Fault.RebuildRows == 0 {
 		t.Errorf("fail+rebuild row did not rebuild: %+v", r.Faulted.Fault)
@@ -125,7 +129,75 @@ func TestRunFaultFamilyCRAID(t *testing.T) {
 	if r := byName["transient"]; r.Faulted.Fault == nil {
 		t.Error("transient row missing fault KPIs")
 	}
-	if r := byName["crash-restart"]; r.Faulted.Fault == nil || r.Faulted.Fault.Restarts != 1 {
+	if r := byName["double-fault"]; r.Faulted.Fault == nil ||
+		r.Faulted.Fault.Failures != 2 || r.LostExtents != 0 || r.RebuildLostRows != 0 {
+		t.Errorf("double-fault row: %+v", r.Faulted.Fault)
+	}
+	if r := byName["crash-restart"]; r.Faulted.Fault == nil || r.Restarts != 1 {
 		t.Errorf("crash-restart row did not restart: %+v", r.Faulted.Fault)
+	}
+	if r := byName["crash-in-rebuild"]; r.Faulted.Fault == nil || r.Restarts != 1 ||
+		r.Faulted.Fault.RebuildRows == 0 {
+		t.Errorf("crash-in-rebuild row: %+v", r.Faulted.Fault)
+	}
+	if r := byName["storm"]; r.Restarts != 3 {
+		t.Errorf("storm row survived %d restarts, want 3", r.Restarts)
+	}
+	if r := byName["expand"]; r.Upgrades != 1 {
+		t.Errorf("expand row fired %d upgrades, want 1", r.Upgrades)
+	}
+	if r := byName["expand-retain"]; r.Upgrades != 1 {
+		t.Errorf("expand-retain row fired %d upgrades, want 1", r.Upgrades)
+	}
+}
+
+// TestRunFaultDoubleFaultDisjointGroups pins the experiment-level
+// double-fault contract on the 50-disk testbed: a second death in a
+// different 10-wide parity group while the first rebuild is pending
+// stays within redundancy — both devices rebuild, nothing is lost.
+func TestRunFaultDoubleFaultDisjointGroups(t *testing.T) {
+	cfg := faultTestConfig()
+	cfg.FaultSpec = "seed=1;fail:2@15s;rebuild:2@30s,rate=64;fail:12@22s;rebuild:12@37s,rate=64"
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := res.Fault
+	if fs == nil || fs.Failures != 2 {
+		t.Fatalf("double fault did not fire: %+v", fs)
+	}
+	if fs.LostExtents != 0 || fs.RebuildLostRows != 0 {
+		t.Errorf("disjoint-group double fault lost data: %+v", fs)
+	}
+	if fs.RebuildRows == 0 {
+		t.Error("no rebuild rows walked")
+	}
+}
+
+// TestRunFaultStormAndExpandUnderLoad pins the new CRAID-only event
+// kinds through the experiment runner: a crash storm survives every
+// cycle, and a mid-replay expansion fires with its KPIs populated.
+func TestRunFaultStormAndExpandUnderLoad(t *testing.T) {
+	cfg := faultTestConfig()
+	cfg.FaultSpec = "seed=1;storm:crash@20s,n=3,every=10s"
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fault == nil || res.Fault.Restarts != 3 {
+		t.Fatalf("storm did not fire all cycles: %+v", res.Fault)
+	}
+
+	cfg.FaultSpec = "seed=1;expand@30s,disks=5,retain"
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := res.Fault
+	if fs == nil || fs.Upgrades != 1 {
+		t.Fatalf("expand did not fire: %+v", fs)
+	}
+	if fs.ExpandStart != 30*sim.Second || fs.ExpandEnd < fs.ExpandStart {
+		t.Errorf("upgrade window not stamped: start %v end %v", fs.ExpandStart, fs.ExpandEnd)
 	}
 }

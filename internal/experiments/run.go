@@ -389,7 +389,33 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 	var faultRT *core.FaultRuntime
 	if cfg.FaultSpec != "" {
-		faultRT = core.InstallFaults(arr, vol, plan, core.FaultOptions{})
+		faultRT, err = core.InstallFaults(arr, vol, plan, core.FaultOptions{})
+		if err != nil {
+			return RunResult{}, err
+		}
+		if plan.HasExpand() {
+			// expand@ events grow the array mid-replay with devices of
+			// the testbed's flavor (null under Instant, Cheetah HDDs
+			// otherwise), named/indexed after the devices already built.
+			hcfg := disk.CheetahConfig("hdd")
+			hcfg.CapacityBlocks = int64(float64(hcfg.CapacityBlocks) * cfg.Scale)
+			instant := cfg.Instant
+			next := arr.Devices()
+			faultRT.SetDeviceFactory(func(n int) []disk.Device {
+				out := make([]disk.Device, 0, n)
+				for i := 0; i < n; i++ {
+					if instant {
+						out = append(out, disk.NewNullDevice(eng, fmt.Sprintf("null%d", next), 1<<40))
+					} else {
+						c := hcfg
+						c.Name = fmt.Sprintf("hdd%d", next)
+						out = append(out, disk.NewHDD(eng, c))
+					}
+					next++
+				}
+				return out
+			})
+		}
 		if plan.HasCrash() {
 			ring, mirror := logRing, logMirror
 			faultRT.SetCrashSource(func() (io.Reader, error) {

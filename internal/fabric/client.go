@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -25,13 +26,77 @@ import (
 type Client struct {
 	base string
 	http *http.Client
+
+	// Transient-failure policy: retries is how many times a failed
+	// submit or stats call is reissued (connection refused, transport
+	// resets, 5xx responses, and truncated result streams count as
+	// transient; 4xx rejections do not), retryBase is the first backoff
+	// step (doubled per attempt, with ±50% jitter), and retryWindow
+	// bounds the whole retry sequence including the waits. Re-submitting
+	// a whole batch is safe: experiments.Collect keeps the first result
+	// per cell, so duplicate completions from an earlier, partially
+	// streamed attempt are dropped.
+	retries     int
+	retryBase   time.Duration
+	retryWindow time.Duration
+	rngMu       sync.Mutex
+	rng         *rand.Rand
 }
 
 // NewClient returns a submitter for the craidd at base
 // (e.g. "http://host:8440"). The underlying HTTP client has no
 // timeout: a job holds its connection open for the whole batch.
+// Transient failures are retried 3 times with jittered exponential
+// backoff from 200ms, bounded by a 2-minute window; SetRetryPolicy
+// adjusts all three knobs.
 func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+	return &Client{
+		base: strings.TrimRight(base, "/"), http: &http.Client{},
+		retries: 3, retryBase: 200 * time.Millisecond, retryWindow: 2 * time.Minute,
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// SetRetryPolicy overrides the transient-failure policy: retries
+// reissues after the first attempt (0 disables), base is the first
+// backoff step, window bounds the whole sequence. Call before the
+// first request; the client must not be in use concurrently.
+func (c *Client) SetRetryPolicy(retries int, base, window time.Duration) {
+	c.retries, c.retryBase, c.retryWindow = retries, base, window
+}
+
+// transientError marks an error as retryable under the client's
+// backoff policy.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// withRetry runs fn until it succeeds, fails permanently, or the
+// policy is exhausted. Only errors wrapped as transientError are
+// retried; the backoff between attempts is retryBase·2ⁱ scaled by a
+// uniform ±50% jitter, and the whole sequence — waits included — is
+// cut off at retryWindow.
+func (c *Client) withRetry(op string, fn func(ctx context.Context) error) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.retryWindow)
+	defer cancel()
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = fn(ctx)
+		var te *transientError
+		if err == nil || !errors.As(err, &te) || attempt >= c.retries {
+			return err
+		}
+		step := c.retryBase << uint(attempt)
+		c.rngMu.Lock()
+		wait := step/2 + time.Duration(c.rng.Int63n(int64(step)))
+		c.rngMu.Unlock()
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return fmt.Errorf("fabric: %s: retry window exhausted: %w", op, err)
+		}
+	}
 }
 
 // Execute implements experiments.Executor: canonical cells go to the
@@ -96,20 +161,38 @@ func (c *Client) Execute(cfgs []experiments.RunConfig, emit func(experiments.Cel
 	return remoteErr
 }
 
-// submit POSTs one job and decodes the ndjson completion stream.
+// submit POSTs one job and decodes the ndjson completion stream,
+// reissuing the whole batch on transient failures (deliver may then
+// see duplicate lines from a partially streamed earlier attempt —
+// experiments.Collect dedups by cell index, keeping the first).
 func (c *Client) submit(cells []experiments.RunConfig, deliver func(jobLine)) error {
 	body, err := json.Marshal(jobRequest{Cells: cells})
 	if err != nil {
 		return fmt.Errorf("fabric: encoding job: %w", err)
 	}
-	resp, err := c.http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	return c.withRetry("submit", func(ctx context.Context) error {
+		return c.submitOnce(ctx, body, len(cells), deliver)
+	})
+}
+
+func (c *Client) submitOnce(ctx context.Context, body []byte, cells int, deliver func(jobLine)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("fabric: submitting job: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return &transientError{fmt.Errorf("fabric: submitting job: %w", err)}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("fabric: job rejected: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		err := fmt.Errorf("fabric: job rejected: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		if resp.StatusCode >= http.StatusInternalServerError {
+			return &transientError{err}
+		}
+		return err
 	}
 	dec := json.NewDecoder(resp.Body)
 	seen := 0
@@ -118,13 +201,13 @@ func (c *Client) submit(cells []experiments.RunConfig, deliver func(jobLine)) er
 		if err := dec.Decode(&line); err == io.EOF {
 			break
 		} else if err != nil {
-			return fmt.Errorf("fabric: result stream after %d/%d cells: %w", seen, len(cells), err)
+			return &transientError{fmt.Errorf("fabric: result stream after %d/%d cells: %w", seen, cells, err)}
 		}
 		seen++
 		deliver(line)
 	}
-	if seen < len(cells) {
-		return fmt.Errorf("fabric: result stream ended after %d/%d cells", seen, len(cells))
+	if seen < cells {
+		return &transientError{fmt.Errorf("fabric: result stream ended after %d/%d cells", seen, cells)}
 	}
 	return nil
 }
@@ -140,18 +223,36 @@ func (c *Client) Run(cfg experiments.RunConfig) (experiments.RunResult, error) {
 	return results[0], nil
 }
 
-// Stats fetches the service's scheduler/store counters.
+// Stats fetches the service's scheduler/store counters, retrying
+// transient failures under the same backoff policy as submit.
 func (c *Client) Stats() (StatsSnapshot, error) {
 	var st StatsSnapshot
-	resp, err := c.http.Get(c.base + "/v1/stats")
-	if err != nil {
-		return st, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return st, fmt.Errorf("fabric: stats: %s", resp.Status)
-	}
-	return st, json.NewDecoder(resp.Body).Decode(&st)
+	err := c.withRetry("stats", func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return &transientError{err}
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			err := fmt.Errorf("fabric: stats: %s", resp.Status)
+			if resp.StatusCode >= http.StatusInternalServerError {
+				return &transientError{err}
+			}
+			return err
+		}
+		st = StatsSnapshot{}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			// A 200 whose body doesn't decode is a truncated or reset
+			// response, not a service rejection.
+			return &transientError{fmt.Errorf("fabric: stats: %w", err)}
+		}
+		return nil
+	})
+	return st, err
 }
 
 // Remote implements the worker API over HTTP: a worker process on

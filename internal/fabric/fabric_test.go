@@ -2,10 +2,12 @@ package fabric
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -535,5 +537,120 @@ func TestClientRunsTraceAtCellsLocally(t *testing.T) {
 	}
 	if got[0].Requests != 2 {
 		t.Fatalf("TraceAt cell replayed %d records, want 2", got[0].Requests)
+	}
+}
+
+// flakyHandler wraps an http.Handler, failing the first failN requests
+// to each path with the configured status (0 = accept the request but
+// truncate the response body before any result line is written).
+type flakyHandler struct {
+	inner  http.Handler
+	status int
+	failN  int32
+	mu     sync.Mutex
+	seen   map[string]int32
+	total  atomic.Int64
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.total.Add(1)
+	f.mu.Lock()
+	if f.seen == nil {
+		f.seen = map[string]int32{}
+	}
+	n := f.seen[r.URL.Path]
+	f.seen[r.URL.Path] = n + 1
+	f.mu.Unlock()
+	if n < f.failN {
+		if f.status == 0 {
+			// 200 with an empty body: the client sees a result stream
+			// that ends before every cell reported.
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		http.Error(w, "injected fault", f.status)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// TestFabricClientRetriesTransientFailures pins the submit/stats retry
+// policy: 5xx rejections and truncated result streams are retried with
+// backoff until the batch lands, and the results match an in-process
+// run (whole-batch resubmission is dedup-safe through Collect).
+func TestFabricClientRetriesTransientFailures(t *testing.T) {
+	_, runner := countingRunner()
+	srv, err := NewServer(Options{Store: newTestStore(t), Runner: runner, LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.StartLocalWorkers(2)
+
+	for _, tc := range []struct {
+		name   string
+		status int
+	}{
+		{"http-503", http.StatusServiceUnavailable},
+		{"truncated-stream", 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			flaky := &flakyHandler{inner: srv.Handler(), status: tc.status, failN: 2}
+			hs := httptest.NewServer(flaky)
+			defer hs.Close()
+			client := NewClient(hs.URL)
+			client.SetRetryPolicy(3, time.Millisecond, time.Minute)
+
+			cfgs := []experiments.RunConfig{cheapCell("LRU", 500), cheapCell("ARC", 500)}
+			want, err := experiments.RunAll(cfgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := experiments.Collect(len(cfgs), func(emit func(experiments.CellResult)) error {
+				return client.Execute(cfgs, emit)
+			})
+			if err != nil {
+				t.Fatalf("submit did not survive transient failures: %v", err)
+			}
+			for i := range want {
+				got[i].Replay.ReaderStalls, want[i].Replay.ReaderStalls = 0, 0
+				got[i].Replay.ReplayStalls, want[i].Replay.ReplayStalls = 0, 0
+				got[i].Replay.RingHighWater, want[i].Replay.RingHighWater = 0, 0
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("cell %d differs after retried submit:\n got %+v\nwant %+v", i, got[i], want[i])
+				}
+			}
+			if n := flaky.seen["/v1/jobs"]; n != 3 {
+				t.Errorf("submit attempts = %d, want 2 failures + 1 success", n)
+			}
+
+			if _, err := client.Stats(); err != nil {
+				t.Errorf("stats did not survive transient failures: %v", err)
+			}
+		})
+	}
+}
+
+// TestFabricClientDoesNotRetryRejection pins the other half of the
+// policy: a 4xx rejection is permanent — one attempt, no backoff.
+func TestFabricClientDoesNotRetryRejection(t *testing.T) {
+	flaky := &flakyHandler{
+		inner:  http.NotFoundHandler(),
+		status: http.StatusBadRequest,
+		failN:  1 << 30,
+	}
+	hs := httptest.NewServer(flaky)
+	defer hs.Close()
+	client := NewClient(hs.URL)
+	client.SetRetryPolicy(3, time.Millisecond, time.Minute)
+
+	_, err := experiments.Collect(1, func(emit func(experiments.CellResult)) error {
+		return client.Execute([]experiments.RunConfig{cheapCell("LRU", 500)}, emit)
+	})
+	if err == nil || !strings.Contains(err.Error(), "job rejected") {
+		t.Fatalf("expected permanent rejection, got %v", err)
+	}
+	if n := flaky.total.Load(); n != 1 {
+		t.Fatalf("4xx retried: %d attempts, want 1", n)
 	}
 }

@@ -43,6 +43,13 @@ const (
 	// reconstructs it stripe row by stripe row, rate-limited to
 	// RateMBps; the device rejoins the array when the walk completes.
 	Rebuild
+	// Expand grows the array by Disks devices at At, mid-replay: the
+	// controller performs an online upgrade (Expand, or ExpandRetain
+	// when Retain is set) while the workload keeps flowing.
+	Expand
+	// Storm is a generator: N crash-restart cycles starting at At,
+	// Every apart, modelling a controller that keeps dying under load.
+	Storm
 )
 
 // String names the kind as it appears in plan specs.
@@ -56,6 +63,10 @@ func (k Kind) String() string {
 		return "crash"
 	case Rebuild:
 		return "rebuild"
+	case Expand:
+		return "expand"
+	case Storm:
+		return "storm"
 	}
 	return "unknown"
 }
@@ -69,6 +80,10 @@ type Event struct {
 	Rate     float64  // Transient: per-request error probability
 	LatencyX float64  // Transient: service-time multiplier, >= 1
 	RateMBps float64  // Rebuild: reconstruction traffic rate limit
+	Disks    int      // Expand: devices added
+	Retain   bool     // Expand: migrate live blocks (ExpandRetain)
+	N        int      // Storm: crash-restart cycles generated
+	Every    sim.Time // Storm: period between cycles
 }
 
 // Plan is a seeded, declarative failure schedule. The zero value is a
@@ -78,15 +93,48 @@ type Plan struct {
 	Events []Event
 }
 
-// HasCrash reports whether the plan contains a CrashRestart event (the
-// runtime then needs a recoverable log image).
+// HasCrash reports whether the plan contains a CrashRestart event or a
+// crash storm (the runtime then needs a recoverable log image).
 func (p Plan) HasCrash() bool {
 	for _, ev := range p.Events {
-		if ev.Kind == CrashRestart {
+		if ev.Kind == CrashRestart || ev.Kind == Storm {
 			return true
 		}
 	}
 	return false
+}
+
+// HasExpand reports whether the plan schedules an online expansion (the
+// runtime then needs a device factory and a CRAID volume).
+func (p Plan) HasExpand() bool {
+	for _, ev := range p.Events {
+		if ev.Kind == Expand {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks every event's device reference against the width of
+// the array the plan will install on. The walk tracks expansions: an
+// event may legally target a device that exists only because an earlier
+// expand item added it. Events are checked in firing order (the order
+// the runtime schedules them), so a same-instant expand+fail pair
+// resolves the way it executes.
+func (p Plan) Validate(devices int) error {
+	width := devices
+	for _, ev := range p.Events {
+		switch ev.Kind {
+		case Expand:
+			width += ev.Disks
+		case DiskFail, Transient, Rebuild:
+			if ev.Dev >= width {
+				return fmt.Errorf("fault: %s event at %s targets device %d, but the array has only %d device(s) at that instant",
+					ev.Kind, fmtTime(ev.At), ev.Dev, width)
+			}
+		}
+	}
+	return nil
 }
 
 // Transient window defaults.
@@ -102,15 +150,24 @@ const (
 //	transient:3@1s-8s,rate=0.01,lat=4
 //	rebuild:2@10s,rate=64
 //	crash@6s
+//	expand@30s,disks=5            (expand@30s,disks=5,retain migrates)
+//	storm:crash@10s,n=4,every=5s
+//	dev:3{transient@1s-8s,rate=0.5;fail@20s}
 //
 // Times and window bounds use time.ParseDuration syntax and measure
 // simulated time from the start of the replay. Omitted transient
 // options default to rate=0.01, lat=1; an omitted rebuild rate
-// defaults to 64 (MB/s). Events may appear in any order; the schedule
+// defaults to 64 (MB/s). A dev:N{...} block is sugar binding every
+// inner item to device N — the heterogeneous-fleet form — and expands
+// into ordinary events. Events may appear in any order; the schedule
 // is sorted by firing time.
 func ParsePlan(spec string) (Plan, error) {
 	var p Plan
-	for _, item := range strings.Split(spec, ";") {
+	items, err := splitItems(spec)
+	if err != nil {
+		return Plan{}, err
+	}
+	for _, item := range items {
 		item = strings.TrimSpace(item)
 		if item == "" {
 			continue
@@ -123,7 +180,15 @@ func ParsePlan(spec string) (Plan, error) {
 			p.Seed = seed
 			continue
 		}
-		ev, err := parseEvent(item)
+		if strings.HasPrefix(item, "dev:") {
+			evs, err := parseDevBlock(item)
+			if err != nil {
+				return Plan{}, err
+			}
+			p.Events = append(p.Events, evs...)
+			continue
+		}
+		ev, err := parseEvent(item, -1)
 		if err != nil {
 			return Plan{}, err
 		}
@@ -133,7 +198,74 @@ func ParsePlan(spec string) (Plan, error) {
 	return p, nil
 }
 
-func parseEvent(item string) (Event, error) {
+// splitItems splits a spec on semicolons at brace depth zero, so the
+// items inside a dev:N{...} sub-plan stay attached to their block.
+func splitItems(spec string) ([]string, error) {
+	var items []string
+	depth, start := 0, 0
+	for i := 0; i < len(spec); i++ {
+		switch spec[i] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("fault: unbalanced '}' in %q", spec)
+			}
+		case ';':
+			if depth == 0 {
+				items = append(items, spec[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("fault: unbalanced '{' in %q", spec)
+	}
+	return append(items, spec[start:]), nil
+}
+
+// parseDevBlock expands a per-device sub-plan, dev:N{item;item;...},
+// into ordinary events with device N bound. Inner items use the same
+// grammar minus the :DEV head (fail@5s, transient@1s-8s,rate=0.5,
+// rebuild@10s,rate=64); device-less kinds (crash, expand, storm) cannot
+// be scoped to a device and are rejected.
+func parseDevBlock(item string) ([]Event, error) {
+	rest := strings.TrimPrefix(item, "dev:")
+	devStr, body, found := strings.Cut(rest, "{")
+	if !found {
+		return nil, fmt.Errorf("fault: dev block %q has no '{'", item)
+	}
+	if !strings.HasSuffix(body, "}") {
+		return nil, fmt.Errorf("fault: dev block %q does not end with '}'", item)
+	}
+	body = body[:len(body)-1]
+	if strings.ContainsAny(body, "{}") {
+		return nil, fmt.Errorf("fault: nested braces in dev block %q", item)
+	}
+	dev, err := strconv.Atoi(devStr)
+	if err != nil || dev < 0 {
+		return nil, fmt.Errorf("fault: bad device %q in %q", devStr, item)
+	}
+	var evs []Event
+	for _, inner := range strings.Split(body, ";") {
+		inner = strings.TrimSpace(inner)
+		if inner == "" {
+			continue
+		}
+		ev, err := parseEvent(inner, dev)
+		if err != nil {
+			return nil, err
+		}
+		evs = append(evs, ev)
+	}
+	return evs, nil
+}
+
+// parseEvent parses one event item. forceDev >= 0 binds the item to
+// that device (dev-block sugar): the head must then omit its own :DEV
+// and the kind must be one that takes a device.
+func parseEvent(item string, forceDev int) (Event, error) {
 	head, rest, found := strings.Cut(item, "@")
 	if !found {
 		return Event{}, fmt.Errorf("fault: event %q has no @time", item)
@@ -151,14 +283,38 @@ func parseEvent(item string) (Event, error) {
 	case "rebuild":
 		ev.Kind = Rebuild
 		ev.RateMBps = DefaultRateMBps
+	case "expand":
+		ev.Kind = Expand
+	case "storm":
+		ev.Kind = Storm
 	default:
 		return Event{}, fmt.Errorf("fault: unknown event kind %q in %q", kind, item)
 	}
-	if ev.Kind == CrashRestart {
+	switch ev.Kind {
+	case CrashRestart, Expand:
 		if hasDev {
-			return Event{}, fmt.Errorf("fault: crash takes no device in %q", item)
+			return Event{}, fmt.Errorf("fault: %s takes no device in %q", kind, item)
 		}
-	} else {
+		if forceDev >= 0 {
+			return Event{}, fmt.Errorf("fault: %s cannot appear in a dev block in %q", kind, item)
+		}
+	case Storm:
+		if forceDev >= 0 {
+			return Event{}, fmt.Errorf("fault: storm cannot appear in a dev block in %q", item)
+		}
+		// The :sub slot names what the storm repeats; only crash-restart
+		// cycles are defined.
+		if !hasDev || devStr != "crash" {
+			return Event{}, fmt.Errorf("fault: storm repeats crash events (storm:crash@T,n=K,every=D) in %q", item)
+		}
+	default:
+		if forceDev >= 0 {
+			if hasDev {
+				return Event{}, fmt.Errorf("fault: %s inside a dev block must not name a device in %q", kind, item)
+			}
+			ev.Dev = forceDev
+			break
+		}
 		if !hasDev {
 			return Event{}, fmt.Errorf("fault: %s needs a device (%s:DEV@time) in %q", kind, kind, item)
 		}
@@ -176,23 +332,32 @@ func parseEvent(item string) (Event, error) {
 	}
 	ev.At = at
 	for _, opt := range parts[1:] {
+		if opt == "retain" && ev.Kind == Expand {
+			ev.Retain = true
+			continue
+		}
 		k, v, ok := strings.Cut(opt, "=")
 		if !ok {
 			return Event{}, fmt.Errorf("fault: bad option %q in %q", opt, item)
 		}
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return Event{}, fmt.Errorf("fault: bad value %q in %q", opt, item)
-		}
 		switch {
 		case k == "rate" && ev.Kind == Transient:
-			ev.Rate = f
+			ev.Rate, err = strconv.ParseFloat(v, 64)
 		case k == "lat" && ev.Kind == Transient:
-			ev.LatencyX = f
+			ev.LatencyX, err = strconv.ParseFloat(v, 64)
 		case k == "rate" && ev.Kind == Rebuild:
-			ev.RateMBps = f
+			ev.RateMBps, err = strconv.ParseFloat(v, 64)
+		case k == "disks" && ev.Kind == Expand:
+			ev.Disks, err = strconv.Atoi(v)
+		case k == "n" && ev.Kind == Storm:
+			ev.N, err = strconv.Atoi(v)
+		case k == "every" && ev.Kind == Storm:
+			ev.Every, err = parseTime(v)
 		default:
 			return Event{}, fmt.Errorf("fault: option %q does not apply to %s in %q", k, ev.Kind, item)
+		}
+		if err != nil {
+			return Event{}, fmt.Errorf("fault: bad value %q in %q", opt, item)
 		}
 	}
 	if ev.Kind == Transient {
@@ -205,6 +370,17 @@ func parseEvent(item string) (Event, error) {
 	}
 	if ev.Kind == Rebuild && ev.RateMBps <= 0 {
 		return Event{}, fmt.Errorf("fault: rebuild rate must be positive in %q", item)
+	}
+	if ev.Kind == Expand && ev.Disks < 1 {
+		return Event{}, fmt.Errorf("fault: expand needs disks=N (N >= 1) in %q", item)
+	}
+	if ev.Kind == Storm {
+		if ev.N < 1 {
+			return Event{}, fmt.Errorf("fault: storm needs n=K (K >= 1) in %q", item)
+		}
+		if ev.Every <= 0 {
+			return Event{}, fmt.Errorf("fault: storm needs every=D (D > 0) in %q", item)
+		}
 	}
 	return ev, nil
 }
@@ -236,6 +412,9 @@ func parseWindow(s string, ev *Event) (sim.Time, error) {
 // syntax alone (durations here are never negative, so any '-' past
 // position 0 is a separator).
 func cutDash(s string) (string, string, bool) {
+	if s == "" {
+		return s, "", false
+	}
 	if i := strings.Index(s[1:], "-"); i >= 0 {
 		return s[:i+1], s[i+2:], true
 	}
@@ -273,6 +452,13 @@ func (p Plan) String() string {
 			fmt.Fprintf(&b, ",rate=%g,lat=%g", ev.Rate, ev.LatencyX)
 		case Rebuild:
 			fmt.Fprintf(&b, "rebuild:%d@%s,rate=%g", ev.Dev, fmtTime(ev.At), ev.RateMBps)
+		case Expand:
+			fmt.Fprintf(&b, "expand@%s,disks=%d", fmtTime(ev.At), ev.Disks)
+			if ev.Retain {
+				b.WriteString(",retain")
+			}
+		case Storm:
+			fmt.Fprintf(&b, "storm:crash@%s,n=%d,every=%s", fmtTime(ev.At), ev.N, fmtTime(ev.Every))
 		}
 	}
 	return b.String()

@@ -16,6 +16,11 @@ func TestParsePlanRoundTrip(t *testing.T) {
 		"seed=1;crash@500ms",
 		"seed=9;transient:0@0s,rate=1,lat=1",
 		"seed=3;fail:0@1ms;fail:1@2ms;rebuild:0@3ms,rate=128;rebuild:1@4ms,rate=32",
+		"seed=2;expand@30s,disks=5",
+		"seed=2;expand@30s,disks=5,retain",
+		"seed=4;storm:crash@10s,n=4,every=5s",
+		"seed=6;dev:3{transient@1s-8s,rate=0.5,lat=2;fail@20s;rebuild@30s,rate=16}",
+		"seed=8;fail:2@5s;rebuild:2@10s;fail:3@12s;expand@20s,disks=2,retain;storm:crash@30s,n=2,every=1s",
 	}
 	for _, spec := range specs {
 		p, err := ParsePlan(spec)
@@ -74,10 +79,94 @@ func TestParsePlanErrors(t *testing.T) {
 		"fail:1@1s-2s",           // window on non-transient
 		"fail:1@notatime",        // unparseable time
 		"transient:1@1s,bogus=3", // unknown option
+		"fail:1@",                // empty time
+		"expand@5s",              // expand without disks
+		"expand@5s,disks=0",      // expand with no devices
+		"expand:2@5s,disks=1",    // expand takes no device
+		"fail:1@5s,retain",       // retain only applies to expand
+		"storm@5s,n=2,every=1s",  // storm without a sub-kind
+		"storm:fail@5s,n=2,every=1s", // only crash storms are defined
+		"storm:crash@5s,every=1s",    // storm without n
+		"storm:crash@5s,n=2",         // storm without every
+		"storm:crash@5s,n=0,every=1s", // empty storm
+		"dev:3{fail@1s",          // unbalanced brace
+		"dev:3{fail@1s}}",        // unbalanced brace
+		"dev:x{fail@1s}",         // bad device
+		"dev:3{crash@1s}",        // device-less kind in a dev block
+		"dev:3{expand@1s,disks=1}", // device-less kind in a dev block
+		"dev:3{storm:crash@1s,n=2,every=1s}", // generator in a dev block
+		"dev:3{fail:2@1s}",       // inner item with its own device
+		"dev:3fail@1s}",          // stray brace
 	}
 	for _, spec := range bad {
 		if _, err := ParsePlan(spec); err == nil {
 			t.Errorf("ParsePlan(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+// TestParsePlanDevBlockExpands pins the heterogeneous-fleet sugar: a
+// dev:N{...} block parses to exactly the events its flat spelling
+// parses to.
+func TestParsePlanDevBlockExpands(t *testing.T) {
+	sugar, err := ParsePlan("seed=5;dev:3{transient@1s-8s,rate=0.5;fail@20s};crash@30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := ParsePlan("seed=5;transient:3@1s-8s,rate=0.5;fail:3@20s;crash@30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sugar, flat) {
+		t.Fatalf("dev block expanded to\n  %+v\nflat spelling parses to\n  %+v", sugar, flat)
+	}
+}
+
+func TestHasExpand(t *testing.T) {
+	with, _ := ParsePlan("expand@1s,disks=2")
+	without, _ := ParsePlan("fail:1@1s")
+	if !with.HasExpand() || without.HasExpand() {
+		t.Fatal("HasExpand misreports")
+	}
+	storm, _ := ParsePlan("storm:crash@1s,n=2,every=1s")
+	if !storm.HasCrash() {
+		t.Fatal("a crash storm must report HasCrash")
+	}
+}
+
+// TestValidateDeviceIndices pins the install-time width check,
+// including the expansion-aware walk: a device that exists only after
+// an expand event is legal to target after that event, not before.
+func TestValidateDeviceIndices(t *testing.T) {
+	ok := []string{
+		"fail:4@1s",
+		"transient:0@1s-2s;rebuild:4@3s",
+		"expand@1s,disks=2;fail:6@2s",
+		"expand@1s,disks=2;fail:6@1s", // same instant, expand sorts first
+		"crash@1s;storm:crash@2s,n=2,every=1s",
+	}
+	for _, spec := range ok {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(5); err != nil {
+			t.Errorf("Validate(5) rejected %q: %v", spec, err)
+		}
+	}
+	bad := []string{
+		"fail:5@1s",
+		"transient:9@1s-2s",
+		"rebuild:7@1s",
+		"fail:6@1s;expand@2s,disks=2", // device exists only after the later expand
+	}
+	for _, spec := range bad {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(5); err == nil {
+			t.Errorf("Validate(5) accepted %q", spec)
 		}
 	}
 }

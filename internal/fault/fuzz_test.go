@@ -1,0 +1,53 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParsePlan pins two properties over arbitrary specs: ParsePlan
+// never panics, and every accepted plan is round-trip stable —
+// re-parsing p.String() reproduces p exactly and renders back to the
+// same canonical string. The seed corpus covers every grammar form,
+// including the compound-fabric items (expand, storm, dev blocks).
+func FuzzParsePlan(f *testing.F) {
+	seeds := []string{
+		"seed=7",
+		"fail:2@5s",
+		"transient:3@1s-8s,rate=0.01,lat=4",
+		"transient:0@0s,rate=1",
+		"rebuild:2@10s,rate=64",
+		"crash@6s",
+		"expand@30s,disks=5",
+		"expand@30s,disks=5,retain",
+		"storm:crash@10s,n=4,every=5s",
+		"dev:3{transient@1s-8s,rate=0.5,lat=2;fail@20s;rebuild@30s,rate=16}",
+		"seed=8;fail:2@5s;rebuild:2@10s;fail:3@12s;expand@20s,disks=2,retain;storm:crash@30s,n=2,every=1s",
+		"seed=1;; ;fail:0@1ns",
+		"fail:1@",
+		"dev:3{fail@1s",
+		"}{",
+		"storm:crash@5s,n=0,every=1s",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			return // rejected specs only need to reject without panicking
+		}
+		rendered := p.String()
+		p2, err := ParsePlan(rendered)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q) accepted, but its rendering %q does not re-parse: %v",
+				spec, rendered, err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip of %q changed the plan:\n  %+v\n  %+v", spec, p, p2)
+		}
+		if again := p2.String(); again != rendered {
+			t.Fatalf("String not stable for %q: %q then %q", spec, rendered, again)
+		}
+	})
+}
